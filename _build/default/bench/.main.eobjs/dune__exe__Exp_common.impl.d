@@ -1,0 +1,1 @@
+bench/exp_common.ml: Coding Format Protocol String Unix Util

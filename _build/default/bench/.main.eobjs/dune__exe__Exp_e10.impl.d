@@ -1,0 +1,1 @@
+bench/exp_e10.ml: Coding Exp_common Format List Netsim String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e11.ml: Coding Exp_common Format List Netsim Protocol String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e13.ml: Coding Exp_common Format List Netsim String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e3.ml: Coding Exp_common Format List Netsim String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e5.ml: Coding Exp_common Format List Netsim Protocol Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e6.ml: Coding Exp_common Format Int64 Netsim Protocol String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e7.ml: Coding Exp_common Format List String Topology Util

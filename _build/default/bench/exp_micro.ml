@@ -1,0 +1,88 @@
+(* MICRO — computational efficiency (the paper's headline qualifier:
+   the first *efficient* multiparty scheme against adversarial noise).
+
+   Bechamel micro-benchmarks of every hot primitive, plus one full
+   scheme iteration.  Prior schemes rely on tree codes with no known
+   polynomial-time construction; every operation below is
+   low-polynomial, and the numbers let a reader estimate wall-clock for
+   any configuration. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Util.Rng.create 0xBEC in
+  (* GF(2^62) multiplication *)
+  let f = Gf.Gf2k.default in
+  let a = Int64.to_int (Util.Rng.int64 rng) land ((1 lsl 62) - 1) in
+  let b = Int64.to_int (Util.Rng.int64 rng) land ((1 lsl 62) - 1) in
+  let t_gfmul = Test.make ~name:"gf2k.mul" (Staged.stage (fun () -> Gf.Gf2k.mul f a b)) in
+  (* δ-biased generator words *)
+  let gen = Smallbias.Generator.sample rng in
+  ignore (Smallbias.Generator.next_word gen);
+  let t_word =
+    Test.make ~name:"smallbias.next_word" (Staged.stage (fun () -> Smallbias.Generator.next_word gen))
+  in
+  (* inner-product hash of a 1 KiB input, tau = 8 *)
+  let x = Util.Bitvec.create () in
+  for _ = 1 to 8192 do
+    Util.Bitvec.push x (Util.Rng.bool rng)
+  done;
+  let ustream = Hashing.Seed_stream.uniform ~key:42L in
+  let t_hash_uniform =
+    Test.make ~name:"ip_hash 1KiB (uniform seed)"
+      (Staged.stage (fun () -> Hashing.Ip_hash.hash ustream ~offset:0 ~tau:8 x))
+  in
+  let bstream = Hashing.Seed_stream.biased (Smallbias.Generator.sample rng) in
+  let t_hash_biased =
+    Test.make ~name:"ip_hash 1KiB (biased seed)"
+      (Staged.stage (fun () -> Hashing.Ip_hash.hash bstream ~offset:0 ~tau:8 x))
+  in
+  (* Reed-Solomon round trip *)
+  let rs = Ecc.Rs.create ~n:48 ~k:16 in
+  let msg = Array.init 16 (fun i -> (i * 37) land 0xff) in
+  let cw = Ecc.Rs.encode rs msg in
+  let corrupted = Array.copy cw in
+  corrupted.(3) <- corrupted.(3) lxor 0x55;
+  corrupted.(20) <- corrupted.(20) lxor 0x0F;
+  let t_rs_enc = Test.make ~name:"rs[48,16] encode" (Staged.stage (fun () -> Ecc.Rs.encode rs msg)) in
+  let t_rs_dec =
+    Test.make ~name:"rs[48,16] decode (2 errors)"
+      (Staged.stage (fun () -> Ecc.Rs.decode rs corrupted))
+  in
+  (* One full scheme run on a small instance *)
+  let g = Topology.Graph.cycle 5 in
+  let pi = Protocol.Protocols.ring_sum ~n:5 ~bits:8 in
+  let params = Coding.Params.algorithm_1 g in
+  let t_scheme =
+    Test.make ~name:"full Algorithm 1 run (ring, 2 chunks)"
+      (Staged.stage (fun () ->
+           Coding.Scheme.run ~rng:(Util.Rng.create 5) params pi Netsim.Adversary.Silent))
+  in
+  [ t_gfmul; t_word; t_hash_uniform; t_hash_biased; t_rs_enc; t_rs_dec; t_scheme ]
+
+let run () =
+  Exp_common.heading "MICRO |  primitive costs (Bechamel, monotonic clock, ns/run)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~stabilize:false ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  Format.printf "%-40s %15s@." "operation" "time / run";
+  Format.printf "%s@." (String.make 58 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ]) in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with Some [ e ] -> e | _ -> nan
+          in
+          let pretty =
+            if estimate > 1e9 then Format.asprintf "%.2f s" (estimate /. 1e9)
+            else if estimate > 1e6 then Format.asprintf "%.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Format.asprintf "%.2f us" (estimate /. 1e3)
+            else Format.asprintf "%.1f ns" estimate
+          in
+          Format.printf "%-40s %15s@." name pretty)
+        results)
+    (make_tests ())

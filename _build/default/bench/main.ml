@@ -1,0 +1,51 @@
+(* The experiment harness: regenerates every table/figure-equivalent the
+   paper's claims support (see DESIGN.md §3 for the index and
+   EXPERIMENTS.md for paper-vs-measured).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe t1 e5 e7   # run a subset
+     dune exec bench/main.exe -- --list  # list experiment ids *)
+
+let experiments =
+  [
+    ("t1", "Table 1: scheme comparison grid", Exp_t1.run);
+    ("e2", "Theorem 1.1: success vs oblivious noise", Exp_e2.run);
+    ("e3", "Theorem 1.2: adaptive attacks", Exp_e3.run);
+    ("e4", "constant rate vs network size", Exp_e4.run);
+    ("e5", "potential-function dynamics", Exp_e5.run);
+    ("e6", "flag-passing ablation (line cascade)", Exp_e6.run);
+    ("e7", "hash-length ablation vs collision hunter", Exp_e7.run);
+    ("e8", "delta-biased vs uniform seeds", Exp_e8.run);
+    ("e9", "ECC decode radius (Theorem 2.1)", Exp_e9.run);
+    ("e10", "Algorithm C (Appendix B)", Exp_e10.run);
+    ("e11", "relaxed vs fully-utilised model", Exp_e11.run);
+    ("e12", "CC vs round complexity", Exp_e12.run);
+    ("e13", "failure probability vs |Pi| + Remark 1", Exp_e13.run);
+    ("e14", "empirical noise thresholds", Exp_e14.run);
+    ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  if List.mem "--list" args then
+    List.iter (fun (id, descr, _) -> Format.printf "%-6s %s@." id descr) experiments
+  else begin
+    let selected =
+      if args = [] then experiments
+      else
+        List.filter_map
+          (fun a ->
+            match List.find_opt (fun (id, _, _) -> id = String.lowercase_ascii a) experiments with
+            | Some e -> Some e
+            | None ->
+                Format.eprintf "unknown experiment %S (try --list)@." a;
+                exit 2)
+          args
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, _, run) -> run ()) selected;
+    Format.printf "@.[%d experiment(s) in %.1f s]@." (List.length selected)
+      (Unix.gettimeofday () -. t0)
+  end

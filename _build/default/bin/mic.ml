@@ -1,0 +1,170 @@
+(* mic — command-line driver for ad-hoc noisy-network simulations.
+
+   Examples:
+     mic run --topology cycle --parties 8 --scheme a --adversary iid --rate 0.001
+     mic run --topology line --parties 6 --scheme 1 --adversary burst --trace
+     mic run --topology cycle --parties 8 --scheme b --adversary hunter
+     mic info --topology clique --parties 10 *)
+
+open Cmdliner
+
+type topology_kind = Line | Cycle | Star | Clique | Grid | Tree | Random
+
+let make_topology kind n seed =
+  match kind with
+  | Line -> Topology.Graph.line n
+  | Cycle -> Topology.Graph.cycle n
+  | Star -> Topology.Graph.star n
+  | Clique -> Topology.Graph.clique n
+  | Grid ->
+      let cols = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Topology.Graph.grid ~rows:(max 2 ((n + cols - 1) / cols)) ~cols
+  | Tree -> Topology.Graph.binary_tree n
+  | Random -> Topology.Graph.random_connected (Util.Rng.create seed) ~n ~extra_edges:(n / 2)
+
+type protocol_kind = Chatter | Ring | Broadcast | Pairwise | Lineflow
+
+let make_protocol kind graph rounds seed =
+  let n = Topology.Graph.n graph in
+  match kind with
+  | Chatter -> Protocol.Protocols.random_chatter graph ~rounds ~density:0.5 ~seed
+  | Ring ->
+      if Topology.Graph.degree graph 0 <> 2 then
+        failwith "protocol 'ring' needs --topology cycle";
+      Protocol.Protocols.ring_sum ~n ~bits:16
+  | Broadcast -> Protocol.Protocols.broadcast_tree graph ~bits:16
+  | Pairwise -> Protocol.Protocols.pairwise_ip graph ~bits:16
+  | Lineflow ->
+      if Topology.Graph.m graph <> n - 1 then failwith "protocol 'lineflow' needs --topology line";
+      Protocol.Protocols.line_flow ~n ~phases:(max 4 (rounds / (n + 6))) ~chat:6
+
+type adversary_kind = None_ | Iid | Burst | Link | Hunter | Mpblind
+
+let scheme_of_string graph = function
+  | "1" -> Coding.Params.algorithm_1 graph
+  | "a" -> Coding.Params.algorithm_a graph
+  | "b" -> Coding.Params.algorithm_b graph
+  | "c" -> Coding.Params.algorithm_c graph
+  | s -> failwith (Printf.sprintf "unknown scheme %S (expected 1|a|b|c)" s)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed trace
+    trials verbose =
+  setup_logs verbose;
+  let graph = make_topology topology parties seed in
+  let pi = make_protocol protocol graph rounds seed in
+  let params = scheme_of_string graph scheme_name in
+  Format.printf "network: n=%d m=%d diameter=%d | %s | K=%d tau=%d | CC(Pi)=%d@."
+    (Topology.Graph.n graph) (Topology.Graph.m graph) (Topology.Graph.diameter graph)
+    params.Coding.Params.name params.Coding.Params.k params.Coding.Params.tau (Protocol.Pi.cc pi);
+  let successes = ref 0 in
+  for t = 0 to trials - 1 do
+    let adv_rng = Util.Rng.create (seed + (1000 * t) + 1) in
+    let adversary, hook, stats =
+      match adversary with
+      | None_ -> (Netsim.Adversary.Silent, None, None)
+      | Iid -> (Netsim.Adversary.iid adv_rng ~rate, None, None)
+      | Burst ->
+          ( Netsim.Adversary.burst adv_rng ~start_round:(300 + (100 * t)) ~len:30 ~dirs:[ 0; 1 ],
+            None,
+            None )
+      | Link ->
+          ( Netsim.Adversary.adaptive_link_target ~edge_dirs:[ 0; 1 ] ~rate_denom:budget_denom
+              ~phases:[ Netsim.Adversary.Simulation ],
+            None,
+            None )
+      | Mpblind -> (Coding.Attacks.mp_blind ~rate_denom:budget_denom, None, None)
+      | Hunter ->
+          let adv, hook, stats =
+            Coding.Attacks.collision_hunter ~graph ~edge:0 ~depth:4 ~rate_denom:budget_denom ()
+          in
+          (adv, Some hook, Some stats)
+    in
+    let result =
+      Coding.Scheme.run ~trace ?spy_hook:hook ~rng:(Util.Rng.create (seed + t)) params pi adversary
+    in
+    if result.Coding.Scheme.success then incr successes;
+    Format.printf "trial %d: %a%s@." t Coding.Report.pp_summary result
+      (match stats with
+      | Some s -> Printf.sprintf " hidden=%d/%d" s.Coding.Attacks.hits s.Coding.Attacks.attempts
+      | None -> "");
+    if trace then Coding.Report.pp_trace Format.std_formatter result.Coding.Scheme.trace
+  done;
+  Format.printf "=> %d/%d successes@." !successes trials;
+  if !successes < trials then 1 else 0
+
+let info_cmd topology parties seed =
+  let graph = make_topology topology parties seed in
+  Format.printf "%a@." Topology.Graph.pp graph;
+  Format.printf "n=%d m=%d max_degree=%d diameter=%d@." (Topology.Graph.n graph)
+    (Topology.Graph.m graph) (Topology.Graph.max_degree graph) (Topology.Graph.diameter graph);
+  let tree = Topology.Graph.bfs_tree graph in
+  Format.printf "bfs tree depth=%d (flag-passing rounds: %d)@." tree.Topology.Graph.depth
+    (Coding.Flag_passing.rounds_needed tree);
+  List.iter
+    (fun p -> Format.printf "%a@." Coding.Report.pp_params p)
+    [
+      Coding.Params.algorithm_1 graph;
+      Coding.Params.algorithm_a graph;
+      Coding.Params.algorithm_b graph;
+      Coding.Params.algorithm_c graph;
+    ];
+  0
+
+(* --- cmdliner wiring --- *)
+
+let topology_conv =
+  Arg.enum
+    [ ("line", Line); ("cycle", Cycle); ("star", Star); ("clique", Clique); ("grid", Grid);
+      ("tree", Tree); ("random", Random) ]
+
+let protocol_conv =
+  Arg.enum
+    [ ("chatter", Chatter); ("ring", Ring); ("broadcast", Broadcast); ("pairwise", Pairwise);
+      ("lineflow", Lineflow) ]
+
+let adversary_conv =
+  Arg.enum
+    [ ("none", None_); ("iid", Iid); ("burst", Burst); ("link", Link); ("hunter", Hunter);
+      ("mpblind", Mpblind) ]
+
+let topology_t = Arg.(value & opt topology_conv Cycle & info [ "topology"; "t" ] ~doc:"Network topology.")
+let parties_t = Arg.(value & opt int 8 & info [ "parties"; "n" ] ~doc:"Number of parties.")
+let scheme_t = Arg.(value & opt string "1" & info [ "scheme"; "s" ] ~doc:"Coding scheme: 1, a, b or c.")
+let protocol_t = Arg.(value & opt protocol_conv Chatter & info [ "protocol"; "p" ] ~doc:"Protocol Pi.")
+let rounds_t = Arg.(value & opt int 300 & info [ "rounds" ] ~doc:"Protocol length in rounds.")
+let adversary_t = Arg.(value & opt adversary_conv Iid & info [ "adversary"; "a" ] ~doc:"Noise model.")
+let rate_t = Arg.(value & opt float 0.001 & info [ "rate" ] ~doc:"Per-slot corruption rate (iid).")
+
+let budget_t =
+  Arg.(value & opt int 1000 & info [ "budget-denom" ] ~doc:"Adaptive budget: 1/DENOM of traffic.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print per-iteration global state.")
+let trials_t = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.")
+let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+
+let run_term =
+  Term.(
+    const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
+    $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ verbose_t)
+
+let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Simulate a protocol over a noisy network with a coding scheme.")
+      run_term;
+    Cmd.v (Cmd.info "info" ~doc:"Show topology and scheme parameters.") info_term;
+  ]
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "mic" ~version:"1.0"
+             ~doc:"Multiparty interactive coding for insertions, deletions and substitutions")
+          cmds))

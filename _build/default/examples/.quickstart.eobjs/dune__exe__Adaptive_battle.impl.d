@@ -1,0 +1,1 @@
+examples/adaptive_battle.ml: Coding Format Protocol Topology Util

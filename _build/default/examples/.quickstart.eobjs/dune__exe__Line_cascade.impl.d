@@ -1,0 +1,1 @@
+examples/line_cascade.ml: Coding Format List Netsim Protocol Topology Util

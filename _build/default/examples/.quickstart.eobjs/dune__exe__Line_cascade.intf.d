@@ -1,0 +1,1 @@
+examples/line_cascade.mli:

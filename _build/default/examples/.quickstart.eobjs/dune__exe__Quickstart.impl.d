@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Coding Format List Netsim Protocol String Topology Util

@@ -1,0 +1,1 @@
+examples/seed_exchange.ml: Array Coding Format Hashing List Netsim Smallbias Topology Util

@@ -1,0 +1,1 @@
+examples/seed_exchange.mli:

@@ -1,0 +1,1 @@
+examples/timing_channel.ml: Format List Netsim String Topology

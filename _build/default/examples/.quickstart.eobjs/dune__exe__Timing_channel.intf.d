@@ -1,0 +1,1 @@
+examples/timing_channel.mli:

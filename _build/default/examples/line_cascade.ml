@@ -1,0 +1,48 @@
+(* The §1.2 motivating scenario: a line network where each phase of the
+   protocol pushes a message from party 0 down to party n−1, after which
+   the two last parties chat.  A single corruption on the *first* link
+   invalidates everything downstream; the interesting part is how the
+   network recovers: the meeting-points mechanism repairs the corrupted
+   link, the flag-passing phase idles everyone while that happens, and
+   the rewind phase propagates a truncation wave so all links re-align.
+
+   This example runs that exact scenario with tracing on and prints the
+   per-iteration global state (G* = globally agreed chunks, H* = longest
+   transcript anywhere, B* = backlog, #MP = links still reconciling).
+
+   Run with:  dune exec examples/line_cascade.exe *)
+
+let () =
+  let n = 6 in
+  let graph = Topology.Graph.line n in
+  let pi = Protocol.Protocols.line_flow ~n ~phases:14 ~chat:6 in
+  let params = Coding.Params.algorithm_1 graph in
+
+  (* One concentrated burst on link 0-1, timed to land mid-simulation. *)
+  let burst_start = 420 in
+  let adversary =
+    Netsim.Adversary.burst (Util.Rng.create 5) ~start_round:burst_start ~len:25
+      ~dirs:[ Topology.Graph.dir_id graph ~src:0 ~dst:1 ]
+  in
+  let result =
+    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 99) params pi adversary
+  in
+
+  Format.printf "Line cascade: burst of 25 corruptions on link 0-1 of a %d-party line@." n;
+  Format.printf "  |Pi| = %d chunks; success = %b; blowup = %.1fx@.@."
+    result.Coding.Scheme.chunks_total result.Coding.Scheme.success
+    result.Coding.Scheme.rate_blowup;
+  Format.printf "  iter   G*   H*   B*  links-in-MP@.";
+  List.iter
+    (fun st ->
+      let marker =
+        if st.Coding.Scheme.b_star > 0 || st.Coding.Scheme.links_in_mp > 0 then "  <- recovering"
+        else ""
+      in
+      Format.printf "  %4d  %3d  %3d  %3d  %5d%s@." st.Coding.Scheme.iteration
+        st.Coding.Scheme.g_star st.Coding.Scheme.h_star st.Coding.Scheme.b_star
+        st.Coding.Scheme.links_in_mp marker)
+    result.Coding.Scheme.trace;
+  Format.printf "@.The burst briefly stalls global progress (B* > 0, links in MP),@.";
+  Format.printf "then the rewind wave re-aligns the line and G* resumes climbing.@.";
+  if not result.Coding.Scheme.success then exit 1

@@ -1,0 +1,1 @@
+lib/coding/attacks.ml: Array Hashtbl List Netsim Option Protocol Scheme Seeds Topology Transcript

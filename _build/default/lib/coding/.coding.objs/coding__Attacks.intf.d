@@ -1,0 +1,1 @@
+lib/coding/attacks.mli: Netsim Scheme Topology

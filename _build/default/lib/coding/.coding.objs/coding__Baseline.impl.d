@@ -1,0 +1,1 @@
+lib/coding/baseline.ml: Array Hashtbl List Netsim Option Pi Protocol Topology Util

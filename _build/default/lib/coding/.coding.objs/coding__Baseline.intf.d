@@ -1,0 +1,1 @@
+lib/coding/baseline.mli: Netsim Protocol Util

@@ -1,0 +1,1 @@
+lib/coding/calibrate.ml: List Netsim Scheme Util

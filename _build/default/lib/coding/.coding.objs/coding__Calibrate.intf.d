@@ -1,0 +1,1 @@
+lib/coding/calibrate.mli: Params Protocol

@@ -1,0 +1,1 @@
+lib/coding/flag_passing.ml: Array Graph Hashtbl List Netsim Topology

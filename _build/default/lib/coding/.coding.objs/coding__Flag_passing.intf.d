@@ -1,0 +1,1 @@
+lib/coding/flag_passing.mli: Netsim Topology

@@ -1,0 +1,1 @@
+lib/coding/meeting_points.ml: Array List

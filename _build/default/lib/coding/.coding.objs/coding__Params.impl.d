@@ -1,0 +1,1 @@
+lib/coding/params.ml: Hashing Topology

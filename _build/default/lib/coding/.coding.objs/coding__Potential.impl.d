@@ -1,0 +1,1 @@
+lib/coding/potential.ml: List Scheme

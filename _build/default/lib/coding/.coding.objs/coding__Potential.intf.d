@@ -1,0 +1,1 @@
+lib/coding/potential.mli: Scheme

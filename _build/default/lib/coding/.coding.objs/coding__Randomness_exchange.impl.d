@@ -1,0 +1,1 @@
+lib/coding/randomness_exchange.ml: Array Char Ecc Int64 Lazy List Netsim Smallbias String Topology Util

@@ -1,0 +1,1 @@
+lib/coding/randomness_exchange.mli: Netsim Smallbias Util

@@ -1,0 +1,1 @@
+lib/coding/replayer.ml: Array Chunking Hashtbl List Option Pi Protocol Topology Transcript

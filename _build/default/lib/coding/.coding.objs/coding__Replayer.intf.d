@@ -1,0 +1,1 @@
+lib/coding/replayer.mli: Protocol Transcript

@@ -1,0 +1,1 @@
+lib/coding/report.ml: Array Format List Params Printf Scheme String

@@ -1,0 +1,1 @@
+lib/coding/report.mli: Format Params Scheme

@@ -1,0 +1,1 @@
+lib/coding/scheme.ml: Array Chunking Flag_passing Hashing Hashtbl List Logs Meeting_points Netsim Option Params Pi Protocol Randomness_exchange Replayer Seeds String Topology Transcript Util

@@ -1,0 +1,1 @@
+lib/coding/scheme.mli: Netsim Params Protocol Seeds Transcript Util

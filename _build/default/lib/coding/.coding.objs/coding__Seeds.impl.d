@@ -1,0 +1,1 @@
+lib/coding/seeds.ml: Hashing Int64

@@ -1,0 +1,1 @@
+lib/coding/seeds.mli: Hashing Util

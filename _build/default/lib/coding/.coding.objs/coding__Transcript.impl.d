@@ -1,0 +1,1 @@
+lib/coding/transcript.ml: Array Util

@@ -1,0 +1,1 @@
+lib/coding/transcript.mli: Util

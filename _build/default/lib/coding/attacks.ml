@@ -1,0 +1,244 @@
+type stats = { mutable attempts : int; mutable hits : int; mutable corruptions_spent : int }
+
+(* Per-simulation-phase working state of the hunter. *)
+type phase_state = {
+  slots : (int * int * int * bool) array; (* (roff, src, dst, is_pad) events of the chunk on the link *)
+  observed : Transcript.symbol option array;
+  cut : int; (* first attackable trailing-pad event index *)
+  trigger_roff : int;
+  base_len : int; (* transcript length (chunks) when the phase began *)
+  mutable plan : (int * (int * int) list) list; (* roff -> (dir, addend) requests *)
+  mutable planned : bool;
+}
+
+let trailing_pads slots depth =
+  let n = Array.length slots in
+  let rec first_pad i =
+    if i > 0 && (fun (_, _, _, p) -> p) slots.(i - 1) then first_pad (i - 1) else i
+  in
+  let start = first_pad n in
+  max start (n - depth)
+
+let collision_hunter ~graph ~edge ~depth ~rate_denom () =
+  if depth < 1 || depth > 8 then invalid_arg "Attacks.collision_hunter: depth in 1..8";
+  let stats = { attempts = 0; hits = 0; corruptions_spent = 0 } in
+  let spy_ref : Scheme.spy option ref = ref None in
+  let hook spy = spy_ref := Some spy in
+  let prev_phase = ref Netsim.Adversary.Idle in
+  let offset = ref (-2) in
+  let state : phase_state option ref = ref None in
+  let enter_phase spy =
+    let view = spy.Scheme.edge_view edge in
+    if not view.Scheme.in_sync then None
+    else begin
+      let chunk_index = Transcript.length view.Scheme.tr_lo + 1 in
+      let slots =
+        Protocol.Chunking.link_slots_full spy.Scheme.spy_chunking ~chunk_index ~edge
+      in
+      let n = Array.length slots in
+      if n = 0 then None
+      else begin
+        let cut = trailing_pads slots depth in
+        if cut >= n then None
+        else
+          let trigger_roff = (fun (r, _, _, _) -> r) slots.(cut) in
+          Some
+            {
+              slots;
+              observed = Array.make n None;
+              cut;
+              trigger_roff;
+              base_len = Transcript.length view.Scheme.tr_lo;
+              plan = [];
+              planned = false;
+            }
+      end
+    end
+  in
+  (* Search for a minimum-cost nonempty change set whose sensitivity masks
+     XOR to zero: candidates are per-event choices keep/flip/delete. *)
+  let search masks_flip masks_del =
+    let d = Array.length masks_flip in
+    let best = ref None in
+    let total = int_of_float (3. ** float_of_int d) in
+    for code = 1 to total - 1 do
+      let x = ref 0 and cost = ref 0 and c = ref code in
+      let choice = Array.make d 0 in
+      for i = 0 to d - 1 do
+        let a = !c mod 3 in
+        c := !c / 3;
+        choice.(i) <- a;
+        if a = 1 then begin
+          x := !x lxor masks_flip.(i);
+          incr cost
+        end
+        else if a = 2 then begin
+          x := !x lxor masks_del.(i);
+          incr cost
+        end
+      done;
+      if !x = 0 && !cost > 0 then
+        match !best with
+        | Some (bc, _) when bc <= !cost -> ()
+        | _ -> best := Some (!cost, Array.copy choice)
+    done;
+    !best
+  in
+  let try_attack spy st budget_left =
+    stats.attempts <- stats.attempts + 1;
+    let view = spy.Scheme.edge_view edge in
+    (* The link must not have changed under us (e.g. a rewind mid-phase
+       cannot happen, but be defensive). *)
+    if Transcript.length view.Scheme.tr_lo <> st.base_len then ()
+    else begin
+      let n = Array.length st.slots in
+      let all_observed = ref true in
+      for i = 0 to st.cut - 1 do
+        if st.observed.(i) = None then all_observed := false
+      done;
+      if !all_observed then begin
+        (* Honest chunk record: observed real events, zero pads after. *)
+        let honest =
+          Array.init n (fun i ->
+              if i < st.cut then Option.get st.observed.(i) else Transcript.sym_bit false)
+        in
+        let base = Transcript.copy view.Scheme.tr_lo in
+        Transcript.push_chunk base ~events:honest;
+        let total_bits = Transcript.serialized_bits base in
+        let sym_bits_start i = Transcript.prefix_bits base st.base_len + 32 + (2 * i) in
+        let iter_next = spy.Scheme.current_iteration () + 1 in
+        let d = n - st.cut in
+        let sens pos =
+          Seeds.prefix_bit_sensitivity view.Scheme.seeds ~iter:iter_next ~field:0 ~total_bits ~pos
+        in
+        let masks_flip = Array.init d (fun j -> sens (sym_bits_start (st.cut + j))) in
+        let masks_del = Array.init d (fun j -> sens (sym_bits_start (st.cut + j) + 1)) in
+        match search masks_flip masks_del with
+        | Some (cost, choice) when cost <= budget_left ->
+            stats.hits <- stats.hits + 1;
+            stats.corruptions_spent <- stats.corruptions_spent + cost;
+            let plan = Hashtbl.create 4 in
+            Array.iteri
+              (fun j a ->
+                if a <> 0 then begin
+                  let roff, src, dst, _ = st.slots.(st.cut + j) in
+                  let dir = Topology.Graph.dir_id graph ~src ~dst in
+                  let addend = if a = 1 then 1 else 2 in
+                  let existing = Option.value ~default:[] (Hashtbl.find_opt plan roff) in
+                  Hashtbl.replace plan roff ((dir, addend) :: existing)
+                end)
+              choice;
+            st.plan <- Hashtbl.fold (fun roff reqs acc -> (roff, reqs) :: acc) plan []
+        | Some _ | None -> ()
+      end
+    end
+  in
+  let strategy ctx =
+    let open Netsim.Adversary in
+    let requests = ref [] in
+    (match (!spy_ref, ctx.phase) with
+    | Some spy, Simulation ->
+        if !prev_phase <> Simulation then begin
+          offset := -1;
+          state := enter_phase spy
+        end
+        else incr offset;
+        (match !state with
+        | Some st when !offset >= 0 ->
+            (* Record this round's honest traffic on the target link. *)
+            Array.iteri
+              (fun i (roff, src, dst, _) ->
+                if roff = !offset then
+                  List.iter
+                    (fun (s, t, bit) ->
+                      if s = src && t = dst then st.observed.(i) <- Some (Transcript.sym_bit bit))
+                    ctx.sends)
+              st.slots;
+            if (not st.planned) && !offset = st.trigger_roff then begin
+              st.planned <- true;
+              try_attack spy st ctx.budget_left
+            end;
+            List.iter (fun (roff, reqs) -> if roff = !offset then requests := reqs @ !requests) st.plan
+        | Some _ | None -> ())
+    | _, _ -> if ctx.phase <> Simulation then state := None);
+    prev_phase := ctx.phase;
+    !requests
+  in
+  ( Netsim.Adversary.Adaptive { budget = (fun cc -> cc / rate_denom); strategy },
+    hook,
+    stats )
+
+let flag_forger ~rate_denom =
+  Netsim.Adversary.Adaptive
+    {
+      budget = (fun cc -> cc / rate_denom);
+      strategy =
+        (fun ctx ->
+          let open Netsim.Adversary in
+          if ctx.phase <> Flag then []
+          else begin
+            (* Flipping a flag bit is addend 1 on 0 (stop→continue is the
+               damaging direction) and addend 2 on 1 (continue→stop). *)
+            let left = ref ctx.budget_left and requests = ref [] in
+            List.iter
+              (fun (src, dst, bit) ->
+                if !left > 0 then begin
+                  requests :=
+                    (Topology.Graph.dir_id ctx.graph ~src ~dst, if bit then 2 else 1)
+                    :: !requests;
+                  decr left
+                end)
+              ctx.sends;
+            !requests
+          end);
+    }
+
+let rewind_spoofer ~rate_denom =
+  Netsim.Adversary.Adaptive
+    {
+      budget = (fun cc -> cc / rate_denom);
+      strategy =
+        (fun ctx ->
+          let open Netsim.Adversary in
+          if ctx.phase <> Rewind then []
+          else begin
+            let busy = Hashtbl.create 8 in
+            List.iter
+              (fun (src, dst, _) ->
+                Hashtbl.replace busy (Topology.Graph.dir_id ctx.graph ~src ~dst) ())
+              ctx.sends;
+            let left = ref ctx.budget_left and requests = ref [] in
+            let two_m = 2 * Topology.Graph.m ctx.graph in
+            for d = 0 to two_m - 1 do
+              (* Insert a spoofed rewind on every silent directed link
+                 (addend 1 on silence inserts a 0-bit — any bit received
+                 in the rewind phase is a rewind request). *)
+              if (not (Hashtbl.mem busy d)) && !left > 0 then begin
+                requests := (d, 1) :: !requests;
+                decr left
+              end
+            done;
+            !requests
+          end);
+    }
+
+let mp_blind ~rate_denom =
+  Netsim.Adversary.Adaptive
+    {
+      budget = (fun cc -> cc / rate_denom);
+      strategy =
+        (fun ctx ->
+          let open Netsim.Adversary in
+          if ctx.phase <> Meeting_points then []
+          else begin
+            let left = ref ctx.budget_left and requests = ref [] in
+            List.iter
+              (fun (src, dst, _) ->
+                if !left > 0 then begin
+                  requests := (Topology.Graph.dir_id ctx.graph ~src ~dst, 1) :: !requests;
+                  decr left
+                end)
+              ctx.sends;
+            !requests
+          end);
+    }

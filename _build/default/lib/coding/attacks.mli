@@ -1,0 +1,57 @@
+(** Scheme-aware adversaries: the non-oblivious attacks of §6.1.
+
+    The decisive attack against constant-length hashes is the {e hash
+    collision hunter}.  A non-oblivious adversary knows the hash seeds
+    in advance, so before corrupting a chunk it can search for a
+    corruption pattern whose two resulting transcripts — the sender's
+    honest one and the receiver's corrupted one — hash to the {e same}
+    τ-bit value in the next consistency check.  Such a corruption is
+    invisible to the meeting-points mechanism for at least one
+    iteration, giving wasted communication at unit cost.  The search is
+    over the chunk's virtual-padding transmissions on the target link
+    (whose honest content, always 0, is predictable), and exploits the
+    GF(2)-linearity of the inner-product hash: each single-bit change
+    contributes a fixed τ-bit mask, so a hidden corruption is exactly a
+    nonempty sub-collection of masks XOR-ing to zero.
+
+    With τ = Θ(1) (Algorithm 1 outside its oblivious contract) such
+    collections exist in almost every chunk; with τ = Θ(log m)
+    (Algorithm B) they exist with probability 1/poly(m) — which is the
+    quantitative content of Theorem 1.2's parameter choice, and what
+    experiment E7 measures. *)
+
+type stats = {
+  mutable attempts : int;  (** chunks examined *)
+  mutable hits : int;  (** hidden corruptions committed *)
+  mutable corruptions_spent : int;
+}
+
+val collision_hunter :
+  graph:Topology.Graph.t ->
+  edge:int ->
+  depth:int ->
+  rate_denom:int ->
+  unit ->
+  Netsim.Adversary.t * (Scheme.spy -> unit) * stats
+(** [collision_hunter ~graph ~edge ~depth ~rate_denom ()] targets
+    one link; [depth] bounds
+    how many trailing padding transmissions per chunk the search may
+    alter (candidate space 3^depth); the budget is 1/[rate_denom] of
+    the communication so far.  Returns the adversary, the spy hook to
+    pass to {!Scheme.run}, and live statistics. *)
+
+val mp_blind : rate_denom:int -> Netsim.Adversary.t
+(** A cruder non-oblivious attack for comparison: corrupt
+    consistency-check traffic (hash messages) at every opportunity the
+    budget allows, blinding the meeting-points mechanism rather than
+    fooling it. *)
+
+val flag_forger : rate_denom:int -> Netsim.Adversary.t
+(** Corrupt flag-passing traffic: flip continue↔stop bits on the
+    spanning tree, trying to make the network idle when it should run
+    and run when it should idle (the attack surface of Algorithm 3). *)
+
+val rewind_spoofer : rate_denom:int -> Netsim.Adversary.t
+(** Inject rewind requests into silent rewind-phase slots: every
+    accepted spoof makes the victim truncate a correct chunk (Line
+    33-38's attack surface).  Insertion noise in its purest form. *)

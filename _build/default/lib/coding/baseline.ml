@@ -1,0 +1,82 @@
+open Protocol
+
+type result = {
+  success : bool;
+  outputs : int array;
+  reference : int array;
+  cc : int;
+  cc_pi : int;
+  rate_blowup : float;
+  corruptions : int;
+  noise_fraction : float;
+}
+
+let finish net pi ~outputs ~reference =
+  let cc = Netsim.Network.cc net in
+  let cc_pi = Pi.cc pi in
+  {
+    success = outputs = reference;
+    outputs;
+    reference;
+    cc;
+    cc_pi;
+    rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
+    corruptions = Netsim.Network.corruptions net;
+    noise_fraction = Netsim.Network.noise_fraction net;
+  }
+
+let default_inputs rng n = Array.init n (fun _ -> Util.Rng.int rng 65536)
+
+let uncoded ?inputs ~rng pi adversary =
+  Pi.validate pi;
+  let n = Topology.Graph.n pi.Pi.graph in
+  let inputs = match inputs with Some i -> i | None -> default_inputs rng n in
+  let reference = Pi.run_noiseless pi ~inputs in
+  let net = Netsim.Network.create pi.Pi.graph adversary in
+  let machines = Array.init n (fun party -> pi.Pi.spawn ~party ~input:inputs.(party)) in
+  for r = 0 to pi.Pi.rounds - 1 do
+    let scheduled = pi.Pi.sends_at r in
+    let sends = List.map (fun (u, v) -> (u, v, machines.(u).Pi.send ~round:r ~dst:v)) scheduled in
+    let delivered = Netsim.Network.round net ~sends in
+    let got = Hashtbl.create 8 in
+    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
+    (* Receivers expect exactly the scheduled transmissions; a deletion
+       reads as 0, insertions outside the schedule are ignored. *)
+    List.iter
+      (fun (u, v) ->
+        let bit = Option.value ~default:false (Hashtbl.find_opt got (u, v)) in
+        machines.(v).Pi.recv ~round:r ~src:u bit)
+      scheduled
+  done;
+  finish net pi ~outputs:(Array.map (fun mc -> mc.Pi.output ()) machines) ~reference
+
+let repetition ?inputs ~rng ~rep pi adversary =
+  if rep < 1 || rep mod 2 = 0 then invalid_arg "Baseline.repetition: rep must be odd";
+  Pi.validate pi;
+  let n = Topology.Graph.n pi.Pi.graph in
+  let inputs = match inputs with Some i -> i | None -> default_inputs rng n in
+  let reference = Pi.run_noiseless pi ~inputs in
+  let net = Netsim.Network.create pi.Pi.graph adversary in
+  let machines = Array.init n (fun party -> pi.Pi.spawn ~party ~input:inputs.(party)) in
+  for r = 0 to pi.Pi.rounds - 1 do
+    let scheduled = pi.Pi.sends_at r in
+    let sends = List.map (fun (u, v) -> (u, v, machines.(u).Pi.send ~round:r ~dst:v)) scheduled in
+    (* Each logical round becomes [rep] network rounds; receivers
+       majority-vote over the copies that arrive. *)
+    let votes = Hashtbl.create 8 in
+    for _copy = 1 to rep do
+      let delivered = Netsim.Network.round net ~sends in
+      List.iter
+        (fun (src, dst, bit) ->
+          let key = (src, dst) in
+          let ones, seen = Option.value ~default:(0, 0) (Hashtbl.find_opt votes key) in
+          Hashtbl.replace votes key ((ones + if bit then 1 else 0), seen + 1))
+        delivered
+    done;
+    List.iter
+      (fun (u, v) ->
+        let ones, seen = Option.value ~default:(0, 0) (Hashtbl.find_opt votes (u, v)) in
+        machines.(v).Pi.recv ~round:r ~src:u (2 * ones > seen))
+      scheduled
+  done;
+  finish net pi ~outputs:(Array.map (fun mc -> mc.Pi.output ()) machines) ~reference

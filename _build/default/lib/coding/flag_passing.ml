@@ -1,0 +1,54 @@
+open Topology
+
+let rounds_needed (tree : Graph.tree) = 2 * (tree.Graph.depth - 1)
+
+let run net ~(tree : Graph.tree) ~statuses =
+  let n = Array.length statuses in
+  let d = tree.Graph.depth in
+  let agg = Array.copy statuses in
+  (* Upward convergecast: nodes at level d - r speak in round r; a parent
+     has heard all its children before its own sending round. *)
+  for r = 0 to d - 2 do
+    let sender_level = d - r in
+    let sends = ref [] in
+    for v = 0 to n - 1 do
+      if v <> tree.Graph.root && tree.Graph.level.(v) = sender_level then
+        sends := (v, tree.Graph.parent.(v), agg.(v)) :: !sends
+    done;
+    let delivered = Netsim.Network.round net ~sends:!sends in
+    (* A parent expects a flag from each child at the sender level; a
+       missing flag reads as stop. *)
+    let got = Hashtbl.create 8 in
+    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
+    for p = 0 to n - 1 do
+      Array.iter
+        (fun c ->
+          if tree.Graph.level.(c) = sender_level then
+            match Hashtbl.find_opt got (c, p) with
+            | Some bit -> agg.(p) <- agg.(p) && bit
+            | None -> agg.(p) <- false)
+        tree.Graph.children.(p)
+    done
+  done;
+  (* Downward broadcast: level ℓ speaks in round (d - 1) + (ℓ - 1);
+     every node forwards its own netCorrect, not the raw bit. *)
+  let net_correct = Array.make n false in
+  net_correct.(tree.Graph.root) <- agg.(tree.Graph.root);
+  for ell = 1 to d - 1 do
+    let sends = ref [] in
+    for v = 0 to n - 1 do
+      if tree.Graph.level.(v) = ell then
+        Array.iter (fun c -> sends := (v, c, net_correct.(v)) :: !sends) tree.Graph.children.(v)
+    done;
+    let delivered = Netsim.Network.round net ~sends:!sends in
+    let got = Hashtbl.create 8 in
+    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
+    for v = 0 to n - 1 do
+      if v <> tree.Graph.root && tree.Graph.level.(v) = ell + 1 then
+        net_correct.(v) <-
+          (match Hashtbl.find_opt got (tree.Graph.parent.(v), v) with
+          | Some bit -> bit && statuses.(v)
+          | None -> false)
+    done
+  done;
+  net_correct

@@ -1,0 +1,20 @@
+(** The flag-passing phase (Algorithm 3): convergecast of continue/idle
+    flags up a BFS spanning tree, then broadcast of the verdict back
+    down, over the noisy network.
+
+    One bit per tree link per direction; levels are scheduled so a node
+    hears all its children before speaking (the paper's sleep schedule).
+    Noise semantics: a deleted or missing flag reads as {e stop} — the
+    conservative direction (idling costs an iteration; wrongly continuing
+    costs communication) — while an inserted or flipped bit can of course
+    forge either verdict, which is exactly the attack surface the
+    analysis charges to the adversary. *)
+
+val rounds_needed : Topology.Graph.tree -> int
+(** 2·(depth − 1): the a-priori fixed length of the phase. *)
+
+val run :
+  Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array
+(** [run net ~tree ~statuses] executes the phase; [statuses.(u)] is
+    status_u (true = continue).  Returns netCorrect per party: with no
+    noise, every entry is [for_all statuses]. *)

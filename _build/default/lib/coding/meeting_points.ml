@@ -1,0 +1,113 @@
+type status = Simulate | Meeting_points
+
+type t = {
+  mutable k : int;
+  mutable e : int; (* the transition counter E of Algorithm 2 *)
+  mutable mpc1 : int;
+  mutable mpc2 : int;
+  mutable mp1 : int;
+  mutable mp2 : int;
+  mutable status : status;
+}
+
+type message = { hk : int; hp1 : int; hp2 : int; ht1 : int; ht2 : int }
+
+type hasher = { h_int : field:int -> int -> int; h_prefix : field:int -> int -> int }
+
+let create () = { k = 0; e = 0; mpc1 = 0; mpc2 = 0; mp1 = 0; mp2 = 0; status = Simulate }
+
+let status t = t.status
+let k t = t.k
+
+let message_bits ~tau = 5 * tau
+
+let encode_message ~tau msg =
+  let field v = List.init tau (fun j -> (v lsr j) land 1 = 1) in
+  List.concat [ field msg.hk; field msg.hp1; field msg.hp2; field msg.ht1; field msg.ht2 ]
+
+let decode_message ~tau bits =
+  let arr = Array.of_list bits in
+  if Array.length arr <> 5 * tau then invalid_arg "Meeting_points.decode_message: wrong length";
+  let field i =
+    let v = ref 0 in
+    for j = 0 to tau - 1 do
+      match arr.((i * tau) + j) with Some true -> v := !v lor (1 lsl j) | Some false | None -> ()
+    done;
+    !v
+  in
+  { hk = field 0; hp1 = field 1; hp2 = field 2; ht1 = field 3; ht2 = field 4 }
+
+(* κ = 2^⌈log₂ k⌉ for k ≥ 1. *)
+let scale k =
+  let rec go kappa = if kappa >= k then kappa else go (2 * kappa) in
+  go 1
+
+let reset_process t =
+  t.k <- 0;
+  t.e <- 0;
+  t.mpc1 <- 0;
+  t.mpc2 <- 0
+
+let prepare t hasher ~len =
+  t.k <- t.k + 1;
+  let kappa = scale t.k in
+  let mp1 = kappa * (len / kappa) in
+  let mp2 = max 0 (mp1 - kappa) in
+  (* Vote counters are tied to positions: a counter restarts whenever its
+     candidate moved (scale change, truncation, or transcript growth). *)
+  if mp1 <> t.mp1 then begin
+    t.mp1 <- mp1;
+    t.mpc1 <- 0
+  end;
+  if mp2 <> t.mp2 then begin
+    t.mp2 <- mp2;
+    t.mpc2 <- 0
+  end;
+  {
+    hk = hasher.h_int ~field:0 t.k;
+    hp1 = hasher.h_int ~field:1 t.mp1;
+    hp2 = hasher.h_int ~field:2 t.mp2;
+    ht1 = hasher.h_prefix ~field:0 t.mp1;
+    ht2 = hasher.h_prefix ~field:1 t.mp2;
+  }
+
+let process t hasher ~len msg =
+  let matches_position p =
+    (* Does either of the peer's candidates verifiably equal my position p
+       with an identical prefix? *)
+    (msg.hp1 = hasher.h_int ~field:1 p && msg.ht1 = hasher.h_prefix ~field:0 p)
+    || (msg.hp2 = hasher.h_int ~field:2 p && msg.ht2 = hasher.h_prefix ~field:1 p)
+  in
+  let k_agrees = msg.hk = hasher.h_int ~field:0 t.k in
+  let decision = ref `Keep in
+  if not k_agrees then t.e <- t.e + 1
+  else begin
+    let m1 = matches_position t.mp1 and m2 = matches_position t.mp2 in
+    if m1 then t.mpc1 <- t.mpc1 + 1;
+    if m2 then t.mpc2 <- t.mpc2 + 1;
+    if t.k = 1 && t.mp1 = len && m1 then begin
+      (* Fresh check, full-length candidate, verified equal: in sync. *)
+      reset_process t;
+      t.status <- Simulate
+    end
+  end;
+  if t.k > 0 then begin
+    t.status <- Meeting_points;
+    let kappa = scale t.k in
+    if t.k = kappa then begin
+      (* Scale boundary: decide. *)
+      if 2 * t.e >= t.k then reset_process t
+      else begin
+        let threshold = max 1 (kappa / 4) in
+        if t.mpc1 >= threshold then begin
+          decision := `Truncate_to t.mp1;
+          reset_process t
+        end
+        else if t.mpc2 >= threshold then begin
+          decision := `Truncate_to t.mp2;
+          reset_process t
+        end
+      end
+    end
+  end;
+  !decision

@@ -1,0 +1,30 @@
+type constants = { c1 : float; c_mp : float; c7 : float }
+
+let default_constants = { c1 = 2.; c_mp = 2.; c7 = 60. }
+
+let phi cst ~k ~m st =
+  let fk = float_of_int k in
+  (fk /. float_of_int m *. float_of_int st.Scheme.sum_g)
+  -. (cst.c_mp *. fk *. float_of_int st.Scheme.sum_b)
+  -. (cst.c1 *. fk *. float_of_int st.Scheme.b_star)
+  +. (cst.c7 *. fk *. float_of_int st.Scheme.corruptions)
+
+let increments ?(constants = default_constants) ~k ~m trace =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go ((phi constants ~k ~m b -. phi constants ~k ~m a) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] trace
+
+let check_clean_exact ?(constants = default_constants) ~k ~m trace =
+  List.for_all
+    (fun delta -> abs_float (delta -. float_of_int k) < 1e-6)
+    (increments ~constants ~k ~m trace)
+
+let check_amortized ?(constants = default_constants) ~k ~m trace =
+  match trace with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      phi constants ~k ~m last -. phi constants ~k ~m first
+      >= (float_of_int (k * (List.length rest)) -. 1e-6)

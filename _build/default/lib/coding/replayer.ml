@@ -1,0 +1,86 @@
+open Protocol
+
+type t = {
+  ch : Chunking.t;
+  party : int;
+  input : int;
+  neighbors : int array;
+  mutable cached : (Pi.machine * int * int array) option;
+      (* machine after replaying chunks 1..upto, plus each neighbor
+         transcript's version at store time: any truncation since then
+         bumps a version and invalidates the cache *)
+}
+
+let create ch ~party ~input ~neighbors = { ch; party; input; neighbors; cached = None }
+
+let versions t transcripts = Array.map (fun nbr -> Transcript.version (transcripts nbr)) t.neighbors
+
+(* Feed one chunk into the machine: sends are recomputed, receives come
+   from the recorded transcript symbols (∗ reads as 0).  Within a round
+   all sends happen before any receive, mirroring both the noiseless
+   executor and the live simulation phase. *)
+let feed_chunk t machine transcripts c =
+  if c <= Chunking.n_real t.ch then begin
+    let graph = (Chunking.pi t.ch).Pi.graph in
+    let chunk = Chunking.chunk t.ch c in
+    (* Per-link cursor into the chunk's event record. *)
+    let cursors = Hashtbl.create 8 in
+    let next_index edge =
+      let i = Option.value ~default:0 (Hashtbl.find_opt cursors edge) in
+      Hashtbl.replace cursors edge (i + 1);
+      i
+    in
+    Array.iter
+      (fun slots ->
+        let mine =
+          List.filter (fun s -> s.Chunking.src = t.party || s.Chunking.dst = t.party) slots
+        in
+        List.iter
+          (fun s ->
+            match s.Chunking.pi_round with
+            | Some r when s.Chunking.src = t.party ->
+                ignore (machine.Pi.send ~round:r ~dst:s.Chunking.dst)
+            | Some _ | None -> ())
+          mine;
+        List.iter
+          (fun s ->
+            let edge = Topology.Graph.edge_id graph s.Chunking.src s.Chunking.dst in
+            let i = next_index edge in
+            if s.Chunking.dst = t.party then
+              match s.Chunking.pi_round with
+              | Some r ->
+                  let ev = Transcript.events (transcripts s.Chunking.src) c in
+                  let bit =
+                    if i < Array.length ev then
+                      Option.value ~default:false (Transcript.sym_to_bit ev.(i))
+                    else false
+                  in
+                  machine.Pi.recv ~round:r ~src:s.Chunking.src bit
+              | None -> ())
+          mine)
+      chunk.Chunking.rounds
+  end
+
+let machine_at t ~transcripts ~upto =
+  let machine, from =
+    match t.cached with
+    | Some (machine, c_upto, vsnap) when c_upto <= upto && vsnap = versions t transcripts ->
+        (machine, c_upto + 1)
+    | Some _ | None -> ((Chunking.pi t.ch).Pi.spawn ~party:t.party ~input:t.input, 1)
+  in
+  (* Ownership moves to the caller, who may advance the machine through
+     live simulation; it must re-[store] it to re-enable caching. *)
+  t.cached <- None;
+  for c = from to upto do
+    feed_chunk t machine transcripts c
+  done;
+  machine
+
+let store t ~machine ~upto ~transcripts =
+  t.cached <- Some (machine, upto, versions t transcripts)
+
+let output t ~transcripts ~upto =
+  let machine = machine_at t ~transcripts ~upto in
+  let result = machine.Pi.output () in
+  store t ~machine ~upto ~transcripts;
+  result

@@ -1,0 +1,557 @@
+open Protocol
+
+let log_src = Logs.Src.create "mic.scheme" ~doc:"Coding-scheme execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type iter_stat = {
+  iteration : int;
+  g_star : int;
+  h_star : int;
+  b_star : int;
+  sum_g : int;
+  sum_b : int;
+  links_in_mp : int;
+  mp_k_total : int;
+  cc : int;
+  corruptions : int;
+}
+
+type result = {
+  success : bool;
+  outputs : int array;
+  reference : int array;
+  cc : int;
+  cc_pi : int;
+  rate_blowup : float;
+  rounds : int;
+  corruptions : int;
+  noise_fraction : float;
+  iterations_run : int;
+  chunks_total : int;
+  exchange_failures : int;
+  chunks_rewound : int;
+  trace : iter_stat list;
+}
+
+type link_state = {
+  peer : int;
+  edge : int;
+  tr : Transcript.t;
+  mp : Meeting_points.t;
+  seeds : Seeds.t;
+  mutable already_rewound : bool;
+  mutable bot : bool;
+  mutable out_msg : bool array; (* outgoing MP message bits *)
+  mutable in_msg : bool option array; (* incoming MP message bits *)
+  mutable sent_log : bool option array; (* per chunk-round offset *)
+  mutable recv_log : bool option array;
+}
+
+type party_state = {
+  id : int;
+  links : link_state array;
+  by_peer : int array; (* neighbor id -> index into links; -1 if absent *)
+  repl : Replayer.t;
+  mutable status : bool;
+  mutable net_correct : bool;
+}
+
+let iterations_of params n_real =
+  (params.Params.iteration_factor * n_real) + params.Params.extra_iterations
+
+let phase_round_counts params ch tree =
+  let n = Topology.Graph.n (Chunking.pi ch).Pi.graph in
+  let mp = 5 * params.Params.tau in
+  let flag = if params.Params.flag_passing then Flag_passing.rounds_needed tree else 0 in
+  let sim = 1 + Chunking.max_rounds ch in
+  let rewind = if params.Params.rewind then n else 0 in
+  (mp, flag, sim, rewind)
+
+let planned_rounds params pi =
+  let ch = Chunking.make pi ~k:params.Params.k in
+  let tree = Topology.Graph.bfs_tree pi.Pi.graph in
+  let mp, flag, sim, rewind = phase_round_counts params ch tree in
+  let per_iter = mp + flag + sim + rewind in
+  let exchange =
+    match params.Params.seed_mode with
+    | Params.Crs -> 0
+    | Params.Exchange -> Randomness_exchange.rounds_needed ()
+  in
+  exchange + (iterations_of params (Chunking.n_real ch) * per_iter)
+
+let transcripts_fn p = fun nbr -> p.links.(p.by_peer.(nbr)).tr
+
+(* The hasher memoizes per (field, argument): within one iteration the
+   meeting-points step hashes the same prefixes in [prepare] and again in
+   [process], and with δ-biased seeds each transcript-prefix hash costs a
+   pass over the expanded seed, so the cache matters. *)
+let hasher_for l ~iter =
+  let int_cache = Hashtbl.create 8 and prefix_cache = Hashtbl.create 8 in
+  Meeting_points.
+    {
+      h_int =
+        (fun ~field v ->
+          match Hashtbl.find_opt int_cache (field, v) with
+          | Some h -> h
+          | None ->
+              let h = Seeds.hash_int l.seeds ~iter ~field v in
+              Hashtbl.replace int_cache (field, v) h;
+              h);
+      h_prefix =
+        (fun ~field prefix_chunks ->
+          match Hashtbl.find_opt prefix_cache (field, prefix_chunks) with
+          | Some h -> h
+          | None ->
+              let h =
+                Seeds.hash_prefix l.seeds ~iter ~field (Transcript.serialized l.tr)
+                  ~bits:(Transcript.prefix_bits l.tr prefix_chunks)
+              in
+              Hashtbl.replace prefix_cache (field, prefix_chunks) h;
+              h);
+    }
+
+(* ---------- phase executors ---------- *)
+
+let meeting_points_phase net parties ~iter ~tau =
+  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
+  let mp_rounds = Meeting_points.message_bits ~tau in
+  let lens = Hashtbl.create 64 in
+  let hashers = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun l ->
+          let len = Transcript.length l.tr in
+          let hasher = hasher_for l ~iter in
+          Hashtbl.replace lens (p.id, l.peer) len;
+          Hashtbl.replace hashers (p.id, l.peer) hasher;
+          let msg = Meeting_points.prepare l.mp hasher ~len in
+          l.out_msg <- Array.of_list (Meeting_points.encode_message ~tau msg);
+          l.in_msg <- Array.make mp_rounds None)
+        p.links)
+    parties;
+  for t = 0 to mp_rounds - 1 do
+    let sends = ref [] in
+    Array.iter
+      (fun p -> Array.iter (fun l -> sends := (p.id, l.peer, l.out_msg.(t)) :: !sends) p.links)
+      parties;
+    let delivered = Netsim.Network.round net ~sends:!sends in
+    List.iter
+      (fun (src, dst, bit) ->
+        let q = parties.(dst) in
+        let li = q.by_peer.(src) in
+        if li >= 0 then q.links.(li).in_msg.(t) <- Some bit)
+      delivered
+  done;
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun l ->
+          let len = Hashtbl.find lens (p.id, l.peer) in
+          let msg = Meeting_points.decode_message ~tau (Array.to_list l.in_msg) in
+          match Meeting_points.process l.mp (Hashtbl.find hashers (p.id, l.peer)) ~len msg with
+          | `Keep -> ()
+          | `Truncate_to x -> Transcript.truncate l.tr x)
+        p.links)
+    parties
+
+let compute_statuses parties =
+  Array.map
+    (fun p ->
+      let in_mp =
+        Array.exists (fun l -> Meeting_points.status l.mp = Meeting_points.Meeting_points) p.links
+      in
+      let lens = Array.map (fun l -> Transcript.length l.tr) p.links in
+      let equal_lens = Array.for_all (fun x -> x = lens.(0)) lens in
+      let status = (not in_mp) && equal_lens in
+      p.status <- status;
+      status)
+    parties
+
+let simulation_phase net parties ch ~iter ~n_real =
+  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
+  let max_r = Chunking.max_rounds ch in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun l ->
+          l.bot <- false;
+          l.sent_log <- Array.make max_r None;
+          l.recv_log <- Array.make max_r None)
+        p.links)
+    parties;
+  (* ⊥ round: idling parties announce, everyone listens (Line 16/23). *)
+  let bot_sends = ref [] in
+  Array.iter
+    (fun p ->
+      if not p.net_correct then
+        Array.iter (fun l -> bot_sends := (p.id, l.peer, true) :: !bot_sends) p.links)
+    parties;
+  List.iter
+    (fun (src, dst, _) ->
+      let q = parties.(dst) in
+      let li = q.by_peer.(src) in
+      if li >= 0 then q.links.(li).bot <- true)
+    (Netsim.Network.round net ~sends:!bot_sends);
+  (* Participants set up their live chunk simulation. *)
+  let participants =
+    Array.to_list parties
+    |> List.filter_map (fun p ->
+           if not p.net_correct then None
+           else begin
+             let min_len =
+               Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+             in
+             let c = min_len + 1 in
+             let machine =
+               if c <= n_real then
+                 Some (Replayer.machine_at p.repl ~transcripts:(transcripts_fn p) ~upto:(c - 1))
+               else None
+             in
+             Some (p, c, machine, Chunking.chunk ch c)
+           end)
+  in
+  for t = 0 to max_r - 1 do
+    let sends = ref [] in
+    List.iter
+      (fun (p, _, machine, sched) ->
+        if t < Array.length sched.Chunking.rounds then
+          List.iter
+            (fun slot ->
+              if slot.Chunking.src = p.id then begin
+                let bit =
+                  match (slot.Chunking.pi_round, machine) with
+                  | Some r, Some mc -> mc.Pi.send ~round:r ~dst:slot.Chunking.dst
+                  | Some r, None ->
+                      ignore r;
+                      false
+                  | None, _ -> false
+                in
+                let l = p.links.(p.by_peer.(slot.Chunking.dst)) in
+                if not l.bot then begin
+                  sends := (p.id, slot.Chunking.dst, bit) :: !sends;
+                  l.sent_log.(t) <- Some bit
+                end
+              end)
+            sched.Chunking.rounds.(t))
+      participants;
+    let delivered = Netsim.Network.round net ~sends:!sends in
+    List.iter
+      (fun (src, dst, bit) ->
+        let q = parties.(dst) in
+        if q.net_correct then begin
+          let li = q.by_peer.(src) in
+          if li >= 0 then q.links.(li).recv_log.(t) <- Some bit
+        end)
+      delivered;
+    (* Feed the live machines, sends-before-receives per round. *)
+    List.iter
+      (fun (p, _, machine, sched) ->
+        match machine with
+        | None -> ()
+        | Some mc ->
+            if t < Array.length sched.Chunking.rounds then
+              List.iter
+                (fun slot ->
+                  if slot.Chunking.dst = p.id then
+                    match slot.Chunking.pi_round with
+                    | Some r ->
+                        let l = p.links.(p.by_peer.(slot.Chunking.src)) in
+                        let bit =
+                          if l.bot then false
+                          else Option.value ~default:false l.recv_log.(t)
+                        in
+                        mc.Pi.recv ~round:r ~src:slot.Chunking.src bit
+                    | None -> ())
+                sched.Chunking.rounds.(t))
+      participants
+  done;
+  (* Record the observed chunk on every non-⊥ link (Tu,v grows by one
+     chunk, laid out by the schedule of the chunk the *link* expects). *)
+  List.iter
+    (fun (p, c, machine, _) ->
+      let all_aligned = ref true in
+      Array.iter
+        (fun l ->
+          if l.bot then all_aligned := false
+          else begin
+            let e = Transcript.length l.tr + 1 in
+            if e <> c then all_aligned := false;
+            let slots = Chunking.link_slots ch ~chunk_index:e ~edge:l.edge in
+            let events =
+              Array.map
+                (fun (roff, src, _) ->
+                  let log = if src = p.id then l.sent_log else l.recv_log in
+                  match if roff < Array.length log then log.(roff) else None with
+                  | Some b -> Transcript.sym_bit b
+                  | None -> Transcript.sym_star)
+                slots
+            in
+            Transcript.push_chunk l.tr ~events
+          end)
+        p.links;
+      match machine with
+      | Some mc when !all_aligned && c <= n_real ->
+          Replayer.store p.repl ~machine:mc ~upto:c ~transcripts:(transcripts_fn p)
+      | _ -> ())
+    participants
+
+let rewind_phase net parties ~iter =
+  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
+  let n = Array.length parties in
+  for _round = 1 to n do
+    (* Plan sends from the state at round start (Line 27-31). *)
+    let plans = ref [] in
+    Array.iter
+      (fun p ->
+        let min_len =
+          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+        in
+        Array.iter
+          (fun l ->
+            if
+              Meeting_points.status l.mp <> Meeting_points.Meeting_points
+              && (not l.already_rewound)
+              && Transcript.length l.tr > min_len
+            then plans := (p, l) :: !plans)
+          p.links)
+      parties;
+    let sends = List.map (fun (p, l) -> (p.id, l.peer, true)) !plans in
+    List.iter
+      (fun (_, l) ->
+        Transcript.truncate l.tr (Transcript.length l.tr - 1);
+        l.already_rewound <- true)
+      !plans;
+    let delivered = Netsim.Network.round net ~sends in
+    (* Any symbol received in a rewind round is a rewind request —
+       insertions forge them, deletions suppress them (Line 33-38). *)
+    List.iter
+      (fun (src, dst, _bit) ->
+        let q = parties.(dst) in
+        let li = q.by_peer.(src) in
+        if li >= 0 then begin
+          let l = q.links.(li) in
+          if
+            Meeting_points.status l.mp <> Meeting_points.Meeting_points
+            && not l.already_rewound
+          then begin
+            if Transcript.length l.tr > 0 then
+              Transcript.truncate l.tr (Transcript.length l.tr - 1);
+            l.already_rewound <- true
+          end
+        end)
+      delivered
+  done
+
+(* ---------- global instrumentation (simulator-side only) ---------- *)
+
+let stats_of net parties graph ~iteration =
+  let edges = Topology.Graph.edges graph in
+  let g_star = ref max_int and h_star = ref 0 and sum_g = ref 0 and links_in_mp = ref 0 in
+  let mp_k_total = ref 0 and sum_b = ref 0 in
+  Array.iter
+    (fun (u, v) ->
+      let lu = parties.(u).links.(parties.(u).by_peer.(v)) in
+      let lv = parties.(v).links.(parties.(v).by_peer.(u)) in
+      let g = Transcript.equal_prefix lu.tr lv.tr in
+      g_star := min !g_star g;
+      sum_g := !sum_g + g;
+      sum_b := !sum_b + (max (Transcript.length lu.tr) (Transcript.length lv.tr) - g);
+      h_star := max !h_star (max (Transcript.length lu.tr) (Transcript.length lv.tr));
+      mp_k_total := !mp_k_total + Meeting_points.k lu.mp + Meeting_points.k lv.mp;
+      if
+        Meeting_points.status lu.mp = Meeting_points.Meeting_points
+        || Meeting_points.status lv.mp = Meeting_points.Meeting_points
+      then incr links_in_mp)
+    edges;
+  let g_star = if !g_star = max_int then 0 else !g_star in
+  {
+    iteration;
+    g_star;
+    h_star = !h_star;
+    b_star = !h_star - g_star;
+    sum_g = !sum_g;
+    sum_b = !sum_b;
+    links_in_mp = !links_in_mp;
+    mp_k_total = !mp_k_total;
+    cc = Netsim.Network.cc net;
+    corruptions = Netsim.Network.corruptions net;
+  }
+
+let all_done parties graph ~n_real =
+  Array.for_all
+    (fun (u, v) ->
+      let lu = parties.(u).links.(parties.(u).by_peer.(v)) in
+      let lv = parties.(v).links.(parties.(v).by_peer.(u)) in
+      Transcript.equal_prefix lu.tr lv.tr >= n_real)
+    (Topology.Graph.edges graph)
+
+(* ---------- adversary spy (non-oblivious model, §6) ---------- *)
+
+type edge_view = {
+  tr_lo : Transcript.t;
+  tr_hi : Transcript.t;
+  seeds : Seeds.t;
+  in_sync : bool;
+}
+
+type spy = {
+  spy_chunking : Protocol.Chunking.t;
+  current_iteration : unit -> int;
+  edge_view : int -> edge_view;
+}
+
+(* ---------- main entry ---------- *)
+
+let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
+  Pi.validate pi;
+  let graph = pi.Pi.graph in
+  let n = Topology.Graph.n graph and m = Topology.Graph.m graph in
+  let inputs =
+    match inputs with
+    | Some i ->
+        if Array.length i <> n then invalid_arg "Scheme.run: wrong input count";
+        i
+    | None -> Array.init n (fun _ -> Util.Rng.int rng 65536)
+  in
+  let reference = Pi.run_noiseless pi ~inputs in
+  let ch = Chunking.make pi ~k:params.Params.k in
+  let n_real = Chunking.n_real ch in
+  let iterations = iterations_of params n_real in
+  let horizon = n_real + iterations + 2 in
+  let wmax = Chunking.max_transcript_words ch ~horizon in
+  let tree = Topology.Graph.bfs_tree graph in
+  let net = Netsim.Network.create graph adversary in
+  (* Randomness: CRS or per-link exchange (Algorithm 5). *)
+  let exchange_failures = ref 0 in
+  let seeds_for =
+    match params.Params.seed_mode with
+    | Params.Crs ->
+        let key = Util.Rng.int64 rng in
+        fun ~edge ~lower:_ ->
+          Seeds.make ~stream:(Hashing.Seed_stream.uniform ~key) ~tau:params.Params.tau ~wmax
+            ~slot:edge ~slots:m
+    | Params.Exchange ->
+        Netsim.Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
+        let outcomes = Randomness_exchange.run net ~rng in
+        Array.iter (fun o -> if not o.Randomness_exchange.ok then incr exchange_failures) outcomes;
+        fun ~edge ~lower ->
+          let o = outcomes.(edge) in
+          let gen = if lower then o.Randomness_exchange.lo_gen else o.Randomness_exchange.hi_gen in
+          Seeds.make ~stream:(Hashing.Seed_stream.biased gen) ~tau:params.Params.tau ~wmax ~slot:0
+            ~slots:1
+  in
+  let parties =
+    Array.init n (fun id ->
+        let neighbors = Topology.Graph.neighbors graph id in
+        let by_peer = Array.make n (-1) in
+        Array.iteri (fun i nbr -> by_peer.(nbr) <- i) neighbors;
+        let links =
+          Array.map
+            (fun peer ->
+              let edge = Topology.Graph.edge_id graph id peer in
+              {
+                peer;
+                edge;
+                tr = Transcript.create ();
+                mp = Meeting_points.create ();
+                seeds = seeds_for ~edge ~lower:(id < peer);
+                already_rewound = false;
+                bot = false;
+                out_msg = [||];
+                in_msg = [||];
+                sent_log = [||];
+                recv_log = [||];
+              })
+            neighbors
+        in
+        {
+          id;
+          links;
+          by_peer;
+          repl = Replayer.create ch ~party:id ~input:inputs.(id) ~neighbors;
+          status = true;
+          net_correct = true;
+        })
+  in
+  (* ---- adversary spy ---- *)
+  let cur_iter = ref 0 in
+  (match spy_hook with
+  | None -> ()
+  | Some hook ->
+      let edge_view e =
+        let u, v = (Topology.Graph.edges graph).(e) in
+        let lo = min u v and hi = max u v in
+        let l_lo = parties.(lo).links.(parties.(lo).by_peer.(hi)) in
+        let l_hi = parties.(hi).links.(parties.(hi).by_peer.(lo)) in
+        let in_sync =
+          Meeting_points.status l_lo.mp = Meeting_points.Simulate
+          && Meeting_points.status l_hi.mp = Meeting_points.Simulate
+          && Transcript.length l_lo.tr = Transcript.length l_hi.tr
+          && Transcript.equal_prefix l_lo.tr l_hi.tr = Transcript.length l_lo.tr
+        in
+        { tr_lo = l_lo.tr; tr_hi = l_hi.tr; seeds = l_lo.seeds; in_sync }
+      in
+      hook { spy_chunking = ch; current_iteration = (fun () -> !cur_iter); edge_view });
+  (* ---- main loop ---- *)
+  let traces = ref [] in
+  let iterations_run = ref 0 in
+  (try
+     for iter = 0 to iterations - 1 do
+       iterations_run := iter + 1;
+       cur_iter := iter;
+       Log.debug (fun f ->
+           f "iteration %d: cc=%d corruptions=%d" iter (Netsim.Network.cc net)
+             (Netsim.Network.corruptions net));
+       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
+       meeting_points_phase net parties ~iter ~tau:params.Params.tau;
+       let statuses = compute_statuses parties in
+       Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Flag;
+       let net_corrects =
+         if params.Params.flag_passing then Flag_passing.run net ~tree ~statuses else statuses
+       in
+       Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
+       Log.debug (fun f ->
+           f "iteration %d: statuses=[%s] netCorrect=[%s]" iter
+             (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
+             (String.concat ""
+                (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
+       simulation_phase net parties ch ~iter ~n_real;
+       if params.Params.rewind then rewind_phase net parties ~iter;
+       if trace then traces := stats_of net parties graph ~iteration:iter :: !traces;
+       if params.Params.early_stop && all_done parties graph ~n_real then raise Exit
+     done
+   with Exit -> ());
+  (* ---- outputs ---- *)
+  let outputs =
+    Array.map
+      (fun p ->
+        let min_len =
+          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+        in
+        Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
+      parties
+  in
+  let cc = Netsim.Network.cc net in
+  let cc_pi = Pi.cc pi in
+  {
+    success = outputs = reference;
+    outputs;
+    reference;
+    cc;
+    cc_pi;
+    rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
+    rounds = Netsim.Network.rounds net;
+    corruptions = Netsim.Network.corruptions net;
+    noise_fraction = Netsim.Network.noise_fraction net;
+    iterations_run = !iterations_run;
+    chunks_total = n_real;
+    exchange_failures = !exchange_failures;
+    chunks_rewound =
+      Array.fold_left
+        (fun acc p ->
+          Array.fold_left (fun acc l -> acc + Transcript.chunks_rewound l.tr) acc p.links)
+        0 parties;
+    trace = List.rev !traces;
+  }

@@ -1,0 +1,92 @@
+(** The noise-resilient simulation (Algorithm 1 and its variants A/B/C).
+
+    Given a noiseless protocol Π with a fixed speaking order and a noisy
+    network, the scheme runs an a-priori fixed number of iterations, each
+    consisting of four fixed-length phases (§3.1):
+
+    + {e consistency check} — one interleaved meeting-points step per
+      link ({!Meeting_points});
+    + {e flag passing} — continue/idle convergecast + broadcast over a
+      BFS spanning tree ({!Flag_passing});
+    + {e simulation} — a ⊥-announcement round followed by one 5K-bit
+      chunk of Π, simulated live over the noisy network by parties whose
+      [netCorrect] flag is up;
+    + {e rewind} — n rounds in which parties whose per-link transcript
+      lengths disagree issue single-chunk rewind requests, letting a
+      truncation wave cross the network.
+
+    Randomness: a CRS ({!Params.Crs}) or per-link exchanged δ-biased
+    seeds ({!Params.Exchange}, Algorithm 5) seed the inner-product
+    hashes of the consistency checks. *)
+
+type iter_stat = {
+  iteration : int;
+  g_star : int;  (** min over links of the common-prefix length (chunks) *)
+  h_star : int;  (** max transcript length anywhere *)
+  b_star : int;  (** H* − G*: the global backlog *)
+  sum_g : int;  (** Σ over links of G_{u,v} — the potential's main term *)
+  sum_b : int;  (** Σ over links of B_{u,v} = max |T| − G_{u,v} *)
+  links_in_mp : int;  (** links whose meeting-points process is active *)
+  mp_k_total : int;  (** Σ over link endpoints of the meeting-points counter k *)
+  cc : int;  (** cumulative transmissions *)
+  corruptions : int;
+}
+
+type result = {
+  success : bool;  (** all parties output Π's noiseless outputs *)
+  outputs : int array;
+  reference : int array;
+  cc : int;  (** communication of the coded execution *)
+  cc_pi : int;  (** CC(Π): communication of the noiseless protocol *)
+  rate_blowup : float;  (** cc / cc_pi *)
+  rounds : int;
+  corruptions : int;
+  noise_fraction : float;  (** corruptions / cc *)
+  iterations_run : int;
+  chunks_total : int;  (** |Π| in chunks *)
+  exchange_failures : int;  (** links whose seed exchange was corrupted *)
+  chunks_rewound : int;  (** total rework: chunks simulated then truncated, summed over link endpoints *)
+  trace : iter_stat list;  (** per-iteration statistics, oldest first (empty unless requested) *)
+}
+
+(** {2 Adversary spy interface}
+
+    The non-oblivious adversary of §6 sees everything: the parties'
+    inputs, their transcripts, and the random seeds.  A [spy] hands an
+    adaptive adversary read access to that state; {!Attacks} builds the
+    paper's seed-aware attacks on top of it.  (Oblivious adversaries
+    must not use it — that is the modelling line between Theorem 1.1
+    and Theorem 1.2.) *)
+
+type edge_view = {
+  tr_lo : Transcript.t;  (** lower endpoint's live transcript — read-only by convention *)
+  tr_hi : Transcript.t;
+  seeds : Seeds.t;  (** the (shared) seed bookkeeping of the link's lower endpoint *)
+  in_sync : bool;  (** both sides idle in MP terms and transcripts identical *)
+}
+
+type spy = {
+  spy_chunking : Protocol.Chunking.t;
+  current_iteration : unit -> int;
+  edge_view : int -> edge_view;
+}
+
+val run :
+  ?trace:bool ->
+  ?inputs:int array ->
+  ?spy_hook:(spy -> unit) ->
+  rng:Util.Rng.t ->
+  Params.t ->
+  Protocol.Pi.t ->
+  Netsim.Adversary.t ->
+  result
+(** Simulate Π over the given noisy network.  [inputs] defaults to a
+    deterministic pseudorandom assignment derived from [rng]; [rng] also
+    drives seed sampling.  The adversary sees everything the model
+    grants it and nothing more (in particular, oblivious patterns are
+    fixed before any randomness is drawn from the network). *)
+
+val planned_rounds : Params.t -> Protocol.Pi.t -> int
+(** The a-priori fixed round count of the full (non-early-stopped)
+    execution — what an oblivious adversary's noise pattern ranges
+    over. *)

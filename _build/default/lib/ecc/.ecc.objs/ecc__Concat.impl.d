@@ -1,0 +1,1 @@
+lib/ecc/concat.ml: Array Char Rs String

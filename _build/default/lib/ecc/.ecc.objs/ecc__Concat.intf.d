@@ -1,0 +1,1 @@
+lib/ecc/concat.mli:

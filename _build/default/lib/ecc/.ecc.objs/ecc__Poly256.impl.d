@@ -1,0 +1,1 @@
+lib/ecc/poly256.ml: Array Format Gf Gf256

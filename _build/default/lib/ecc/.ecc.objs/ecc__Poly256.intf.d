@@ -1,0 +1,1 @@
+lib/ecc/poly256.mli: Format

@@ -1,0 +1,1 @@
+lib/ecc/rs.ml: Array Gf Gf256 List Poly256

@@ -1,0 +1,1 @@
+lib/ecc/rs.mli:

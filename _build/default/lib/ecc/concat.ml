@@ -1,0 +1,55 @@
+type t = { rs : Rs.t; rep : int }
+
+let create ?(rep = 3) ?(rs_expansion = 3) ~payload_bytes () =
+  if rep < 1 || rep mod 2 = 0 then invalid_arg "Concat.create: rep must be odd and positive";
+  if rs_expansion < 2 then invalid_arg "Concat.create: rs_expansion < 2";
+  if payload_bytes < 1 || payload_bytes > 127 then invalid_arg "Concat.create: payload_bytes";
+  let n = min 255 (rs_expansion * payload_bytes) in
+  { rs = Rs.create ~n ~k:payload_bytes; rep }
+
+let payload_bytes t = Rs.k t.rs
+let codeword_bits t = Rs.n t.rs * 8 * t.rep
+let rate t = float_of_int (payload_bytes t * 8) /. float_of_int (codeword_bits t)
+
+let encode t payload =
+  if String.length payload <> Rs.k t.rs then invalid_arg "Concat.encode: wrong payload length";
+  let msg = Array.init (Rs.k t.rs) (fun i -> Char.code payload.[i]) in
+  let cw = Rs.encode t.rs msg in
+  let bits = Array.make (codeword_bits t) false in
+  Array.iteri
+    (fun s sym ->
+      for b = 0 to 7 do
+        let bit = (sym lsr b) land 1 = 1 in
+        for r = 0 to t.rep - 1 do
+          bits.((((s * 8) + b) * t.rep) + r) <- bit
+        done
+      done)
+    cw;
+  bits
+
+let decode t received =
+  if Array.length received <> codeword_bits t then invalid_arg "Concat.decode: wrong length";
+  let n = Rs.n t.rs in
+  let word = Array.make n 0 in
+  let erasures = ref [] in
+  for s = 0 to n - 1 do
+    let sym = ref 0 in
+    let erased = ref false in
+    for b = 0 to 7 do
+      let ones = ref 0 and seen = ref 0 in
+      for r = 0 to t.rep - 1 do
+        match received.((((s * 8) + b) * t.rep) + r) with
+        | Some true ->
+            incr ones;
+            incr seen
+        | Some false -> incr seen
+        | None -> ()
+      done;
+      if !seen = 0 then erased := true
+      else if 2 * !ones > !seen then sym := !sym lor (1 lsl b)
+    done;
+    if !erased then erasures := s :: !erasures else word.(s) <- !sym
+  done;
+  match Rs.decode t.rs ~erasures:!erasures word with
+  | None -> None
+  | Some msg -> Some (String.init (Array.length msg) (fun i -> Char.chr msg.(i)))

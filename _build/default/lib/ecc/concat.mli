@@ -1,0 +1,37 @@
+(** The binary error-correcting code of Theorem 2.1: an outer Reed–Solomon
+    code over GF(256) concatenated with an inner bit-repetition code.
+
+    Over a synchronous link, a deletion is observed as a missing symbol at
+    a known round, i.e. an *erasure* (footnote 9 of the paper), and an
+    insertion in a slot where a symbol was already expected is at worst a
+    substitution; so the randomness-exchange codeword faces a mixture of
+    bit flips and bit erasures.  Decoding:
+    - inner: majority vote over the surviving copies of each bit; a bit
+      with no surviving copies is an erasure; a byte containing an erased
+      bit becomes an erased RS symbol;
+    - outer: RS error-and-erasure decoding.
+
+    With [rep] = 3 and RS rate 1/3 the overall rate is 1/9 and any noise
+    pattern touching fewer than ~1/9 of the codeword bits is corrected —
+    constant rate, constant relative distance, poly-time, as Theorem 2.1
+    requires. *)
+
+type t
+
+val create : ?rep:int -> ?rs_expansion:int -> payload_bytes:int -> unit -> t
+(** [create ~payload_bytes ()] builds a code for messages of exactly
+    [payload_bytes] bytes.  [rep] (default 3, must be odd) is the inner
+    repetition factor; [rs_expansion] (default 3) makes the outer code an
+    [min (rs_expansion * k) 255, k] RS code. *)
+
+val payload_bytes : t -> int
+val codeword_bits : t -> int
+val rate : t -> float
+
+val encode : t -> string -> bool array
+(** Raises [Invalid_argument] on wrong payload length. *)
+
+val decode : t -> bool option array -> string option
+(** [decode t received] where [received.(i)] is the bit observed in slot
+    [i] ([None] = nothing arrived).  Returns the payload, or [None] when
+    the noise exceeded the decoding radius. *)

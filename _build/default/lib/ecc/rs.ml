@@ -1,0 +1,107 @@
+open Gf
+
+type t = { n : int; k : int; gen : Poly256.t }
+
+let n t = t.n
+let k t = t.k
+
+(* Generator polynomial g(x) = prod_{j=1}^{n-k} (x - alpha^j). *)
+let create ~n ~k =
+  if not (0 < k && k < n && n <= 255) then invalid_arg "Rs.create";
+  let gen = ref [| 1 |] in
+  for j = 1 to n - k do
+    gen := Poly256.mul !gen [| Gf256.alpha_pow j; 1 |]
+  done;
+  { n; k; gen = !gen }
+
+(* The codeword is the coefficient vector of c(x) = m(x)·x^(n-k) + rem with
+   rem = m(x)·x^(n-k) mod g.  The public API presents the message first, so
+   we convert between API order (message ++ parity) and coefficient order
+   (parity at low degrees, message at high degrees). *)
+
+let coeffs_of_api t w =
+  Array.init t.n (fun i -> if i < t.n - t.k then w.(t.k + i) else w.(i - (t.n - t.k)))
+
+let api_of_coeffs t c =
+  Array.init t.n (fun i -> if i < t.k then c.(t.n - t.k + i) else c.(i - t.k))
+
+let encode t msg =
+  if Array.length msg <> t.k then invalid_arg "Rs.encode: wrong message length";
+  Array.iter (fun s -> if s < 0 || s > 255 then invalid_arg "Rs.encode: symbol out of range") msg;
+  let shifted = Poly256.shift (t.n - t.k) msg in
+  let _, rem = Poly256.divmod shifted t.gen in
+  let c = Array.make t.n 0 in
+  Array.iteri (fun i v -> c.(i) <- v) rem;
+  Array.blit msg 0 c (t.n - t.k) t.k;
+  api_of_coeffs t c
+
+let syndromes t c =
+  Array.init (t.n - t.k) (fun j -> Poly256.eval c (Gf256.alpha_pow (j + 1)))
+
+let decode t ?(erasures = []) word =
+  if Array.length word <> t.n then invalid_arg "Rs.decode: wrong word length";
+  let d1 = t.n - t.k in
+  let erasures = List.sort_uniq compare erasures in
+  if List.exists (fun i -> i < 0 || i >= t.n) erasures then invalid_arg "Rs.decode: erasure index";
+  let f = List.length erasures in
+  if f > d1 then None
+  else begin
+    let c = coeffs_of_api t word in
+    (* Zero out erased positions (their content is unreliable anyway). *)
+    let api_to_coeff i = if i < t.k then t.n - t.k + i else i - t.k in
+    let era_pos = List.map api_to_coeff erasures in
+    List.iter (fun p -> c.(p) <- 0) era_pos;
+    let synd = syndromes t c in
+    let s_poly = Poly256.normalize synd in
+    if Poly256.is_zero s_poly then Some (Array.sub (api_of_coeffs t c) 0 t.k)
+    else begin
+      (* Erasure locator Γ(x) = prod (1 + α^pos · x). *)
+      let gamma =
+        List.fold_left (fun acc p -> Poly256.mul acc [| 1; Gf256.alpha_pow p |]) [| 1 |] era_pos
+      in
+      (* Modified syndrome Ξ = Γ·S mod x^d1; Sugiyama's extended Euclid on
+         (x^d1, Ξ) yields the error locator Λ and evaluator Ω. *)
+      let xi = Poly256.trunc d1 (Poly256.mul gamma s_poly) in
+      let x_d1 =
+        let p = Array.make (d1 + 1) 0 in
+        p.(d1) <- 1;
+        p
+      in
+      let rec euclid r_prev r_cur t_prev t_cur =
+        if 2 * Poly256.degree r_cur < d1 + f || Poly256.is_zero r_cur then (r_cur, t_cur)
+        else
+          let q, r_next = Poly256.divmod r_prev r_cur in
+          let t_next = Poly256.add t_prev (Poly256.mul q t_cur) in
+          euclid r_cur r_next t_cur t_next
+      in
+      let omega0, lambda = euclid x_d1 xi Poly256.zero [| 1 |] in
+      let lam0 = if Poly256.is_zero lambda then 0 else lambda.(0) in
+      if lam0 = 0 then None
+      else begin
+        let scale = Gf256.inv lam0 in
+        let lambda = Poly256.scale scale lambda in
+        let omega = Poly256.scale scale omega0 in
+        let psi = Poly256.mul lambda gamma in
+        let psi' = Poly256.deriv psi in
+        (* Chien search over all positions; Forney for magnitudes. *)
+        let roots = ref 0 in
+        let corrected = Array.copy c in
+        let ok = ref true in
+        for pos = 0 to t.n - 1 do
+          let x_inv = Gf256.alpha_pow (-pos) in
+          if Poly256.eval psi x_inv = 0 then begin
+            incr roots;
+            let denom = Poly256.eval psi' x_inv in
+            if denom = 0 then ok := false
+            else begin
+              let magnitude = Gf256.div (Poly256.eval omega x_inv) denom in
+              corrected.(pos) <- Gf256.add corrected.(pos) magnitude
+            end
+          end
+        done;
+        if (not !ok) || !roots <> Poly256.degree psi then None
+        else if Array.exists (fun s -> s <> 0) (syndromes t corrected) then None
+        else Some (Array.sub (api_of_coeffs t corrected) 0 t.k)
+      end
+    end
+  end

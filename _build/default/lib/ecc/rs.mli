@@ -1,0 +1,29 @@
+(** Systematic Reed–Solomon codes over GF(256) with error-and-erasure
+    decoding (Berlekamp–Massey + Chien search + Forney's algorithm).
+
+    An [n, k] code corrects any pattern of e errors and f erasures with
+    2e + f ≤ n − k.  Together with the inner repetition code in
+    {!Concat} this realises the constant-rate constant-distance binary
+    code of Theorem 2.1 that the randomness-exchange protocol
+    (Algorithm 5) relies on. *)
+
+type t
+
+val create : n:int -> k:int -> t
+(** [create ~n ~k] with 0 < k < n ≤ 255. *)
+
+val n : t -> int
+val k : t -> int
+
+val encode : t -> int array -> int array
+(** [encode t msg] maps [k] message symbols (bytes, 0..255) to an [n]-symbol
+    systematic codeword: positions [0..k-1] carry the message, positions
+    [k..n-1] the parity.  Raises [Invalid_argument] on wrong length. *)
+
+val decode : t -> ?erasures:int list -> int array -> int array option
+(** [decode t ~erasures word] corrects [word] in place of a received
+    codeword (erased positions may hold any value; their indices are given
+    in [erasures]) and returns the decoded message, or [None] if decoding
+    fails (too many errors).  A success guarantee holds whenever
+    2·errors + erasures ≤ n − k; beyond that the decoder may fail or,
+    as with any bounded-distance decoder, mis-correct. *)

@@ -1,0 +1,1 @@
+lib/gf/gf256.mli:

@@ -1,0 +1,1 @@
+lib/gf/gf2k.mli: Util

@@ -1,0 +1,43 @@
+(* Modulus x^8 + x^4 + x^3 + x^2 + 1 (0x11D), for which α = 0x02 is
+   primitive — the classic Reed–Solomon field. *)
+
+let zero = 0
+let one = 1
+let alpha = 2
+let modulus = 0x11D
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor modulus
+  done;
+  (* Duplicate so that exp_table.(log a + log b) needs no reduction. *)
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let add a b = a lxor b
+
+let mul a b = if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let pow a n =
+  assert (n >= 0);
+  if n = 0 then 1
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) * n mod 255)
+
+let alpha_pow i = exp_table.(((i mod 255) + 255) mod 255)
+
+let log a = if a = 0 then invalid_arg "Gf256.log 0" else log_table.(a)

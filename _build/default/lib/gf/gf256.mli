@@ -1,0 +1,25 @@
+(** Arithmetic in GF(256) = GF(2)[x]/(x^8+x^4+x^3+x^2+1), via log/antilog
+    tables over the generator α = x (0x02), which is primitive for this
+    modulus.  Substrate for the Reed–Solomon code of Theorem 2.1. *)
+
+val zero : int
+val one : int
+val alpha : int
+(** The primitive element used to index roots of the RS generator. *)
+
+val add : int -> int -> int
+(** Addition = xor.  Also subtraction. *)
+
+val mul : int -> int -> int
+val div : int -> int -> int
+(** Raises [Division_by_zero] on zero divisor. *)
+
+val inv : int -> int
+val pow : int -> int -> int
+(** [pow a n] for [n >= 0]; [pow 0 0 = 1]. *)
+
+val alpha_pow : int -> int
+(** [alpha_pow i] = α^i, any integer [i] (negative allowed). *)
+
+val log : int -> int
+(** Discrete log base α; raises [Invalid_argument] on 0. *)

@@ -1,0 +1,89 @@
+(* Elements occupy bits 0..61 of a native int, so every operation below is
+   unboxed.  The modulus x^62 + low(x) keeps its top term implicit. *)
+
+type field = { m_low : int }
+
+let degree = 62
+let top = 1 lsl 61 (* the bit that shifts into x^62 on a step *)
+let mask = (1 lsl 62) - 1
+let modulus_low f = f.m_low
+
+let step f a = if a land top <> 0 then ((a lsl 1) land mask) lxor f.m_low else a lsl 1
+
+let mul f a b =
+  let acc = ref 0 in
+  for i = 61 downto 0 do
+    acc := step f !acc;
+    if (b lsr i) land 1 = 1 then acc := !acc lxor a
+  done;
+  !acc
+
+let pow f a n =
+  assert (n >= 0);
+  let rec go acc base n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul f acc base else acc in
+      go acc (mul f base base) (n lsr 1)
+  in
+  go 1 a n
+
+let pow_x f i = pow f 2 i
+
+(* --- raw polynomial arithmetic over GF(2), cold path (Rabin test).
+       Polynomials of degree <= 62 as bit patterns; bit 62 usable since we
+       only mask and xor. --- *)
+
+let poly_degree p =
+  if p = 0 then -1
+  else begin
+    let rec go i = if (p lsr i) land 1 = 1 then i else go (i - 1) in
+    go 62
+  end
+
+let poly_mod a b =
+  let db = poly_degree b in
+  let a = ref a in
+  while poly_degree !a >= db do
+    a := !a lxor (b lsl (poly_degree !a - db))
+  done;
+  !a
+
+let rec poly_gcd a b = if b = 0 then a else poly_gcd b (poly_mod a b)
+
+let is_irreducible m_low =
+  m_low land 1 = 1
+  && m_low land lnot ((1 lsl 62) - 1) = 0
+  &&
+  let f = { m_low } in
+  let full = (1 lsl 62) lor m_low in
+  let frob j =
+    let t = ref 2 in
+    for _ = 1 to j do
+      t := mul f !t !t
+    done;
+    !t
+  in
+  frob 62 = 2 && poly_gcd (frob 31 lxor 2) full = 1 && poly_gcd (frob 1 lxor 2) full = 1
+
+let make ~modulus_low =
+  if not (is_irreducible modulus_low) then invalid_arg "Gf2k.make: reducible modulus";
+  { m_low = modulus_low }
+
+let random_irreducible rng =
+  let rec go () =
+    let cand = (Int64.to_int (Util.Rng.int64 rng) land mask) lor 1 in
+    if is_irreducible cand then cand else go ()
+  in
+  go ()
+
+let default = { m_low = random_irreducible (Util.Rng.create 0x5eed) }
+
+let popcount_int x =
+  (* SWAR popcount; valid for non-negative inputs (≤ 62 bits). *)
+  let x = x - ((x lsr 1) land 0x1555_5555_5555_5555) in
+  let x = (x land 0x3333_3333_3333_3333) + ((x lsr 2) land 0x3333_3333_3333_3333) in
+  let x = (x + (x lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (x * 0x0101_0101_0101_0101) lsr 56 land 0x7F
+
+let parity_int x = popcount_int x land 1

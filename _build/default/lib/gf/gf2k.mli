@@ -1,0 +1,46 @@
+(** Arithmetic in GF(2^62) = GF(2)[x] / (m(x)) for an irreducible m of
+    degree 62, with field elements packed in the low 62 bits of a native
+    [int] — unboxed arithmetic, which matters because this field sits in
+    the inner loop of the δ-biased string generator (Lemma 2.5).
+
+    Conventions: an element is a polynomial of degree < 62 in bits
+    0..61; a modulus is given by its low 62 bits, the leading x^62 term
+    being implicit. *)
+
+type field
+
+val degree : int
+(** 62. *)
+
+val make : modulus_low:int -> field
+(** [make ~modulus_low] builds GF(2)[x]/(x^62 + low(x)).  Raises
+    [Invalid_argument] if the polynomial is reducible. *)
+
+val modulus_low : field -> int
+
+val default : field
+(** A fixed field instance for keyed streams and tests. *)
+
+val mul : field -> int -> int -> int
+val step : field -> int -> int
+(** [step f a] = a·x — one LFSR step. *)
+
+val pow_x : field -> int -> int
+(** x^i by square-and-multiply. *)
+
+val pow : field -> int -> int -> int
+
+val is_irreducible : int -> bool
+(** Rabin's test for x^62 + low(x).  62 = 2·31, so irreducibility
+    amounts to x^(2^62) = x (mod f) and gcd(x^(2^31) − x, f) =
+    gcd(x^2 − x, f) = 1. *)
+
+val random_irreducible : Util.Rng.t -> int
+(** Rejection-sample the low bits of an irreducible degree-62
+    polynomial. *)
+
+val popcount_int : int -> int
+(** Population count of a native int's low 62 bits (helper exposed for
+    the generator's parities). *)
+
+val parity_int : int -> int

@@ -1,0 +1,1 @@
+lib/hashing/ip_hash.ml: Int64 Seed_stream Util

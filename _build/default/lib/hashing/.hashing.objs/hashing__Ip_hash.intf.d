@@ -1,0 +1,1 @@
+lib/hashing/ip_hash.mli: Seed_stream Util

@@ -1,0 +1,1 @@
+lib/hashing/seed_stream.ml: Array Smallbias Util

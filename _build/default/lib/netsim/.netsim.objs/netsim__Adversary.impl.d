@@ -1,0 +1,1 @@
+lib/netsim/adversary.ml: Hashtbl Int64 List Option Topology Util

@@ -1,0 +1,1 @@
+lib/netsim/adversary.mli: Topology Util

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Adversary Array List Topology

@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Adversary Topology

@@ -1,0 +1,124 @@
+type phase = Exchange | Meeting_points | Flag | Simulation | Rewind | Idle
+
+let phase_to_string = function
+  | Exchange -> "exchange"
+  | Meeting_points -> "meeting-points"
+  | Flag -> "flag"
+  | Simulation -> "simulation"
+  | Rewind -> "rewind"
+  | Idle -> "idle"
+
+type context = {
+  round : int;
+  iteration : int;
+  phase : phase;
+  graph : Topology.Graph.t;
+  cc_sent : int;
+  corruptions : int;
+  budget_left : int;
+  sends : (int * int * bool) list;
+}
+
+type t =
+  | Silent
+  | Oblivious of (round:int -> dir:int -> int)
+  | Oblivious_fixing of (round:int -> dir:int -> int option)
+  | Adaptive of { budget : int -> int; strategy : context -> (int * int) list }
+
+let iid rng ~rate =
+  let key = Util.Rng.int64 rng in
+  Oblivious
+    (fun ~round ~dir ->
+      (* A pure function of the slot: derive a per-slot word from the key. *)
+      let w = Util.Rng.at ~seed:key ((round * 65536) + dir) in
+      let u = Int64.to_float (Int64.shift_right_logical w 11) *. (1. /. 9007199254740992.) in
+      if u < rate then 1 + (Int64.to_int (Int64.logand w 1L)) else 0)
+
+let iid_fixing rng ~rate =
+  let key = Util.Rng.int64 rng in
+  Oblivious_fixing
+    (fun ~round ~dir ->
+      let w = Util.Rng.at ~seed:key ((round * 65536) + dir) in
+      let u = Int64.to_float (Int64.shift_right_logical w 11) *. (1. /. 9007199254740992.) in
+      if u < rate then Some (Int64.to_int (Int64.rem (Int64.shift_right_logical w 2) 3L)) else None)
+
+let of_slots slots =
+  let table = Hashtbl.create (List.length slots) in
+  List.iter (fun (r, d, a) -> Hashtbl.replace table (r, d) a) slots;
+  Oblivious (fun ~round ~dir -> Option.value ~default:0 (Hashtbl.find_opt table (round, dir)))
+
+let sampled_slots rng ~count ~rounds ~dirs =
+  let chosen = Hashtbl.create count in
+  let n_slots = rounds * dirs in
+  let target = min count n_slots in
+  while Hashtbl.length chosen < target do
+    let r = Util.Rng.int rng rounds and d = Util.Rng.int rng dirs in
+    if not (Hashtbl.mem chosen (r, d)) then
+      Hashtbl.add chosen (r, d) (1 + Util.Rng.int rng 2)
+  done;
+  Oblivious (fun ~round ~dir -> Option.value ~default:0 (Hashtbl.find_opt chosen (round, dir)))
+
+let burst rng ~start_round ~len ~dirs =
+  let dirs_set = Hashtbl.create (List.length dirs) in
+  List.iter (fun d -> Hashtbl.replace dirs_set d ()) dirs;
+  let key = Util.Rng.int64 rng in
+  Oblivious
+    (fun ~round ~dir ->
+      if round >= start_round && round < start_round + len && Hashtbl.mem dirs_set dir then
+        1 + Int64.to_int (Int64.logand (Util.Rng.at ~seed:key ((round * 65536) + dir)) 1L)
+      else 0)
+
+let single ~round ~dir ~addend = of_slots [ (round, dir, addend) ]
+
+let adaptive_link_target ~edge_dirs ~rate_denom ~phases =
+  let dirs = Hashtbl.create (List.length edge_dirs) in
+  List.iter (fun d -> Hashtbl.replace dirs d ()) edge_dirs;
+  Adaptive
+    {
+      budget = (fun cc -> cc / rate_denom);
+      strategy =
+        (fun ctx ->
+          if not (List.mem ctx.phase phases) then []
+          else begin
+            let requests = ref [] and left = ref ctx.budget_left in
+            List.iter
+              (fun (src, dst, _) ->
+                let d = Topology.Graph.dir_id ctx.graph ~src ~dst in
+                if Hashtbl.mem dirs d && !left > 0 then begin
+                  requests := (d, 1) :: !requests;
+                  decr left
+                end)
+              ctx.sends;
+            !requests
+          end);
+    }
+
+let adaptive_phase_attack ~rate_denom ~phases rng =
+  Adaptive
+    {
+      budget = (fun cc -> cc / rate_denom);
+      strategy =
+        (fun ctx ->
+          if not (List.mem ctx.phase phases) then []
+          else begin
+            let requests = ref [] and left = ref ctx.budget_left in
+            List.iter
+              (fun (src, dst, _) ->
+                if !left > 0 && Util.Rng.int rng 2 = 0 then begin
+                  requests :=
+                    (Topology.Graph.dir_id ctx.graph ~src ~dst, 1 + Util.Rng.int rng 2)
+                    :: !requests;
+                  decr left
+                end)
+              ctx.sends;
+            !requests
+          end);
+    }
+
+let compose a b =
+  match (a, b) with
+  | Silent, x | x, Silent -> x
+  | Oblivious f, Oblivious g ->
+      Oblivious (fun ~round ~dir -> (f ~round ~dir + g ~round ~dir) mod 3)
+  | (Oblivious_fixing _ | Adaptive _), _ | _, (Oblivious_fixing _ | Adaptive _) ->
+      invalid_arg "Adversary.compose: only additive oblivious patterns compose"

@@ -1,0 +1,100 @@
+(** Adversarial noise for the synchronous network (§2.1).
+
+    Channel alphabet: a transmission slot holds [Some bit] or [None]
+    (silence, the paper's ∗).  Following the paper's *additive* adversary,
+    a corruption is an addend e ∈ {1, 2} applied to the slot value in
+    Z₃ under the encoding 0 ↦ 0, 1 ↦ 1, ∗ ↦ 2.  This uniformly expresses
+    all three noise types: on a sent bit an addend flips it (substitution)
+    or silences it (deletion); on a silent slot it conjures a bit
+    (insertion).  Every nonzero addend counts as one corruption.
+
+    Two adversary classes:
+    - {e oblivious}: the addend for each (round, directed link) slot is a
+      pure function fixed before the execution — independent of the
+      parties' randomness (the model of Theorems 1.1 / §4–5);
+    - {e adaptive} (non-oblivious): a strategy that observes the current
+      round's genuine traffic and global progress and chooses corruptions
+      on the fly (the model of Theorem 1.2 / §6), subject to a budget
+      that the network enforces relative to the communication actually
+      performed. *)
+
+type phase = Exchange | Meeting_points | Flag | Simulation | Rewind | Idle
+
+val phase_to_string : phase -> string
+
+type context = {
+  round : int;  (** global round number *)
+  iteration : int;  (** scheme iteration, −1 outside the main loop *)
+  phase : phase;
+  graph : Topology.Graph.t;
+  cc_sent : int;  (** transmissions sent so far (incl. this round's) *)
+  corruptions : int;  (** corruptions committed so far *)
+  budget_left : int;  (** further corruptions the budget allows *)
+  sends : (int * int * bool) list;  (** this round's true (src, dst, bit) *)
+}
+
+type t =
+  | Silent  (** noiseless channel *)
+  | Oblivious of (round:int -> dir:int -> int)
+      (** additive: slot addend in {0,1,2}; must be a pure function *)
+  | Oblivious_fixing of (round:int -> dir:int -> int option)
+      (** the {e fixing} oblivious adversary of Remark 1: [Some s] forces
+          the slot's output to the Z₃ symbol [s] (0, 1, or 2 = silence)
+          regardless of what was sent; [None] leaves the slot alone.
+          A fixed slot counts as a corruption only when the forced output
+          differs from the honest one — exactly the counting subtlety the
+          remark discusses. *)
+  | Adaptive of { budget : int -> int; strategy : context -> (int * int) list }
+      (** [budget cc] is the corruption allowance as a function of the
+          communication performed so far (e.g. [fun cc -> cc / 100]);
+          [strategy ctx] returns (dir_id, addend) corruption requests for
+          this round.  Requests beyond the budget are ignored. *)
+
+(** {2 Oblivious pattern builders} *)
+
+val iid : Util.Rng.t -> rate:float -> t
+(** Each slot independently corrupted with probability [rate], addend
+    uniform in {1,2}.  (The pattern is a pure function of the slot and a
+    private RNG key, hence oblivious.) *)
+
+val iid_fixing : Util.Rng.t -> rate:float -> t
+(** The fixing counterpart of {!iid}: each slot is independently forced,
+    with probability [rate], to a uniform symbol in {0, 1, ∗}.  Note a
+    forced slot is only a corruption when it actually changes the
+    output, so the realised corruption count is lower than {!iid}'s at
+    equal [rate] (Remark 1's accounting). *)
+
+val sampled_slots :
+  Util.Rng.t -> count:int -> rounds:int -> dirs:int -> t
+(** Exactly [count] corruptions at distinct uniformly random
+    (round < rounds, dir < dirs) slots. *)
+
+val burst : Util.Rng.t -> start_round:int -> len:int -> dirs:int list -> t
+(** Corrupt every slot of the given directed links for [len] consecutive
+    rounds from [start_round] — a concentrated attack on a region. *)
+
+val single : round:int -> dir:int -> addend:int -> t
+(** One corruption, for unit tests and the §1.2 cascade example. *)
+
+val of_slots : (int * int * int) list -> t
+(** Explicit (round, dir, addend) list. *)
+
+val compose : t -> t -> t
+(** Superpose two oblivious noise patterns (addends add in Z₃; opposing
+    corruptions may cancel, which then costs nothing — the additive
+    model's arithmetic).  Silent is the identity.  Raises
+    [Invalid_argument] if either side is adaptive or fixing: those carry
+    budgets/output-forcing whose composition semantics would be
+    ambiguous. *)
+
+(** {2 Adaptive strategies} *)
+
+val adaptive_link_target :
+  edge_dirs:int list -> rate_denom:int -> phases:phase list -> t
+(** Greedy non-oblivious attack: corrupt every transmission on the given
+    directed links during the given phases, whenever the running budget
+    (1/[rate_denom] of the communication so far) allows. *)
+
+val adaptive_phase_attack : rate_denom:int -> phases:phase list -> Util.Rng.t -> t
+(** Corrupt random traffic during the given phases (e.g. flag-passing
+    sabotage), respecting the running budget. *)

@@ -1,0 +1,122 @@
+type t = {
+  graph : Topology.Graph.t;
+  adversary : Adversary.t;
+  mutable round_no : int;
+  mutable cc : int;
+  mutable corruptions : int;
+  mutable iteration : int;
+  mutable phase : Adversary.phase;
+  (* Directed link id -> (src, dst); slot values indexed by dir id. *)
+  dir_ends : (int * int) array;
+  slots : int array; (* Z3-encoded symbol per directed link, rebuilt each round *)
+}
+
+let dir_endpoints g =
+  let m = Topology.Graph.m g in
+  let ends = Array.make (2 * m) (0, 0) in
+  Array.iteri
+    (fun id (u, v) ->
+      let lo = min u v and hi = max u v in
+      ends.(2 * id) <- (lo, hi);
+      ends.((2 * id) + 1) <- (hi, lo))
+    (Topology.Graph.edges g);
+  ends
+
+let create graph adversary =
+  {
+    graph;
+    adversary;
+    round_no = 0;
+    cc = 0;
+    corruptions = 0;
+    iteration = -1;
+    phase = Adversary.Idle;
+    dir_ends = dir_endpoints graph;
+    slots = Array.make (2 * Topology.Graph.m graph) 2;
+  }
+
+let graph t = t.graph
+
+let set_phase t ~iteration ~phase =
+  t.iteration <- iteration;
+  t.phase <- phase
+
+(* Symbols in Z3: 0, 1 are bits; 2 is silence (∗). *)
+let encode = function None -> 2 | Some false -> 0 | Some true -> 1
+let decode = function 0 -> Some false | 1 -> Some true | _ -> None
+
+let round t ~sends =
+  let two_m = Array.length t.slots in
+  Array.fill t.slots 0 two_m 2;
+  List.iter
+    (fun (src, dst, bit) ->
+      let d = Topology.Graph.dir_id t.graph ~src ~dst in
+      if t.slots.(d) <> 2 then invalid_arg "Network.round: duplicate send on a directed link";
+      t.slots.(d) <- encode (Some bit);
+      t.cc <- t.cc + 1)
+    sends;
+  (* Collect the adversary's addends for this round.  A fixing adversary
+     is translated into the addend that forces its chosen output; forcing
+     the honest symbol yields addend 0 and is free (Remark 1). *)
+  let addends = Array.make two_m 0 in
+  (match t.adversary with
+  | Adversary.Silent -> ()
+  | Adversary.Oblivious pattern ->
+      for d = 0 to two_m - 1 do
+        let a = pattern ~round:t.round_no ~dir:d in
+        assert (a >= 0 && a <= 2);
+        addends.(d) <- a
+      done
+  | Adversary.Oblivious_fixing pattern ->
+      for d = 0 to two_m - 1 do
+        match pattern ~round:t.round_no ~dir:d with
+        | None -> ()
+        | Some forced ->
+            assert (forced >= 0 && forced <= 2);
+            addends.(d) <- ((forced - t.slots.(d)) mod 3 + 3) mod 3
+      done
+  | Adversary.Adaptive { budget; strategy } ->
+      let budget_left = max 0 (budget t.cc - t.corruptions) in
+      let ctx =
+        Adversary.
+          {
+            round = t.round_no;
+            iteration = t.iteration;
+            phase = t.phase;
+            graph = t.graph;
+            cc_sent = t.cc;
+            corruptions = t.corruptions;
+            budget_left;
+            sends;
+          }
+      in
+      let left = ref budget_left in
+      List.iter
+        (fun (d, a) ->
+          if d >= 0 && d < two_m && (a = 1 || a = 2) && addends.(d) = 0 && !left > 0 then begin
+            addends.(d) <- a;
+            decr left
+          end)
+        (strategy ctx));
+  let delivered = ref [] in
+  for d = two_m - 1 downto 0 do
+    let a = addends.(d) in
+    if a <> 0 then t.corruptions <- t.corruptions + 1;
+    match decode ((t.slots.(d) + a) mod 3) with
+    | None -> ()
+    | Some bit ->
+        let src, dst = t.dir_ends.(d) in
+        delivered := (src, dst, bit) :: !delivered
+  done;
+  t.round_no <- t.round_no + 1;
+  !delivered
+
+let silence t ~rounds =
+  for _ = 1 to rounds do
+    ignore (round t ~sends:[])
+  done
+
+let rounds t = t.round_no
+let cc t = t.cc
+let corruptions t = t.corruptions
+let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc

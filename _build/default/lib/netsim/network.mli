@@ -1,0 +1,42 @@
+(** The synchronous noisy network of §2.1.
+
+    Execution proceeds in global rounds.  In a round, any subset of
+    parties submits at most one bit per incident directed link; the
+    adversary transforms each of the 2m directed-link slots (including
+    silent ones, enabling insertions); the network delivers what survives.
+
+    The network keeps the two books the paper's accounting needs:
+    - [cc]: the number of transmissions the parties actually sent — the
+      communication complexity CC of the instance;
+    - [corruptions]: the number of corrupted slots, so that the noise
+      fraction of the instance is [corruptions / cc]. *)
+
+type t
+
+val create : Topology.Graph.t -> Adversary.t -> t
+val graph : t -> Topology.Graph.t
+
+val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
+(** Label the upcoming rounds for adaptive adversaries and traces.  The
+    label leaks no private state: the schedule of phases is public by
+    construction (each phase has an a-priori fixed number of rounds). *)
+
+val round : t -> sends:(int * int * bool) list -> (int * int * bool) list
+(** [round t ~sends] executes one synchronous round.  [sends] holds
+    (src, dst, bit) transmissions — src and dst must be adjacent and a
+    directed link may appear at most once.  Returns the delivered
+    (src, dst, bit) list: substituted bits are altered, deleted ones are
+    absent, inserted ones appear though never sent. *)
+
+val silence : t -> rounds:int -> unit
+(** Let [rounds] rounds pass with no party speaking (insertions may still
+    occur but nobody is listening — used to advance the clock). *)
+
+val rounds : t -> int
+(** Rounds elapsed. *)
+
+val cc : t -> int
+val corruptions : t -> int
+
+val noise_fraction : t -> float
+(** [corruptions / cc] (0 when nothing was sent). *)

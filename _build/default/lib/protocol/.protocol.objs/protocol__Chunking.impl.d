@@ -1,0 +1,1 @@
+lib/protocol/chunking.ml: Array Hashtbl List Pi Topology

@@ -1,0 +1,1 @@
+lib/protocol/chunking.mli: Pi

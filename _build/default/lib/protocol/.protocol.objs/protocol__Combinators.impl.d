@@ -1,0 +1,1 @@
+lib/protocol/combinators.ml: Int64 Pi Topology Util

@@ -1,0 +1,1 @@
+lib/protocol/combinators.mli: Pi

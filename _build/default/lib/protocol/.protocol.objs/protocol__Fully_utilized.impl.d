@@ -1,0 +1,1 @@
+lib/protocol/fully_utilized.ml: Array Hashtbl List Pi Topology

@@ -1,0 +1,1 @@
+lib/protocol/fully_utilized.mli: Pi

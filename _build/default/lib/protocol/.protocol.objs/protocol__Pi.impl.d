@@ -1,0 +1,1 @@
+lib/protocol/pi.ml: Array Hashtbl List Printf Topology

@@ -1,0 +1,1 @@
+lib/protocol/pi.mli: Topology

@@ -1,0 +1,1 @@
+lib/protocol/protocols.ml: Array Hashtbl Int64 List Option Pi Topology Util

@@ -1,0 +1,1 @@
+lib/protocol/protocols.mli: Pi Topology

@@ -1,0 +1,131 @@
+type slot = { pi_round : int option; src : int; dst : int }
+
+type chunk = { index : int; rounds : slot list array }
+
+type t = {
+  pi : Pi.t;
+  k : int;
+  real : chunk array;
+  dummy_rounds : slot list array;
+  max_rounds : int;
+  link_cache : (int * int, (int * int * int) array) Hashtbl.t;
+}
+
+let pi t = t.pi
+let k t = t.k
+let chunk_bits t = 5 * t.k
+let n_real t = Array.length t.real
+let max_rounds t = t.max_rounds
+
+(* All 2m directed links in a canonical order, used for padding. *)
+let all_dirs graph =
+  let dirs = ref [] in
+  let edges = Topology.Graph.edges graph in
+  for i = Array.length edges - 1 downto 0 do
+    let u, v = edges.(i) in
+    let lo = min u v and hi = max u v in
+    dirs := (lo, hi) :: (hi, lo) :: !dirs
+  done;
+  Array.of_list !dirs
+
+(* Schedule [count] padding transmissions into rounds of at most one
+   symbol per directed link, cycling through all 2m links. *)
+let padding_rounds dirs count =
+  let two_m = Array.length dirs in
+  let rounds = ref [] in
+  let remaining = ref count in
+  while !remaining > 0 do
+    let take = min two_m !remaining in
+    let slots = ref [] in
+    for i = take - 1 downto 0 do
+      let src, dst = dirs.(i) in
+      slots := { pi_round = None; src; dst } :: !slots
+    done;
+    rounds := !slots :: !rounds;
+    remaining := !remaining - take
+  done;
+  Array.of_list (List.rev !rounds)
+
+let make pi ~k =
+  let m = Topology.Graph.m pi.Pi.graph in
+  if k < m then invalid_arg "Chunking.make: k < m";
+  let k5 = 5 * k in
+  let dirs = all_dirs pi.Pi.graph in
+  let two_m = Array.length dirs in
+  (* Greedy packing: add protocol rounds while keeping >= 2m headroom so
+     that the padding covers every directed link at least once. *)
+  let chunks = ref [] in
+  let current = ref [] and current_comm = ref 0 in
+  let flush () =
+    let real_rounds = List.rev !current in
+    let pad = k5 - !current_comm in
+    assert (pad >= two_m);
+    let rounds = Array.append (Array.of_list real_rounds) (padding_rounds dirs pad) in
+    chunks := { index = List.length !chunks + 1; rounds } :: !chunks;
+    current := [];
+    current_comm := 0
+  in
+  for r = 0 to pi.Pi.rounds - 1 do
+    let sends = pi.Pi.sends_at r in
+    let comm = List.length sends in
+    assert (comm <= two_m);
+    if !current_comm + comm > k5 - two_m then flush ();
+    current :=
+      List.map (fun (src, dst) -> { pi_round = Some r; src; dst }) sends :: !current;
+    current_comm := !current_comm + comm
+  done;
+  if !current <> [] || !chunks = [] then flush ();
+  let real = Array.of_list (List.rev !chunks) in
+  let dummy_rounds = padding_rounds dirs k5 in
+  let max_rounds =
+    Array.fold_left
+      (fun acc c -> max acc (Array.length c.rounds))
+      (Array.length dummy_rounds) real
+  in
+  { pi; k; real; dummy_rounds; max_rounds; link_cache = Hashtbl.create 64 }
+
+let chunk t i =
+  if i < 1 then invalid_arg "Chunking.chunk: index < 1";
+  if i <= Array.length t.real then t.real.(i - 1) else { index = i; rounds = t.dummy_rounds }
+
+let link_slots_full t ~chunk_index ~edge =
+  let c = chunk t chunk_index in
+  let acc = ref [] in
+  Array.iteri
+    (fun roff slots ->
+      List.iter
+        (fun s ->
+          if Topology.Graph.edge_id t.pi.Pi.graph s.src s.dst = edge then
+            acc := (roff, s.src, s.dst, s.pi_round = None) :: !acc)
+        slots)
+    c.rounds;
+  Array.of_list (List.rev !acc)
+
+let link_slots t ~chunk_index ~edge =
+  (* Dummy chunks all share the same layout; cache them under key 0. *)
+  let key = ((if chunk_index <= n_real t then chunk_index else 0), edge) in
+  match Hashtbl.find_opt t.link_cache key with
+  | Some slots -> slots
+  | None ->
+      let slots =
+        Array.map (fun (roff, src, dst, _) -> (roff, src, dst)) (link_slots_full t ~chunk_index ~edge)
+      in
+      Hashtbl.replace t.link_cache key slots;
+      slots
+
+let events_on_link t ~chunk_index ~edge = Array.length (link_slots t ~chunk_index ~edge)
+
+let serialized_chunk_bits t ~chunk_index ~edge =
+  32 + (2 * events_on_link t ~chunk_index ~edge)
+
+let max_transcript_words t ~horizon =
+  let m = Topology.Graph.m t.pi.Pi.graph in
+  let worst = ref 0 in
+  for edge = 0 to m - 1 do
+    let bits = ref 0 in
+    for c = 1 to horizon do
+      bits := !bits + serialized_chunk_bits t ~chunk_index:c ~edge
+    done;
+    worst := max !worst !bits
+  done;
+  (!worst + 63) / 64

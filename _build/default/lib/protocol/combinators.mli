@@ -1,0 +1,17 @@
+(** Protocol combinators: build long or composite workloads out of the
+    library's primitives while preserving the fixed speaking order the
+    coding schemes require. *)
+
+val sequence : Pi.t -> Pi.t -> Pi.t
+(** [sequence p q] runs [p] to completion, then [q], over the same graph
+    (raises [Invalid_argument] if the graphs differ structurally).  A
+    party's output combines both phases' outputs through an avalanche
+    mix, so corrupting either phase corrupts the output. *)
+
+val repeat : int -> Pi.t -> Pi.t
+(** [repeat k p]: k sequential executions of [p] (with the same inputs);
+    CC and rounds scale by k. *)
+
+val combine_outputs : int -> int -> int
+(** The output-mixing function used by {!sequence} (exposed so tests can
+    predict composite outputs). *)

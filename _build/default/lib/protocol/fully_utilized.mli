@@ -1,0 +1,22 @@
+(** Conversion to the fully-utilised communication model.
+
+    Most prior multiparty interactive-coding work ([RS94, HS16, ABE+16,
+    BEGH17]) assumes every party sends on every incident link in every
+    round.  The paper's introduction points out that any protocol in the
+    relaxed model can be force-converted to this model — but the
+    conversion can multiply the communication by up to a factor m, which
+    is precisely why the paper works in the relaxed model (and why
+    insertions/deletions are trivialised into erasures when the network
+    is fully utilised: an expected-but-missing symbol is self-evident).
+
+    [of_pi pi] produces an equivalent protocol in which every directed
+    link carries a bit every round: originally-scheduled transmissions
+    carry their original content, the rest carry 0 and are ignored by
+    receivers.  Outputs are unchanged.  Experiment E11 measures the
+    conversion's communication cost across protocol densities. *)
+
+val of_pi : Pi.t -> Pi.t
+
+val expansion : Pi.t -> float
+(** CC(fully-utilised) / CC(Π) = 2m·RC(Π)/CC(Π) — the factor the intro
+    warns can reach m. *)

@@ -1,0 +1,46 @@
+(** Noiseless multiparty protocols Π (§2.1).
+
+    A protocol runs for a fixed number of synchronous rounds over a graph.
+    As the paper requires, the {e speaking order is fixed}: whether the
+    directed link u→v carries a bit in round r is given by the pure
+    function [sends_at] and does not depend on inputs — only the {e
+    content} of messages does.  Message content is produced by per-party
+    {!machine}s: deterministic state machines over (input, received bits).
+
+    The machine interface is re-entrant by construction: the coding scheme
+    re-[spawn]s a machine and replays stored transcripts into it whenever
+    it needs to (re-)simulate a chunk after a rewind. *)
+
+type machine = {
+  send : round:int -> dst:int -> bool;
+      (** Called exactly when [sends_at round] schedules me→dst, in
+          schedule order within the round.  Must be deterministic given
+          the machine's history. *)
+  recv : round:int -> src:int -> bool -> unit;
+      (** Delivery of the (possibly corrupted) bit scheduled src→me. *)
+  output : unit -> int;
+      (** The party's output given the history so far (computable at any
+          point; meaningful after the last round). *)
+}
+
+type t = {
+  graph : Topology.Graph.t;
+  rounds : int;
+  sends_at : int -> (int * int) list;
+      (** [sends_at r] lists the (src, dst) transmissions of round [r],
+          in a canonical order.  Pure.  Each directed link at most once
+          per round; endpoints must be adjacent. *)
+  spawn : party:int -> input:int -> machine;
+}
+
+val cc : t -> int
+(** Communication complexity: total number of transmissions. *)
+
+val validate : t -> unit
+(** Check the schedule invariants (adjacency, no duplicate directed link
+    in a round); raises [Invalid_argument] on violation. *)
+
+val run_noiseless : t -> inputs:int array -> int array
+(** Reference execution over a perfect network; returns per-party
+    outputs.  This is the ground truth every coding scheme must
+    reproduce. *)

@@ -1,0 +1,1 @@
+lib/smallbias/generator.ml: Array Gf Gf2k Int64 Util

@@ -1,0 +1,1 @@
+lib/smallbias/generator.mli: Util

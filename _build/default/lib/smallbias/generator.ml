@@ -1,0 +1,151 @@
+open Gf
+
+(* The output sequence b_i = ⟨x^i mod f, s⟩ is a linear recurring sequence
+   with characteristic polynomial f: for n ≥ 62,
+       b_n = parity(f_low & (b_{n-62} … b_{n-1})).
+   The generator therefore keeps a 62-bit *window* of upcoming output bits
+   as its hot state; producing a 64-bit word and the next window is a
+   GF(2)-linear map of the window, which we tabulate byte-wise: 8 table
+   lookups and a handful of xors per word.  The field representation is
+   kept alongside for seeking and random access. *)
+
+type t = {
+  field : Gf2k.field;
+  s : int;
+  mutable window : int; (* bits 64·widx .. 64·widx+61 of the stream *)
+  mutable widx : int;
+  (* Byte-indexed tables: entry pos*256+byte gives, for a window whose
+     byte [pos] is [byte] (rest zero), the produced word (lo/hi 32-bit
+     halves) and the successor window. *)
+  mutable tbl_lo : int array;
+  mutable tbl_hi : int array;
+  mutable tbl_w : int array;
+}
+
+let seed_bits = 128
+let state_mask = (1 lsl 62) - 1
+
+(* The first 62 upcoming bits from a field state p: ⟨p·x^j, s⟩, j < 62. *)
+let window_of_state field s p0 =
+  let w = ref 0 in
+  let p = ref p0 in
+  for j = 0 to 61 do
+    if Gf2k.parity_int (!p land s) = 1 then w := !w lor (1 lsl j);
+    p := Gf2k.step field !p
+  done;
+  !w
+
+let create ~f ~s =
+  let s = s land state_mask in
+  if s = 0 then invalid_arg "Generator.create: zero start state";
+  let field = Gf2k.make ~modulus_low:f in
+  {
+    field;
+    s;
+    window = window_of_state field s 1;
+    widx = 0;
+    tbl_lo = [||];
+    tbl_hi = [||];
+    tbl_w = [||];
+  }
+
+let sample rng =
+  let f = Gf2k.random_irreducible rng in
+  let rec nonzero () =
+    let s = Int64.to_int (Util.Rng.int64 rng) land state_mask in
+    if s = 0 then nonzero () else s
+  in
+  create ~f ~s:(nonzero ())
+
+let of_seed (a, b) =
+  (* Deterministic irreducible search: hash the candidate space starting
+     from [a] until Rabin's test passes.  Both endpoints of a link run this
+     on identical bits, so they derive identical generators. *)
+  let rec find i =
+    let cand = (Int64.to_int (Util.Rng.at ~seed:a i) land state_mask) lor 1 in
+    if Gf2k.is_irreducible cand then cand else find (i + 1)
+  in
+  let f = find 0 in
+  let rec nonzero i =
+    let s = Int64.to_int (Util.Rng.at ~seed:b i) land state_mask in
+    if s = 0 then nonzero (i + 1) else s
+  in
+  create ~f ~s:(nonzero 0)
+
+let seed t = (Gf2k.modulus_low t.field, t.s)
+
+(* From window w, produce (word_lo, word_hi, next_window) by running the
+   recurrence 64 steps — the reference implementation the tables encode. *)
+let extend_window f_low w0 =
+  let lo = ref (w0 land 0xFFFFFFFF) in
+  let hi = ref ((w0 lsr 32) land 0x3FFFFFFF) in
+  let w = ref w0 in
+  for n = 62 to 125 do
+    let b = Gf2k.parity_int (!w land f_low) in
+    if n < 64 && b = 1 then hi := !hi lor (1 lsl (n - 32));
+    w := (!w lsr 1) lor (b lsl 61)
+  done;
+  (!lo, !hi, !w)
+
+let ensure_tables t =
+  if Array.length t.tbl_lo = 0 then begin
+    let f_low = Gf2k.modulus_low t.field in
+    (* Bit basis first. *)
+    let b_lo = Array.make 62 0 and b_hi = Array.make 62 0 and b_w = Array.make 62 0 in
+    for k = 0 to 61 do
+      let lo, hi, w = extend_window f_low (1 lsl k) in
+      b_lo.(k) <- lo;
+      b_hi.(k) <- hi;
+      b_w.(k) <- w
+    done;
+    let tbl_lo = Array.make (8 * 256) 0
+    and tbl_hi = Array.make (8 * 256) 0
+    and tbl_w = Array.make (8 * 256) 0 in
+    for pos = 0 to 7 do
+      for byte = 0 to 255 do
+        let lo = ref 0 and hi = ref 0 and w = ref 0 in
+        for bit = 0 to 7 do
+          let k = (8 * pos) + bit in
+          if k < 62 && (byte lsr bit) land 1 = 1 then begin
+            lo := !lo lxor b_lo.(k);
+            hi := !hi lxor b_hi.(k);
+            w := !w lxor b_w.(k)
+          end
+        done;
+        let idx = (pos * 256) + byte in
+        tbl_lo.(idx) <- !lo;
+        tbl_hi.(idx) <- !hi;
+        tbl_w.(idx) <- !w
+      done
+    done;
+    t.tbl_lo <- tbl_lo;
+    t.tbl_hi <- tbl_hi;
+    t.tbl_w <- tbl_w
+  end
+
+let next_word t =
+  ensure_tables t;
+  let w = t.window in
+  let lo = ref 0 and hi = ref 0 and nw = ref 0 in
+  for pos = 0 to 7 do
+    let idx = (pos * 256) + ((w lsr (8 * pos)) land 0xFF) in
+    lo := !lo lxor Array.unsafe_get t.tbl_lo idx;
+    hi := !hi lxor Array.unsafe_get t.tbl_hi idx;
+    nw := !nw lxor Array.unsafe_get t.tbl_w idx
+  done;
+  t.window <- !nw;
+  t.widx <- t.widx + 1;
+  Int64.logor (Int64.of_int !lo) (Int64.shift_left (Int64.of_int !hi) 32)
+
+let word_index t = t.widx
+
+let seek_word t i =
+  assert (i >= 0);
+  if i <> t.widx then begin
+    (* Field-side random access: state x^(64·i), then rebuild the window. *)
+    let p = Gf2k.pow_x t.field (64 * i) in
+    t.window <- window_of_state t.field t.s p;
+    t.widx <- i
+  end
+
+let bit_at t i = Gf2k.parity_int (Gf2k.pow_x t.field i land t.s) = 1

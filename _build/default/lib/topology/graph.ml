@@ -1,0 +1,250 @@
+type t = {
+  n : int;
+  edges : (int * int) array;
+  adj : int array array;
+  ids : (int * int, int) Hashtbl.t;
+}
+
+type tree = {
+  root : int;
+  parent : int array;
+  children : int array array;
+  level : int array;
+  depth : int;
+}
+
+let n t = t.n
+let m t = Array.length t.edges
+let edges t = t.edges
+let neighbors t v = t.adj.(v)
+let degree t v = Array.length t.adj.(v)
+let max_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    d := max !d (degree t v)
+  done;
+  !d
+
+let are_adjacent t u v = Hashtbl.mem t.ids (min u v, max u v)
+
+let edge_id t u v =
+  match Hashtbl.find_opt t.ids (min u v, max u v) with
+  | Some id -> id
+  | None -> raise Not_found
+
+let dir_id t ~src ~dst = (2 * edge_id t src dst) + if src < dst then 0 else 1
+
+let bfs_dist t root =
+  let dist = Array.make t.n (-1) in
+  dist.(root) <- 0;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      t.adj.(u)
+  done;
+  dist
+
+let create ~n ~edges =
+  if n < 1 then invalid_arg "Graph.create: n < 1";
+  let ids = Hashtbl.create (List.length edges) in
+  List.iteri
+    (fun i (u, v) ->
+      if u = v then invalid_arg "Graph.create: self-loop";
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: endpoint out of range";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem ids key then invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add ids key i)
+    edges;
+  let adj_lists = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj_lists.(u) <- v :: adj_lists.(u);
+      adj_lists.(v) <- u :: adj_lists.(v))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort compare l)) adj_lists in
+  let t = { n; edges = Array.of_list edges; adj; ids } in
+  if n > 1 then begin
+    let dist = bfs_dist t 0 in
+    if Array.exists (fun d -> d < 0) dist then invalid_arg "Graph.create: not connected"
+  end;
+  t
+
+let diameter t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    Array.iter (fun x -> d := max !d x) (bfs_dist t v)
+  done;
+  !d
+
+(* --- generators --- *)
+
+let line n = create ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: n < 3";
+  create ~n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star n =
+  if n < 2 then invalid_arg "Graph.star: n < 2";
+  create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let clique n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  create ~n ~edges:!edges
+
+let grid ~rows ~cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  create ~n:(rows * cols) ~edges:!edges
+
+let binary_tree n = create ~n ~edges:(List.init (n - 1) (fun i -> (i / 2, i + 1)))
+
+let random_connected rng ~n ~extra_edges =
+  (* Random attachment tree, then extra uniformly random non-tree edges. *)
+  let edges = ref [] in
+  let present = Hashtbl.create 16 in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem present key) then begin
+      Hashtbl.add present key ();
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  for v = 1 to n - 1 do
+    ignore (add v (Util.Rng.int rng v))
+  done;
+  let budget = min extra_edges (((n * (n - 1)) / 2) - (n - 1)) in
+  let added = ref 0 in
+  while !added < budget do
+    if add (Util.Rng.int rng n) (Util.Rng.int rng n) then incr added
+  done;
+  create ~n ~edges:!edges
+
+let hypercube d =
+  if d < 1 || d > 10 then invalid_arg "Graph.hypercube: dimension in 1..10";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if v < u then edges := (v, u) :: !edges
+    done
+  done;
+  create ~n ~edges:!edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Graph.torus: rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  create ~n:(rows * cols) ~edges:!edges
+
+let random_regular rng ~n ~degree =
+  if degree < 2 || degree >= n then invalid_arg "Graph.random_regular: degree";
+  if n * degree mod 2 <> 0 then invalid_arg "Graph.random_regular: n * degree odd";
+  (* Pairing model with bounded retries per attempt; re-attempt until the
+     result is connected. *)
+  let attempt () =
+    let present = Hashtbl.create (n * degree / 2) in
+    let deg = Array.make n 0 in
+    let edges = ref [] in
+    let stuck = ref 0 in
+    while List.length !edges < n * degree / 2 && !stuck < 200 do
+      let candidates = ref [] in
+      for v = 0 to n - 1 do
+        if deg.(v) < degree then candidates := v :: !candidates
+      done;
+      match !candidates with
+      | [] -> stuck := 200
+      | cs ->
+          let pick () = List.nth cs (Util.Rng.int rng (List.length cs)) in
+          let u = pick () and v = pick () in
+          let key = (min u v, max u v) in
+          if u <> v && not (Hashtbl.mem present key) then begin
+            Hashtbl.replace present key ();
+            deg.(u) <- deg.(u) + 1;
+            deg.(v) <- deg.(v) + 1;
+            edges := (u, v) :: !edges;
+            stuck := 0
+          end
+          else incr stuck
+    done;
+    (* Patch phase: vertices the pairing left behind get wired to random
+       non-adjacent vertices, tolerating degree + 1 at the target. *)
+    for v = 0 to n - 1 do
+      let guard = ref 0 in
+      while deg.(v) < degree - 1 && !guard < 200 do
+        incr guard;
+        let u = Util.Rng.int rng n in
+        let key = (min u v, max u v) in
+        if u <> v && (not (Hashtbl.mem present key)) && deg.(u) <= degree then begin
+          Hashtbl.replace present key ();
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1;
+          edges := (u, v) :: !edges
+        end
+      done
+    done;
+    !edges
+  in
+  let rec go tries =
+    if tries > 100 then invalid_arg "Graph.random_regular: could not build a connected graph";
+    let edges = attempt () in
+    match create ~n ~edges with g -> g | exception Invalid_argument _ -> go (tries + 1)
+  in
+  go 0
+
+let bfs_tree ?(root = 0) t =
+  let parent = Array.make t.n (-1) in
+  let level = Array.make t.n 0 in
+  parent.(root) <- root;
+  level.(root) <- 1;
+  let q = Queue.create () in
+  Queue.add root q;
+  let depth = ref 1 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if parent.(v) < 0 then begin
+          parent.(v) <- u;
+          level.(v) <- level.(u) + 1;
+          depth := max !depth level.(v);
+          Queue.add v q
+        end)
+      t.adj.(u)
+  done;
+  let children_lists = Array.make t.n [] in
+  for v = t.n - 1 downto 0 do
+    if v <> root then children_lists.(parent.(v)) <- v :: children_lists.(parent.(v))
+  done;
+  { root; parent; children = Array.map Array.of_list children_lists; level; depth = !depth }
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d):" t.n (m t);
+  Array.iter (fun (u, v) -> Format.fprintf ppf " %d-%d" u v) t.edges

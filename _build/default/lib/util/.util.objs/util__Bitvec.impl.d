@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Array Format Int64 List

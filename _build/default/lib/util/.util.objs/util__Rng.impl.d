@@ -1,0 +1,1 @@
+lib/util/rng.ml: Char Int64 String

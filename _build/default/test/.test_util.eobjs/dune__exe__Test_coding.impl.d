@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Array Coding Hashing Hashtbl List Netsim Option Printf Protocol QCheck QCheck_alcotest Smallbias Topology Util

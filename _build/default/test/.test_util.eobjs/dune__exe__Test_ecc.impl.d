@@ -1,0 +1,1 @@
+test/test_ecc.ml: Alcotest Array Char Concat Ecc List Option Poly256 QCheck QCheck_alcotest Rs String Util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Coding Hashing List Netsim Printf Protocol QCheck QCheck_alcotest Topology Util

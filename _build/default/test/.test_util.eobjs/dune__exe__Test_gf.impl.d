@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Array Gf Gf256 Gf2k Int64 Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Hashing Int64 Ip_hash Printf QCheck QCheck_alcotest Seed_stream Smallbias Util

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Adversary Alcotest List Netsim Network Printf QCheck QCheck_alcotest Topology Util

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Chunking Hashtbl Int64 List Option Pi Printf Protocol Protocols QCheck QCheck_alcotest Topology Util

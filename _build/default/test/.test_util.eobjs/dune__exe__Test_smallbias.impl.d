@@ -1,0 +1,1 @@
+test/test_smallbias.ml: Alcotest Array Generator Gf Int64 List Printf QCheck QCheck_alcotest Smallbias Util

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Graph Hashtbl List QCheck QCheck_alcotest Topology Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Int64 List Printf QCheck QCheck_alcotest Rng Stats Util

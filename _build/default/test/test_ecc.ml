@@ -1,0 +1,280 @@
+(* Tests for the error-correcting codes (Theorem 2.1 substrate):
+   polynomial arithmetic, Reed–Solomon error/erasure correction up to the
+   designed distance, and the concatenated binary code used by the
+   randomness exchange. *)
+
+open Ecc
+
+let rng = Util.Rng.create 0xC0DE
+
+(* --- Poly256 --- *)
+
+let test_poly_add () =
+  Alcotest.(check bool) "xor coefficients" true
+    (Poly256.add [| 1; 2 |] [| 3; 2; 5 |] = [| 2; 0; 5 |]);
+  Alcotest.(check bool) "self-inverse" true (Poly256.is_zero (Poly256.add [| 7; 9 |] [| 7; 9 |]))
+
+let test_poly_mul () =
+  (* (x + 1)(x + 1) = x^2 + 1 in characteristic 2. *)
+  Alcotest.(check bool) "(x+1)^2" true (Poly256.mul [| 1; 1 |] [| 1; 1 |] = [| 1; 0; 1 |])
+
+let test_poly_divmod () =
+  for _ = 1 to 100 do
+    let random_poly n = Array.init n (fun _ -> Util.Rng.int rng 256) in
+    let a = random_poly (1 + Util.Rng.int rng 20) in
+    let b = random_poly (1 + Util.Rng.int rng 10) in
+    if not (Poly256.is_zero b) then begin
+      let q, r = Poly256.divmod a b in
+      let recomposed = Poly256.add (Poly256.mul q b) r in
+      Alcotest.(check bool) "a = qb + r" true
+        (Poly256.normalize recomposed = Poly256.normalize a);
+      Alcotest.(check bool) "deg r < deg b" true (Poly256.degree r < Poly256.degree b)
+    end
+  done
+
+let test_poly_eval () =
+  (* p(x) = 3 + 2x at x=1 is 3 xor 2 = 1. *)
+  Alcotest.(check int) "eval at 1" 1 (Poly256.eval [| 3; 2 |] 1);
+  Alcotest.(check int) "eval at 0 = constant" 3 (Poly256.eval [| 3; 2 |] 0)
+
+let test_poly_deriv () =
+  (* d/dx (a + bx + cx^2 + dx^3) = b + dx^2 over GF(2^m). *)
+  Alcotest.(check bool) "derivative" true (Poly256.deriv [| 1; 2; 3; 4 |] = [| 2; 0; 4 |])
+
+(* --- Reed-Solomon --- *)
+
+let random_msg k = Array.init k (fun _ -> Util.Rng.int rng 256)
+
+let corrupt word positions =
+  let w = Array.copy word in
+  List.iter
+    (fun p ->
+      let delta = 1 + Util.Rng.int rng 255 in
+      w.(p) <- w.(p) lxor delta)
+    positions;
+  w
+
+let distinct_positions n count =
+  let all = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Util.Rng.int rng (i + 1) in
+    let t = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- t
+  done;
+  Array.to_list (Array.sub all 0 count)
+
+let test_rs_roundtrip_clean () =
+  let code = Rs.create ~n:48 ~k:16 in
+  for _ = 1 to 50 do
+    let msg = random_msg 16 in
+    let cw = Rs.encode code msg in
+    Alcotest.(check bool) "systematic prefix" true (Array.sub cw 0 16 = msg);
+    match Rs.decode code cw with
+    | Some m -> Alcotest.(check bool) "decode clean" true (m = msg)
+    | None -> Alcotest.fail "clean decode failed"
+  done
+
+let test_rs_corrects_max_errors () =
+  let code = Rs.create ~n:48 ~k:16 in
+  let t = (48 - 16) / 2 in
+  for _ = 1 to 50 do
+    let msg = random_msg 16 in
+    let cw = Rs.encode code msg in
+    let errs = distinct_positions 48 t in
+    match Rs.decode code (corrupt cw errs) with
+    | Some m -> Alcotest.(check bool) "decode at distance bound" true (m = msg)
+    | None -> Alcotest.fail "decode at t errors failed"
+  done
+
+let test_rs_corrects_erasures () =
+  let code = Rs.create ~n:48 ~k:16 in
+  (* Up to n-k = 32 erasures and no errors. *)
+  for _ = 1 to 50 do
+    let msg = random_msg 16 in
+    let cw = Rs.encode code msg in
+    let erasures = distinct_positions 48 32 in
+    let received = corrupt cw erasures in
+    match Rs.decode code ~erasures received with
+    | Some m -> Alcotest.(check bool) "erasure-only decode" true (m = msg)
+    | None -> Alcotest.fail "erasure decode failed"
+  done
+
+let test_rs_corrects_mixed () =
+  let code = Rs.create ~n:48 ~k:16 in
+  (* Any 2e + f <= n-k: take f = 10 erasures, e = 11 errors. *)
+  for _ = 1 to 50 do
+    let msg = random_msg 16 in
+    let cw = Rs.encode code msg in
+    let positions = distinct_positions 48 21 in
+    let erasures = List.filteri (fun i _ -> i < 10) positions in
+    let errors = List.filteri (fun i _ -> i >= 10) positions in
+    let received = corrupt cw (erasures @ errors) in
+    match Rs.decode code ~erasures received with
+    | Some m -> Alcotest.(check bool) "mixed decode" true (m = msg)
+    | None -> Alcotest.fail "mixed decode failed"
+  done
+
+let test_rs_detects_overload () =
+  (* Far beyond the distance the decoder must not return a *different*
+     codeword silently pretending it is the sent one... bounded-distance
+     decoders can miscorrect, but with ~full corruption they should
+     usually fail; we only require no crash and a well-typed result. *)
+  let code = Rs.create ~n:48 ~k:16 in
+  let msg = random_msg 16 in
+  let cw = Rs.encode code msg in
+  let received = corrupt cw (distinct_positions 48 40) in
+  match Rs.decode code received with
+  | Some _ | None -> ()
+
+let test_rs_wrong_lengths () =
+  let code = Rs.create ~n:10 ~k:4 in
+  Alcotest.check_raises "short msg" (Invalid_argument "Rs.encode: wrong message length")
+    (fun () -> ignore (Rs.encode code [| 1 |]));
+  Alcotest.check_raises "short word" (Invalid_argument "Rs.decode: wrong word length")
+    (fun () -> ignore (Rs.decode code [| 1 |]))
+
+let test_rs_small_code () =
+  let code = Rs.create ~n:7 ~k:3 in
+  let msg = [| 11; 22; 33 |] in
+  let cw = Rs.encode code msg in
+  let cw' = corrupt cw [ 0; 5 ] in
+  match Rs.decode code cw' with
+  | Some m -> Alcotest.(check bool) "small code 2 errors" true (m = msg)
+  | None -> Alcotest.fail "small code decode failed"
+
+let prop_rs_random_noise_within_distance =
+  QCheck.Test.make ~name:"rs corrects any 2e+f <= n-k" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (e_raw, f_raw) ->
+      let code = Rs.create ~n:60 ~k:20 in
+      let d1 = 40 in
+      let f = f_raw mod (d1 + 1) in
+      let e = if d1 - f <= 1 then 0 else e_raw mod (((d1 - f) / 2) + 1) in
+      let msg = random_msg 20 in
+      let cw = Rs.encode code msg in
+      let positions = distinct_positions 60 (e + f) in
+      let erasures = List.filteri (fun i _ -> i < f) positions in
+      let errors = List.filteri (fun i _ -> i >= f) positions in
+      match Rs.decode code ~erasures (corrupt cw (erasures @ errors)) with
+      | Some m -> m = msg
+      | None -> false)
+
+(* --- Concatenated code --- *)
+
+let test_concat_roundtrip () =
+  let code = Concat.create ~payload_bytes:16 () in
+  let payload = String.init 16 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  let bits = Concat.encode code payload in
+  Alcotest.(check int) "codeword length" (Concat.codeword_bits code) (Array.length bits);
+  let received = Array.map (fun b -> Some b) bits in
+  match Concat.decode code received with
+  | Some p -> Alcotest.(check string) "clean roundtrip" payload p
+  | None -> Alcotest.fail "clean decode failed"
+
+let test_concat_random_flips () =
+  let code = Concat.create ~payload_bytes:16 () in
+  let payload = String.init 16 (fun i -> Char.chr ((i * 91) land 0xff)) in
+  let bits = Concat.encode code payload in
+  let nbits = Array.length bits in
+  (* Flip 5% of the bits at random — well within the decoding radius. *)
+  for _ = 1 to 20 do
+    let received = Array.map (fun b -> Some b) bits in
+    for _ = 1 to nbits / 20 do
+      let i = Util.Rng.int rng nbits in
+      received.(i) <- Option.map not received.(i)
+    done;
+    match Concat.decode code received with
+    | Some p -> Alcotest.(check string) "decode with flips" payload p
+    | None -> Alcotest.fail "decode with flips failed"
+  done
+
+let test_concat_deletions_as_erasures () =
+  let code = Concat.create ~payload_bytes:16 () in
+  let payload = String.init 16 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  let bits = Concat.encode code payload in
+  let nbits = Array.length bits in
+  for _ = 1 to 20 do
+    let received = Array.map (fun b -> Some b) bits in
+    (* Delete 20% of transmissions. *)
+    for _ = 1 to nbits / 5 do
+      received.(Util.Rng.int rng nbits) <- None
+    done;
+    match Concat.decode code received with
+    | Some p -> Alcotest.(check string) "decode with deletions" payload p
+    | None -> Alcotest.fail "decode with deletions failed"
+  done
+
+let test_concat_mixed_insdel_sub () =
+  let code = Concat.create ~payload_bytes:16 () in
+  let payload = String.init 16 (fun i -> Char.chr ((i * 201) land 0xff)) in
+  let bits = Concat.encode code payload in
+  let nbits = Array.length bits in
+  for _ = 1 to 20 do
+    let received = Array.map (fun b -> Some b) bits in
+    for _ = 1 to nbits / 25 do
+      let i = Util.Rng.int rng nbits in
+      received.(i) <-
+        (match Util.Rng.int rng 3 with
+        | 0 -> None (* deletion *)
+        | 1 -> Some (Util.Rng.bool rng) (* substitution/insertion overwrite *)
+        | _ -> Option.map not received.(i))
+    done;
+    match Concat.decode code received with
+    | Some p -> Alcotest.(check string) "decode mixed noise" payload p
+    | None -> Alcotest.fail "decode mixed noise failed"
+  done
+
+let test_concat_too_much_noise_fails_gracefully () =
+  let code = Concat.create ~payload_bytes:16 () in
+  let payload = String.make 16 'x' in
+  let bits = Concat.encode code payload in
+  let received = Array.map (fun _ -> None) bits in
+  Alcotest.(check bool) "all-erased fails" true (Concat.decode code received = None)
+
+let test_concat_rate_constant () =
+  (* Rate must not degrade with payload size (constant-rate claim). *)
+  let r16 = Concat.rate (Concat.create ~payload_bytes:16 ()) in
+  let r64 = Concat.rate (Concat.create ~payload_bytes:64 ()) in
+  Alcotest.(check (float 1e-9)) "same rate" r16 r64;
+  Alcotest.(check bool) "rate is 1/9" true (abs_float (r16 -. (1. /. 9.)) < 1e-9)
+
+let test_concat_invalid_args () =
+  Alcotest.check_raises "even rep" (Invalid_argument "Concat.create: rep must be odd and positive")
+    (fun () -> ignore (Concat.create ~rep:2 ~payload_bytes:8 ()));
+  Alcotest.check_raises "payload too large" (Invalid_argument "Concat.create: payload_bytes")
+    (fun () -> ignore (Concat.create ~payload_bytes:200 ()))
+
+let () =
+  Alcotest.run "ecc"
+    [
+      ( "poly256",
+        [
+          Alcotest.test_case "add" `Quick test_poly_add;
+          Alcotest.test_case "mul" `Quick test_poly_mul;
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "deriv" `Quick test_poly_deriv;
+        ] );
+      ( "rs",
+        [
+          Alcotest.test_case "roundtrip clean" `Quick test_rs_roundtrip_clean;
+          Alcotest.test_case "max errors" `Quick test_rs_corrects_max_errors;
+          Alcotest.test_case "erasures" `Quick test_rs_corrects_erasures;
+          Alcotest.test_case "mixed errors+erasures" `Quick test_rs_corrects_mixed;
+          Alcotest.test_case "overload graceful" `Quick test_rs_detects_overload;
+          Alcotest.test_case "wrong lengths" `Quick test_rs_wrong_lengths;
+          Alcotest.test_case "small code" `Quick test_rs_small_code;
+          QCheck_alcotest.to_alcotest prop_rs_random_noise_within_distance;
+        ] );
+      ( "concat",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_concat_roundtrip;
+          Alcotest.test_case "random flips" `Quick test_concat_random_flips;
+          Alcotest.test_case "deletions as erasures" `Quick test_concat_deletions_as_erasures;
+          Alcotest.test_case "mixed insdel+sub" `Quick test_concat_mixed_insdel_sub;
+          Alcotest.test_case "overload fails gracefully" `Quick test_concat_too_much_noise_fails_gracefully;
+          Alcotest.test_case "rate constant" `Quick test_concat_rate_constant;
+          Alcotest.test_case "invalid args" `Quick test_concat_invalid_args;
+        ] );
+    ]

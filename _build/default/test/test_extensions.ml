@@ -1,0 +1,333 @@
+(* Tests for the extension modules: the gossip/convergecast protocols,
+   the fully-utilised model conversion, the potential function of §4.1,
+   and the scheme-aware attacks of §6.1. *)
+
+let rng = Util.Rng.create 0xE87
+
+(* ---------- gossip_max / convergecast_sum ---------- *)
+
+let graphs =
+  [
+    ("line", Topology.Graph.line 6);
+    ("cycle", Topology.Graph.cycle 7);
+    ("star", Topology.Graph.star 6);
+    ("tree", Topology.Graph.binary_tree 9);
+    ("random", Topology.Graph.random_connected (Util.Rng.create 3) ~n:8 ~extra_edges:5);
+  ]
+
+let test_gossip_max_correct () =
+  List.iter
+    (fun (name, g) ->
+      let n = Topology.Graph.n g in
+      let pi = Protocol.Protocols.gossip_max g ~bits:12 in
+      Protocol.Pi.validate pi;
+      let inputs = Array.init n (fun _ -> Util.Rng.int rng 4096) in
+      let expected = Array.fold_left max 0 inputs in
+      Array.iteri
+        (fun p o -> Alcotest.(check int) (Printf.sprintf "%s party %d" name p) expected o)
+        (Protocol.Pi.run_noiseless pi ~inputs))
+    graphs
+
+let test_convergecast_sum_correct () =
+  List.iter
+    (fun (name, g) ->
+      let n = Topology.Graph.n g in
+      let pi = Protocol.Protocols.convergecast_sum g ~bits:10 in
+      Protocol.Pi.validate pi;
+      let inputs = Array.init n (fun _ -> Util.Rng.int rng 1024) in
+      let log2n =
+        let rec lg acc p = if p >= n then acc else lg (acc + 1) (2 * p) in
+        lg 0 1
+      in
+      let mask = (1 lsl min 30 (10 + max 1 log2n)) - 1 in
+      let expected = Array.fold_left ( + ) 0 inputs land mask in
+      Array.iteri
+        (fun p o -> Alcotest.(check int) (Printf.sprintf "%s party %d" name p) expected o)
+        (Protocol.Pi.run_noiseless pi ~inputs))
+    graphs
+
+let test_gossip_max_coded_under_noise () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.gossip_max g ~bits:10 in
+  let inputs = [| 5; 900; 17; 1023; 44; 300 |] in
+  let adv = Netsim.Adversary.iid (Util.Rng.create 8) ~rate:0.0008 in
+  let r =
+    Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 9) (Coding.Params.algorithm_1 g) pi adv
+  in
+  Alcotest.(check bool) "success" true r.Coding.Scheme.success;
+  Array.iter (fun o -> Alcotest.(check int) "max value" 1023 o) r.Coding.Scheme.outputs
+
+(* ---------- fully utilised conversion ---------- *)
+
+let test_fully_utilized_same_outputs () =
+  List.iter
+    (fun (name, g) ->
+      let n = Topology.Graph.n g in
+      let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.3 ~seed:5 in
+      let fu = Protocol.Fully_utilized.of_pi pi in
+      Protocol.Pi.validate fu;
+      let inputs = Array.init n (fun i -> i * 31) in
+      Alcotest.(check bool) (name ^ ": outputs preserved") true
+        (Protocol.Pi.run_noiseless pi ~inputs = Protocol.Pi.run_noiseless fu ~inputs))
+    graphs
+
+let test_fully_utilized_cc () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:100 ~density:0.2 ~seed:6 in
+  let fu = Protocol.Fully_utilized.of_pi pi in
+  Alcotest.(check int) "cc = 2m * rounds" (2 * Topology.Graph.m g * pi.Protocol.Pi.rounds)
+    (Protocol.Pi.cc fu);
+  Alcotest.(check bool) "expansion > 1 on sparse protocols" true
+    (Protocol.Fully_utilized.expansion pi > 1.5)
+
+let test_fully_utilized_of_dense_is_cheap () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.gossip_max g ~bits:8 in
+  (* gossip_max is already fully utilised: expansion exactly 1. *)
+  Alcotest.(check (float 0.001)) "expansion 1" 1.0 (Protocol.Fully_utilized.expansion pi)
+
+(* ---------- potential function ---------- *)
+
+let trace_of adversary seed =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:2 in
+  let r =
+    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create seed) (Coding.Params.algorithm_1 g) pi
+      adversary
+  in
+  (r, Topology.Graph.m g)
+
+let test_potential_rises_noiseless () =
+  let r, m = trace_of Netsim.Adversary.Silent 11 in
+  Alcotest.(check bool) "success" true r.Coding.Scheme.success;
+  Alcotest.(check bool) "lemma 4.2 (noiseless)" true
+    (Coding.Potential.check_clean_exact ~k:m ~m r.Coding.Scheme.trace);
+  (* In a clean run the increase is exactly K each iteration. *)
+  List.iter
+    (fun d -> Alcotest.(check (float 0.001)) "delta = K" (float_of_int m) d)
+    (Coding.Potential.increments ~k:m ~m r.Coding.Scheme.trace)
+
+let test_potential_rises_with_burst () =
+  let adv = Netsim.Adversary.burst (Util.Rng.create 12) ~start_round:300 ~len:25 ~dirs:[ 0; 1 ] in
+  let r, m = trace_of adv 13 in
+  Alcotest.(check bool) "lemma 4.2 amortized (burst)" true
+    (Coding.Potential.check_amortized ~k:m ~m r.Coding.Scheme.trace)
+
+let test_potential_rises_with_iid () =
+  let adv = Netsim.Adversary.iid (Util.Rng.create 14) ~rate:0.001 in
+  let r, m = trace_of adv 15 in
+  Alcotest.(check bool) "lemma 4.2 amortized (iid)" true
+    (Coding.Potential.check_amortized ~k:m ~m r.Coding.Scheme.trace)
+
+let prop_potential_lemma_4_2 =
+  QCheck.Test.make ~name:"lemma 4.2 on random noisy runs" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let adv = Netsim.Adversary.iid (Util.Rng.create seed) ~rate:0.0008 in
+      let r, m = trace_of adv (seed + 1) in
+      Coding.Potential.check_amortized ~k:m ~m r.Coding.Scheme.trace)
+
+(* ---------- attacks ---------- *)
+
+let attack_run ?(params_of = Coding.Params.algorithm_1) adv seed =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:2 in
+  Coding.Scheme.run ~rng:(Util.Rng.create seed) (params_of g) pi adv
+
+let test_flag_forger_within_budget () =
+  let r = attack_run (Coding.Attacks.flag_forger ~rate_denom:1500) 20 in
+  Alcotest.(check bool) "survives flag forging within budget" true r.Coding.Scheme.success;
+  Alcotest.(check bool) "budget respected" true (r.Coding.Scheme.noise_fraction <= 1. /. 1500. +. 0.001)
+
+let test_rewind_spoofer_within_budget () =
+  let r = attack_run (Coding.Attacks.rewind_spoofer ~rate_denom:1500) 21 in
+  Alcotest.(check bool) "survives rewind spoofing within budget" true r.Coding.Scheme.success;
+  Alcotest.(check bool) "spoofs caused rework" true (r.Coding.Scheme.chunks_rewound > 0)
+
+let test_rewind_spoofer_kills_at_high_budget () =
+  let r = attack_run (Coding.Attacks.rewind_spoofer ~rate_denom:50) 22 in
+  Alcotest.(check bool) "unbounded spoofing wins" false r.Coding.Scheme.success
+
+let test_hunter_respects_budget () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:200 ~density:0.5 ~seed:2 in
+  let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:3 ~rate_denom:400 () in
+  let r =
+    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 23) (Coding.Params.algorithm_1 g) pi adv
+  in
+  Alcotest.(check bool) "noise fraction within budget" true
+    (r.Coding.Scheme.noise_fraction <= 1. /. 400. +. 0.001);
+  Alcotest.(check bool) "spent counts committed corruptions" true
+    (stats.Coding.Attacks.corruptions_spent >= r.Coding.Scheme.corruptions - 2)
+
+let test_hunter_hits_are_invisible () =
+  (* The defining property: a hit means the next consistency check sees
+     matching hashes despite diverging transcripts.  Detectable in the
+     aggregate: hits > 0 while the scheme needed extra iterations. *)
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:250 ~density:0.5 ~seed:2 in
+  let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:4 ~rate_denom:300 () in
+  let r =
+    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 24) (Coding.Params.algorithm_1 g) pi adv
+  in
+  Alcotest.(check bool) "hunter found hits vs tau=6" true (stats.Coding.Attacks.hits > 0);
+  Alcotest.(check bool) "hidden corruptions delayed the run" true
+    (r.Coding.Scheme.iterations_run > r.Coding.Scheme.chunks_total)
+
+let test_hunter_blind_against_long_hashes () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:2 in
+  let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:3 ~rate_denom:300 () in
+  let r =
+    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 25)
+      (Coding.Params.algorithm_1 ~tau:20 g) pi adv
+  in
+  Alcotest.(check bool) "success" true r.Coding.Scheme.success;
+  (* 3^3 - 1 = 26 candidates against 2^-20 per-candidate odds: no hit. *)
+  Alcotest.(check int) "no hits at tau=20" 0 stats.Coding.Attacks.hits
+
+let test_hunter_rejects_bad_depth () =
+  Alcotest.check_raises "depth 0" (Invalid_argument "Attacks.collision_hunter: depth in 1..8")
+    (fun () ->
+      ignore
+        (Coding.Attacks.collision_hunter ~graph:(Topology.Graph.cycle 4) ~edge:0 ~depth:0
+           ~rate_denom:100 ()))
+
+(* ---------- combinators ---------- *)
+
+let test_sequence_outputs () =
+  let g = Topology.Graph.cycle 5 in
+  let p = Protocol.Protocols.random_chatter g ~rounds:40 ~density:0.5 ~seed:61 in
+  let q = Protocol.Protocols.random_chatter g ~rounds:60 ~density:0.3 ~seed:62 in
+  let seq = Protocol.Combinators.sequence p q in
+  Protocol.Pi.validate seq;
+  Alcotest.(check int) "rounds add" (p.Protocol.Pi.rounds + q.Protocol.Pi.rounds)
+    seq.Protocol.Pi.rounds;
+  Alcotest.(check int) "cc adds" (Protocol.Pi.cc p + Protocol.Pi.cc q) (Protocol.Pi.cc seq);
+  let inputs = Array.init 5 (fun i -> i * 7) in
+  let op = Protocol.Pi.run_noiseless p ~inputs and oq = Protocol.Pi.run_noiseless q ~inputs in
+  let expected = Array.init 5 (fun i -> Protocol.Combinators.combine_outputs op.(i) oq.(i)) in
+  Alcotest.(check bool) "outputs combine per party" true
+    (Protocol.Pi.run_noiseless seq ~inputs = expected)
+
+let test_sequence_rejects_mismatched_graphs () =
+  let p = Protocol.Protocols.ring_sum ~n:4 ~bits:4 in
+  let q = Protocol.Protocols.ring_sum ~n:5 ~bits:4 in
+  match Protocol.Combinators.sequence p q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_repeat_coded_under_noise () =
+  let g = Topology.Graph.cycle 5 in
+  let p = Protocol.Protocols.random_chatter g ~rounds:40 ~density:0.5 ~seed:63 in
+  let long = Protocol.Combinators.repeat 3 p in
+  Alcotest.(check int) "3x cc" (3 * Protocol.Pi.cc p) (Protocol.Pi.cc long);
+  let r =
+    Coding.Scheme.run ~rng:(Util.Rng.create 64) (Coding.Params.algorithm_1 g) long
+      (Netsim.Adversary.iid (Util.Rng.create 65) ~rate:0.0005)
+  in
+  Alcotest.(check bool) "coded repeat succeeds" true r.Coding.Scheme.success
+
+(* ---------- calibrate ---------- *)
+
+let test_calibrate_sweep_monotone_ends () =
+  let g = Topology.Graph.cycle 5 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.5 ~seed:66 in
+  let points =
+    Coding.Calibrate.sweep ~trials:4 ~rng_seed:67 ~rates:[ 0.; 0.02 ]
+      (Coding.Params.algorithm_1 g) pi
+  in
+  match points with
+  | [ clean; noisy ] ->
+      Alcotest.(check int) "clean all pass" 4 clean.Coding.Calibrate.successes;
+      Alcotest.(check int) "far above threshold all fail" 0 noisy.Coding.Calibrate.successes;
+      Alcotest.(check bool) "fractions measured" true (noisy.Coding.Calibrate.mean_fraction > 0.)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_calibrate_threshold_sane () =
+  let g = Topology.Graph.cycle 5 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.5 ~seed:68 in
+  let eps = Coding.Calibrate.threshold ~trials:3 ~steps:5 ~rng_seed:69 (Coding.Params.algorithm_1 g) pi in
+  Alcotest.(check bool) (Printf.sprintf "threshold in (0, 0.05) (got %f)" eps) true
+    (eps > 0. && eps < 0.05)
+
+(* ---------- sensitivity oracle (the hunter's foundation) ---------- *)
+
+let test_prefix_bit_sensitivity_is_hash_delta () =
+  (* h(x xor e_p) = h(x) xor sensitivity(p): the GF(2)-linearity the
+     hunter exploits, checked directly against the hash. *)
+  let seeds =
+    Coding.Seeds.make ~stream:(Hashing.Seed_stream.uniform ~key:77L) ~tau:14 ~wmax:32 ~slot:0
+      ~slots:1
+  in
+  let r = Util.Rng.create 26 in
+  for _ = 1 to 30 do
+    let bits = 64 + Util.Rng.int r 900 in
+    let x = Util.Bitvec.create () in
+    for _ = 1 to bits do
+      Util.Bitvec.push x (Util.Rng.bool r)
+    done;
+    let pos = Util.Rng.int r bits in
+    let y = Util.Bitvec.copy x in
+    Util.Bitvec.truncate y 0;
+    for i = 0 to bits - 1 do
+      Util.Bitvec.push y (if i = pos then not (Util.Bitvec.get x i) else Util.Bitvec.get x i)
+    done;
+    let iter = Util.Rng.int r 5 and field = Util.Rng.int r 2 in
+    let hx = Coding.Seeds.hash_prefix seeds ~iter ~field x ~bits in
+    let hy = Coding.Seeds.hash_prefix seeds ~iter ~field y ~bits in
+    let sens = Coding.Seeds.prefix_bit_sensitivity seeds ~iter ~field ~total_bits:bits ~pos in
+    Alcotest.(check int) "h(x xor e_p) = h(x) xor sens(p)" (hx lxor sens) hy
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "protocols",
+        [
+          Alcotest.test_case "gossip max" `Quick test_gossip_max_correct;
+          Alcotest.test_case "convergecast sum" `Quick test_convergecast_sum_correct;
+          Alcotest.test_case "gossip max coded+noise" `Quick test_gossip_max_coded_under_noise;
+        ] );
+      ( "fully utilized",
+        [
+          Alcotest.test_case "outputs preserved" `Quick test_fully_utilized_same_outputs;
+          Alcotest.test_case "cc accounting" `Quick test_fully_utilized_cc;
+          Alcotest.test_case "dense is cheap" `Quick test_fully_utilized_of_dense_is_cheap;
+        ] );
+      ( "potential",
+        [
+          Alcotest.test_case "rises noiseless (exactly K)" `Quick test_potential_rises_noiseless;
+          Alcotest.test_case "rises with burst" `Quick test_potential_rises_with_burst;
+          Alcotest.test_case "rises with iid" `Quick test_potential_rises_with_iid;
+          QCheck_alcotest.to_alcotest prop_potential_lemma_4_2;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "flag forger within budget" `Quick test_flag_forger_within_budget;
+          Alcotest.test_case "rewind spoofer within budget" `Quick
+            test_rewind_spoofer_within_budget;
+          Alcotest.test_case "rewind spoofer at high budget" `Quick
+            test_rewind_spoofer_kills_at_high_budget;
+          Alcotest.test_case "hunter respects budget" `Quick test_hunter_respects_budget;
+          Alcotest.test_case "hunter hits invisible" `Quick test_hunter_hits_are_invisible;
+          Alcotest.test_case "hunter blind vs long hashes" `Quick
+            test_hunter_blind_against_long_hashes;
+          Alcotest.test_case "hunter rejects bad depth" `Quick test_hunter_rejects_bad_depth;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "sequence outputs" `Quick test_sequence_outputs;
+          Alcotest.test_case "sequence rejects mismatch" `Quick
+            test_sequence_rejects_mismatched_graphs;
+          Alcotest.test_case "repeat coded under noise" `Quick test_repeat_coded_under_noise;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "sweep endpoints" `Quick test_calibrate_sweep_monotone_ends;
+          Alcotest.test_case "threshold sane" `Quick test_calibrate_threshold_sane;
+        ] );
+      ( "sensitivity",
+        [ Alcotest.test_case "hash delta oracle" `Quick test_prefix_bit_sensitivity_is_hash_delta ]
+      );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for GF(2^62) and GF(256): field axioms, irreducibility testing,
+   and consistency of the fast paths against naive definitions. *)
+
+open Gf
+
+let rng = Util.Rng.create 0xF1E1D
+
+let rand62 () = Int64.to_int (Util.Rng.int64 rng) land ((1 lsl 62) - 1)
+
+(* --- GF(2^62) --- *)
+
+let f = Gf2k.default
+
+let test_gf62_default_irreducible () =
+  Alcotest.(check bool) "default modulus irreducible" true
+    (Gf2k.is_irreducible (Gf2k.modulus_low f))
+
+let test_gf62_mul_identity () =
+  for _ = 1 to 50 do
+    let a = rand62 () in
+    Alcotest.(check int) "a*1 = a" a (Gf2k.mul f a 1);
+    Alcotest.(check int) "1*a = a" a (Gf2k.mul f 1 a);
+    Alcotest.(check int) "a*0 = 0" 0 (Gf2k.mul f a 0)
+  done
+
+let test_gf62_mul_commutative () =
+  for _ = 1 to 50 do
+    let a = rand62 () and b = rand62 () in
+    Alcotest.(check int) "ab = ba" (Gf2k.mul f a b) (Gf2k.mul f b a)
+  done
+
+let test_gf62_mul_associative () =
+  for _ = 1 to 30 do
+    let a = rand62 () and b = rand62 () and c = rand62 () in
+    Alcotest.(check int) "(ab)c = a(bc)"
+      (Gf2k.mul f (Gf2k.mul f a b) c)
+      (Gf2k.mul f a (Gf2k.mul f b c))
+  done
+
+let test_gf62_distributive () =
+  for _ = 1 to 30 do
+    let a = rand62 () and b = rand62 () and c = rand62 () in
+    Alcotest.(check int) "a(b+c) = ab+ac"
+      (Gf2k.mul f a (b lxor c))
+      (Gf2k.mul f a b lxor Gf2k.mul f a c)
+  done
+
+let test_gf62_step_is_mul_x () =
+  for _ = 1 to 50 do
+    let a = rand62 () in
+    Alcotest.(check int) "step = *x" (Gf2k.mul f a 2) (Gf2k.step f a)
+  done
+
+let test_gf62_pow_x_matches_steps () =
+  let p = ref 1 in
+  for i = 0 to 300 do
+    Alcotest.(check int) (Printf.sprintf "x^%d" i) !p (Gf2k.pow_x f i);
+    p := Gf2k.step f !p
+  done
+
+let test_gf62_pow_laws () =
+  let a = rand62 () in
+  Alcotest.(check int) "a^0 = 1" 1 (Gf2k.pow f a 0);
+  Alcotest.(check int) "a^1 = a" a (Gf2k.pow f a 1);
+  Alcotest.(check int) "a^5 = a^2 * a^3"
+    (Gf2k.mul f (Gf2k.pow f a 2) (Gf2k.pow f a 3))
+    (Gf2k.pow f a 5)
+
+let test_gf62_fermat () =
+  (* Nonzero elements form a group of order 2^62 - 1: a^(2^62) = a, which
+     we check via 62 squarings. *)
+  let a = rand62 () in
+  let a = if a = 0 then 1 else a in
+  let t = ref a in
+  for _ = 1 to 62 do
+    t := Gf2k.mul f !t !t
+  done;
+  Alcotest.(check int) "a^(2^62) = a" a !t
+
+let test_gf62_reducible_rejected () =
+  (* Low bits 0 (f = x^62, divisible by x) must fail; even-weight
+     polynomials are divisible by (x + 1). *)
+  Alcotest.(check bool) "x^62 reducible" false (Gf2k.is_irreducible 0);
+  Alcotest.(check bool) "no constant term" false (Gf2k.is_irreducible 6);
+  Alcotest.(check bool) "even weight reducible" false (Gf2k.is_irreducible 1)
+
+let test_gf62_random_irreducible () =
+  let r = Util.Rng.create 77 in
+  for _ = 1 to 3 do
+    let m = Gf2k.random_irreducible r in
+    Alcotest.(check bool) "sampled modulus passes Rabin" true (Gf2k.is_irreducible m);
+    Alcotest.(check int) "odd constant term" 1 (m land 1)
+  done
+
+let test_gf62_make_rejects_reducible () =
+  Alcotest.check_raises "make rejects x^62" (Invalid_argument "Gf2k.make: reducible modulus")
+    (fun () -> ignore (Gf2k.make ~modulus_low:0))
+
+let test_popcount_int () =
+  Alcotest.(check int) "zero" 0 (Gf2k.popcount_int 0);
+  Alcotest.(check int) "all 62 bits" 62 (Gf2k.popcount_int ((1 lsl 62) - 1));
+  Alcotest.(check int) "0xFF" 8 (Gf2k.popcount_int 0xFF);
+  for _ = 1 to 200 do
+    let x = rand62 () in
+    let naive = ref 0 in
+    for i = 0 to 61 do
+      if (x lsr i) land 1 = 1 then incr naive
+    done;
+    Alcotest.(check int) "matches naive" !naive (Gf2k.popcount_int x)
+  done
+
+let test_parity_int () =
+  Alcotest.(check int) "even" 0 (Gf2k.parity_int 0b11);
+  Alcotest.(check int) "odd" 1 (Gf2k.parity_int 0b111)
+
+let prop_gf62_mul_linear_in_xor =
+  QCheck.Test.make ~name:"gf62 mul is GF(2)-linear" ~count:100
+    QCheck.(triple int int int)
+    (fun (a, b, c) ->
+      let m x = abs x land ((1 lsl 62) - 1) in
+      let a = m a and b = m b and c = m c in
+      Gf2k.mul f (a lxor b) c = Gf2k.mul f a c lxor Gf2k.mul f b c)
+
+(* --- GF(256) --- *)
+
+let test_gf256_mul_table_vs_naive () =
+  (* Naive carry-less multiply mod 0x11D. *)
+  let naive a b =
+    let acc = ref 0 in
+    for i = 7 downto 0 do
+      acc := !acc lsl 1;
+      if !acc land 0x100 <> 0 then acc := !acc lxor 0x11D;
+      if (b lsr i) land 1 = 1 then acc := !acc lxor a
+    done;
+    !acc
+  in
+  for _ = 1 to 500 do
+    let a = Util.Rng.int rng 256 and b = Util.Rng.int rng 256 in
+    Alcotest.(check int) "table mul = naive" (naive a b) (Gf256.mul a b)
+  done
+
+let test_gf256_inverse () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "a * a^-1 = 1" 1 (Gf256.mul a (Gf256.inv a))
+  done
+
+let test_gf256_div () =
+  for _ = 1 to 200 do
+    let a = Util.Rng.int rng 256 and b = 1 + Util.Rng.int rng 255 in
+    Alcotest.(check int) "(a/b)*b = a" a (Gf256.mul (Gf256.div a b) b)
+  done
+
+let test_gf256_alpha_primitive () =
+  (* alpha generates all 255 nonzero elements. *)
+  let seen = Array.make 256 false in
+  let x = ref 1 in
+  for _ = 0 to 254 do
+    seen.(!x) <- true;
+    x := Gf256.mul !x Gf256.alpha
+  done;
+  let count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 seen in
+  Alcotest.(check int) "255 distinct powers" 255 count
+
+let test_gf256_pow () =
+  Alcotest.(check int) "a^0" 1 (Gf256.pow 5 0);
+  Alcotest.(check int) "0^3" 0 (Gf256.pow 0 3);
+  Alcotest.(check int) "a^3 = a*a*a" (Gf256.mul 7 (Gf256.mul 7 7)) (Gf256.pow 7 3)
+
+let test_gf256_alpha_pow_negative () =
+  Alcotest.(check int) "alpha^-1 * alpha = 1" 1 (Gf256.mul (Gf256.alpha_pow (-1)) Gf256.alpha);
+  Alcotest.(check int) "alpha^255 = 1" 1 (Gf256.alpha_pow 255);
+  Alcotest.(check int) "alpha^0 = 1" 1 (Gf256.alpha_pow 0)
+
+let test_gf256_log_exp_roundtrip () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "alpha^(log a) = a" a (Gf256.alpha_pow (Gf256.log a))
+  done
+
+let test_gf256_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Gf256.div 5 0))
+
+let () =
+  Alcotest.run "gf"
+    [
+      ( "gf2k",
+        [
+          Alcotest.test_case "default irreducible" `Quick test_gf62_default_irreducible;
+          Alcotest.test_case "mul identity" `Quick test_gf62_mul_identity;
+          Alcotest.test_case "mul commutative" `Quick test_gf62_mul_commutative;
+          Alcotest.test_case "mul associative" `Quick test_gf62_mul_associative;
+          Alcotest.test_case "distributive" `Quick test_gf62_distributive;
+          Alcotest.test_case "step = mul x" `Quick test_gf62_step_is_mul_x;
+          Alcotest.test_case "pow_x matches steps" `Quick test_gf62_pow_x_matches_steps;
+          Alcotest.test_case "pow laws" `Quick test_gf62_pow_laws;
+          Alcotest.test_case "fermat" `Quick test_gf62_fermat;
+          Alcotest.test_case "reducible rejected" `Quick test_gf62_reducible_rejected;
+          Alcotest.test_case "random irreducible" `Slow test_gf62_random_irreducible;
+          Alcotest.test_case "make rejects reducible" `Quick test_gf62_make_rejects_reducible;
+          Alcotest.test_case "popcount_int" `Quick test_popcount_int;
+          Alcotest.test_case "parity_int" `Quick test_parity_int;
+          QCheck_alcotest.to_alcotest prop_gf62_mul_linear_in_xor;
+        ] );
+      ( "gf256",
+        [
+          Alcotest.test_case "mul vs naive" `Quick test_gf256_mul_table_vs_naive;
+          Alcotest.test_case "inverses" `Quick test_gf256_inverse;
+          Alcotest.test_case "division" `Quick test_gf256_div;
+          Alcotest.test_case "alpha primitive" `Quick test_gf256_alpha_primitive;
+          Alcotest.test_case "pow" `Quick test_gf256_pow;
+          Alcotest.test_case "alpha_pow negative" `Quick test_gf256_alpha_pow_negative;
+          Alcotest.test_case "log/exp roundtrip" `Quick test_gf256_log_exp_roundtrip;
+          Alcotest.test_case "div by zero" `Quick test_gf256_div_by_zero;
+        ] );
+    ]

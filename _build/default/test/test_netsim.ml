@@ -1,0 +1,313 @@
+(* Tests for the synchronous noisy network: faithful delivery without
+   noise, and exact insertion/deletion/substitution semantics of the
+   additive adversary. *)
+
+open Netsim
+
+let g4 = Topology.Graph.cycle 4
+
+let test_silent_delivery () =
+  let net = Network.create g4 Adversary.Silent in
+  let delivered = Network.round net ~sends:[ (0, 1, true); (2, 1, false) ] in
+  Alcotest.(check int) "two delivered" 2 (List.length delivered);
+  Alcotest.(check bool) "0->1 true" true (List.mem (0, 1, true) delivered);
+  Alcotest.(check bool) "2->1 false" true (List.mem (2, 1, false) delivered);
+  Alcotest.(check int) "cc" 2 (Network.cc net);
+  Alcotest.(check int) "no corruptions" 0 (Network.corruptions net);
+  Alcotest.(check int) "round advanced" 1 (Network.rounds net)
+
+let test_empty_round () =
+  let net = Network.create g4 Adversary.Silent in
+  Alcotest.(check (list (triple int int bool))) "nothing" [] (Network.round net ~sends:[]);
+  Network.silence net ~rounds:5;
+  Alcotest.(check int) "rounds" 6 (Network.rounds net);
+  Alcotest.(check int) "cc 0" 0 (Network.cc net)
+
+let test_duplicate_send_rejected () =
+  let net = Network.create g4 Adversary.Silent in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Network.round: duplicate send on a directed link") (fun () ->
+      ignore (Network.round net ~sends:[ (0, 1, true); (0, 1, false) ]))
+
+let dir g s d = Topology.Graph.dir_id g ~src:s ~dst:d
+
+let test_substitution () =
+  (* Addend 1 on a sent 0 yields 1 (flip). *)
+  let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:1 in
+  let net = Network.create g4 adv in
+  let delivered = Network.round net ~sends:[ (0, 1, false) ] in
+  Alcotest.(check (list (triple int int bool))) "flipped" [ (0, 1, true) ] delivered;
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+
+let test_deletion () =
+  (* Addend 2 on a sent 0 (Z3: 0+2=2=∗) deletes it. *)
+  let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:2 in
+  let net = Network.create g4 adv in
+  let delivered = Network.round net ~sends:[ (0, 1, false) ] in
+  Alcotest.(check (list (triple int int bool))) "deleted" [] delivered;
+  Alcotest.(check int) "cc counts the send" 1 (Network.cc net);
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+
+let test_deletion_of_one () =
+  (* Addend 1 on a sent 1 (Z3: 1+1=2=∗) deletes it. *)
+  let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:1 in
+  let net = Network.create g4 adv in
+  Alcotest.(check (list (triple int int bool))) "deleted" []
+    (Network.round net ~sends:[ (0, 1, true) ])
+
+let test_insertion () =
+  (* Addend 1 on a silent slot (Z3: 2+1=0) inserts a 0. *)
+  let adv = Adversary.single ~round:0 ~dir:(dir g4 3 2) ~addend:1 in
+  let net = Network.create g4 adv in
+  let delivered = Network.round net ~sends:[] in
+  Alcotest.(check (list (triple int int bool))) "inserted zero" [ (3, 2, false) ] delivered;
+  Alcotest.(check int) "cc counts no send" 0 (Network.cc net);
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+
+let test_insertion_of_one () =
+  let adv = Adversary.single ~round:0 ~dir:(dir g4 3 2) ~addend:2 in
+  let net = Network.create g4 adv in
+  Alcotest.(check (list (triple int int bool))) "inserted one" [ (3, 2, true) ]
+    (Network.round net ~sends:[])
+
+let test_noise_only_at_scheduled_round () =
+  let adv = Adversary.single ~round:5 ~dir:(dir g4 0 1) ~addend:1 in
+  let net = Network.create g4 adv in
+  for _ = 1 to 5 do
+    let d = Network.round net ~sends:[ (0, 1, true) ] in
+    Alcotest.(check (list (triple int int bool))) "clean before round 5" [ (0, 1, true) ] d
+  done;
+  let d = Network.round net ~sends:[ (0, 1, true) ] in
+  Alcotest.(check (list (triple int int bool))) "deleted at round 5" [] d
+
+let test_iid_rate () =
+  let rng = Util.Rng.create 5 in
+  let adv = Adversary.iid rng ~rate:0.1 in
+  let net = Network.create g4 adv in
+  let rounds = 2000 in
+  for _ = 1 to rounds do
+    ignore (Network.round net ~sends:[ (0, 1, true); (1, 2, false) ])
+  done;
+  (* 8 directed links * 2000 rounds = 16000 slots; expect ~1600. *)
+  let c = Network.corruptions net in
+  Alcotest.(check bool) (Printf.sprintf "corruption count plausible (%d)" c) true
+    (c > 1200 && c < 2000)
+
+let test_iid_oblivious_pure () =
+  (* The oblivious pattern must be a pure function: two networks driven by
+     the same adversary value see identical noise. *)
+  let rng = Util.Rng.create 6 in
+  let adv = Adversary.iid rng ~rate:0.3 in
+  let run () =
+    let net = Network.create g4 adv in
+    let log = ref [] in
+    for _ = 1 to 50 do
+      log := Network.round net ~sends:[ (0, 1, true) ] :: !log
+    done;
+    !log
+  in
+  Alcotest.(check bool) "replay identical" true (run () = run ())
+
+let test_sampled_slots_count () =
+  let rng = Util.Rng.create 7 in
+  let adv = Adversary.sampled_slots rng ~count:25 ~rounds:100 ~dirs:8 in
+  let net = Network.create g4 adv in
+  for _ = 1 to 100 do
+    ignore (Network.round net ~sends:[])
+  done;
+  Alcotest.(check int) "exactly 25 corruptions" 25 (Network.corruptions net)
+
+let test_burst () =
+  let rng = Util.Rng.create 8 in
+  let d01 = dir g4 0 1 in
+  let adv = Adversary.burst rng ~start_round:10 ~len:5 ~dirs:[ d01 ] in
+  let net = Network.create g4 adv in
+  for _ = 1 to 30 do
+    ignore (Network.round net ~sends:[])
+  done;
+  Alcotest.(check int) "5 corruptions" 5 (Network.corruptions net)
+
+let test_fixing_semantics () =
+  (* Remark 1: the fixing adversary forces outputs; forcing the honest
+     symbol costs nothing. *)
+  let d01 = dir g4 0 1 in
+  let mk forced = Netsim.Adversary.Oblivious_fixing
+      (fun ~round ~dir -> if round = 0 && dir = d01 then Some forced else None)
+  in
+  (* Force 1 on a sent 0: substitution, one corruption. *)
+  let net = Network.create g4 (mk 1) in
+  Alcotest.(check (list (triple int int bool))) "forced to 1" [ (0, 1, true) ]
+    (Network.round net ~sends:[ (0, 1, false) ]);
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+  (* Force ∗ on a sent bit: deletion. *)
+  let net = Network.create g4 (mk 2) in
+  Alcotest.(check (list (triple int int bool))) "forced silent" []
+    (Network.round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+  (* Force 0 on a silent slot: insertion. *)
+  let net = Network.create g4 (mk 0) in
+  Alcotest.(check (list (triple int int bool))) "inserted 0" [ (0, 1, false) ]
+    (Network.round net ~sends:[]);
+  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+  (* Force the honest symbol: free, no corruption. *)
+  let net = Network.create g4 (mk 1) in
+  Alcotest.(check (list (triple int int bool))) "honest fix" [ (0, 1, true) ]
+    (Network.round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "no corruption charged" 0 (Network.corruptions net)
+
+let test_iid_fixing_cheaper_than_additive () =
+  (* At equal rate the fixing adversary's corruption count is lower:
+     about a third of its fixings match the honest symbol. *)
+  let run adv =
+    let net = Network.create g4 adv in
+    for _ = 1 to 1500 do
+      ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+    done;
+    Network.corruptions net
+  in
+  let additive = run (Netsim.Adversary.iid (Util.Rng.create 91) ~rate:0.1) in
+  let fixing = run (Netsim.Adversary.iid_fixing (Util.Rng.create 92) ~rate:0.1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixing (%d) < additive (%d)" fixing additive)
+    true
+    (float_of_int fixing < 0.85 *. float_of_int additive);
+  Alcotest.(check bool) "fixing still corrupts" true (fixing > 500)
+
+let test_adaptive_budget_enforced () =
+  (* A greedy adaptive adversary with budget cc/10 cannot corrupt more
+     than a tenth of the communication. *)
+  let adv =
+    Adversary.Adaptive
+      {
+        budget = (fun cc -> cc / 10);
+        strategy =
+          (fun ctx ->
+            List.map
+              (fun (s, d, _) -> (Topology.Graph.dir_id ctx.Adversary.graph ~src:s ~dst:d, 1))
+              ctx.Adversary.sends);
+      }
+  in
+  let net = Network.create g4 adv in
+  for _ = 1 to 200 do
+    ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+  done;
+  Alcotest.(check int) "cc" 400 (Network.cc net);
+  Alcotest.(check bool)
+    (Printf.sprintf "corruptions %d <= 40" (Network.corruptions net))
+    true
+    (Network.corruptions net <= 40);
+  Alcotest.(check bool) "budget actually used" true (Network.corruptions net >= 35);
+  Alcotest.(check bool) "noise fraction <= 0.1" true (Network.noise_fraction net <= 0.1)
+
+let test_adaptive_sees_phase () =
+  (* Strategy that only fires in the Simulation phase. *)
+  let fired_in = ref [] in
+  let adv =
+    Adversary.Adaptive
+      {
+        budget = (fun _ -> max_int);
+        strategy =
+          (fun ctx ->
+            if ctx.Adversary.sends <> [] then
+              fired_in := ctx.Adversary.phase :: !fired_in;
+            if ctx.Adversary.phase = Adversary.Simulation then
+              (* Addend 1 on a sent 1 is a deletion (Z3: 1 + 1 = 2 = ∗). *)
+              List.map
+                (fun (s, d, _) -> (Topology.Graph.dir_id ctx.Adversary.graph ~src:s ~dst:d, 1))
+                ctx.Adversary.sends
+            else []);
+      }
+  in
+  let net = Network.create g4 adv in
+  Network.set_phase net ~iteration:0 ~phase:Adversary.Flag;
+  let d1 = Network.round net ~sends:[ (0, 1, true) ] in
+  Network.set_phase net ~iteration:0 ~phase:Adversary.Simulation;
+  let d2 = Network.round net ~sends:[ (0, 1, true) ] in
+  Alcotest.(check int) "flag phase untouched" 1 (List.length d1);
+  Alcotest.(check int) "simulation phase deleted" 0 (List.length d2)
+
+let prop_additive_semantics =
+  (* For every sent symbol and addend, delivery follows the Z3 table:
+     received = (sent + e) mod 3 under {0,1,∗} = {0,1,2}. *)
+  QCheck.Test.make ~name:"additive channel semantics" ~count:200
+    QCheck.(triple (int_bound 2) (int_bound 2) bool)
+    (fun (sym, addend, _) ->
+      let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend in
+      let net = Network.create g4 adv in
+      let sends = match sym with 0 -> [ (0, 1, false) ] | 1 -> [ (0, 1, true) ] | _ -> [] in
+      let delivered = Network.round net ~sends in
+      let received =
+        match List.find_opt (fun (s, d, _) -> s = 0 && d = 1) delivered with
+        | Some (_, _, false) -> 0
+        | Some (_, _, true) -> 1
+        | None -> 2
+      in
+      received = (sym + addend) mod 3
+      && Network.corruptions net = (if addend = 0 then 0 else 1))
+
+let test_compose () =
+  let d01 = dir g4 0 1 in
+  (* burst + iid: slots hit by both may cancel (1 + 2 = 0). *)
+  let a = Adversary.single ~round:0 ~dir:d01 ~addend:1 in
+  let b = Adversary.single ~round:0 ~dir:d01 ~addend:2 in
+  let net = Network.create g4 (Adversary.compose a b) in
+  Alcotest.(check (list (triple int int bool))) "addends cancel" [ (0, 1, true) ]
+    (Network.round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "cancellation is free" 0 (Network.corruptions net);
+  (* Identity. *)
+  let net = Network.create g4 (Adversary.compose Adversary.Silent a) in
+  Alcotest.(check (list (triple int int bool))) "silent identity (flip applies)" []
+    (Network.round net ~sends:[ (0, 1, true) ]);
+  (* Genuinely combined: a burst and a single on different slots. *)
+  let combined =
+    Adversary.compose
+      (Adversary.single ~round:0 ~dir:d01 ~addend:1)
+      (Adversary.single ~round:1 ~dir:d01 ~addend:1)
+  in
+  let net = Network.create g4 combined in
+  ignore (Network.round net ~sends:[ (0, 1, false) ]);
+  ignore (Network.round net ~sends:[ (0, 1, false) ]);
+  Alcotest.(check int) "both slots corrupted" 2 (Network.corruptions net);
+  (* Adaptive composition rejected. *)
+  let adaptive = Adversary.Adaptive { budget = (fun _ -> 0); strategy = (fun _ -> []) } in
+  Alcotest.check_raises "adaptive rejected"
+    (Invalid_argument "Adversary.compose: only additive oblivious patterns compose") (fun () ->
+      ignore (Adversary.compose a adaptive))
+
+let test_noise_fraction () =
+  let net = Network.create g4 Adversary.Silent in
+  Alcotest.(check (float 0.001)) "zero cc" 0. (Network.noise_fraction net)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "silent delivery" `Quick test_silent_delivery;
+          Alcotest.test_case "empty round" `Quick test_empty_round;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_send_rejected;
+        ] );
+      ( "noise semantics",
+        [
+          Alcotest.test_case "substitution" `Quick test_substitution;
+          Alcotest.test_case "deletion of 0" `Quick test_deletion;
+          Alcotest.test_case "deletion of 1" `Quick test_deletion_of_one;
+          Alcotest.test_case "insertion of 0" `Quick test_insertion;
+          Alcotest.test_case "insertion of 1" `Quick test_insertion_of_one;
+          Alcotest.test_case "timing" `Quick test_noise_only_at_scheduled_round;
+        ] );
+      ( "adversaries",
+        [
+          Alcotest.test_case "iid rate" `Quick test_iid_rate;
+          Alcotest.test_case "iid pure/oblivious" `Quick test_iid_oblivious_pure;
+          Alcotest.test_case "sampled slots count" `Quick test_sampled_slots_count;
+          Alcotest.test_case "burst" `Quick test_burst;
+          Alcotest.test_case "fixing semantics" `Quick test_fixing_semantics;
+          Alcotest.test_case "iid fixing cheaper" `Quick test_iid_fixing_cheaper_than_additive;
+          Alcotest.test_case "adaptive budget" `Quick test_adaptive_budget_enforced;
+          Alcotest.test_case "adaptive phase view" `Quick test_adaptive_sees_phase;
+          Alcotest.test_case "noise fraction" `Quick test_noise_fraction;
+          QCheck_alcotest.to_alcotest prop_additive_semantics;
+          Alcotest.test_case "compose" `Quick test_compose;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the noiseless-protocol abstraction, the concrete protocol
+   library, and the chunking machinery of §3.2. *)
+
+open Protocol
+
+let rng = Util.Rng.create 0xAB
+
+(* --- concrete protocols compute the right thing --- *)
+
+let test_ring_sum_correct () =
+  for _ = 1 to 10 do
+    let n = 3 + Util.Rng.int rng 8 in
+    let bits = 4 + Util.Rng.int rng 6 in
+    let pi = Protocols.ring_sum ~n ~bits in
+    Pi.validate pi;
+    let inputs = Array.init n (fun _ -> Util.Rng.int rng (1 lsl bits)) in
+    let expected = Array.fold_left ( + ) 0 inputs land ((1 lsl bits) - 1) in
+    let outputs = Pi.run_noiseless pi ~inputs in
+    Array.iteri
+      (fun p o -> Alcotest.(check int) (Printf.sprintf "party %d has the sum" p) expected o)
+      outputs
+  done
+
+let test_broadcast_tree_correct () =
+  List.iter
+    (fun g ->
+      let bits = 8 in
+      let pi = Protocols.broadcast_tree g ~bits in
+      Pi.validate pi;
+      let n = Topology.Graph.n g in
+      let inputs = Array.init n (fun i -> 1000 + i) in
+      let expected = inputs.(0) land ((1 lsl bits) - 1) in
+      let outputs = Pi.run_noiseless pi ~inputs in
+      Array.iteri
+        (fun p o -> Alcotest.(check int) (Printf.sprintf "party %d got root value" p) expected o)
+        outputs)
+    [
+      Topology.Graph.line 6;
+      Topology.Graph.star 6;
+      Topology.Graph.binary_tree 7;
+      Topology.Graph.random_connected rng ~n:9 ~extra_edges:4;
+    ]
+
+let test_pairwise_ip_correct () =
+  let g = Topology.Graph.cycle 5 in
+  let bits = 6 in
+  let pi = Protocols.pairwise_ip g ~bits in
+  Pi.validate pi;
+  let inputs = Array.init 5 (fun _ -> Util.Rng.int rng (1 lsl bits)) in
+  let ip x y = Util.Bitvec.parity64 (Int64.of_int (x land y)) in
+  let expected p =
+    Array.fold_left
+      (fun acc v -> acc lxor ip inputs.(p) inputs.(v))
+      0
+      (Topology.Graph.neighbors g p)
+  in
+  let outputs = Pi.run_noiseless pi ~inputs in
+  Array.iteri
+    (fun p o -> Alcotest.(check int) (Printf.sprintf "party %d ip sum" p) (expected p) o)
+    outputs
+
+let test_line_flow_valid_and_deterministic () =
+  let pi = Protocols.line_flow ~n:5 ~phases:3 ~chat:4 in
+  Pi.validate pi;
+  let inputs = [| 1; 2; 3; 4; 5 |] in
+  let o1 = Pi.run_noiseless pi ~inputs in
+  let o2 = Pi.run_noiseless pi ~inputs in
+  Alcotest.(check bool) "deterministic" true (o1 = o2);
+  let o3 = Pi.run_noiseless pi ~inputs:[| 1; 2; 3; 4; 6 |] in
+  Alcotest.(check bool) "outputs depend on inputs" true (o1 <> o3)
+
+let test_random_chatter_valid () =
+  let g = Topology.Graph.random_connected rng ~n:8 ~extra_edges:5 in
+  let pi = Protocols.random_chatter g ~rounds:100 ~density:0.4 ~seed:3 in
+  Pi.validate pi;
+  Alcotest.(check bool) "some communication" true (Pi.cc pi > 0);
+  Alcotest.(check bool) "not fully utilised" true (Pi.cc pi < 100 * 2 * Topology.Graph.m g);
+  let inputs = Array.init 8 (fun i -> i * 17) in
+  Alcotest.(check bool) "deterministic" true
+    (Pi.run_noiseless pi ~inputs = Pi.run_noiseless pi ~inputs)
+
+let test_cc_counts_transmissions () =
+  let pi = Protocols.ring_sum ~n:4 ~bits:5 in
+  (* 2 laps * 4 hops * 5 bits = 40 transmissions. *)
+  Alcotest.(check int) "cc" 40 (Pi.cc pi)
+
+let test_validate_catches_bad_schedule () =
+  let g = Topology.Graph.line 3 in
+  let bad =
+    Pi.
+      {
+        graph = g;
+        rounds = 1;
+        sends_at = (fun _ -> [ (0, 2) ]);
+        spawn = (fun ~party:_ ~input -> Protocols.random_chatter g ~rounds:1 ~density:0. ~seed:0
+                                        |> fun p -> p.Pi.spawn ~party:0 ~input);
+      }
+  in
+  match Pi.validate bad with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+(* --- chunking --- *)
+
+let check_chunking pi k =
+  let ch = Chunking.make pi ~k in
+  let g = pi.Pi.graph in
+  let m = Topology.Graph.m g in
+  let k5 = 5 * k in
+  (* 1. Every chunk (real and dummy) carries exactly 5K transmissions. *)
+  for i = 1 to Chunking.n_real ch + 2 do
+    let c = Chunking.chunk ch i in
+    let comm = Array.fold_left (fun acc slots -> acc + List.length slots) 0 c.Chunking.rounds in
+    Alcotest.(check int) (Printf.sprintf "chunk %d has 5K bits" i) k5 comm;
+    Alcotest.(check bool) "chunk fits in max_rounds" true
+      (Array.length c.Chunking.rounds <= Chunking.max_rounds ch);
+    (* 2. Each directed link appears at least once per chunk, so every
+       party sends at least one bit to each neighbor. *)
+    let dir_count = Hashtbl.create 16 in
+    Array.iter
+      (List.iter (fun s ->
+           let key = (s.Chunking.src, s.Chunking.dst) in
+           Hashtbl.replace dir_count key (1 + Option.value ~default:0 (Hashtbl.find_opt dir_count key))))
+      c.Chunking.rounds;
+    Array.iter
+      (fun (u, v) ->
+        Alcotest.(check bool) "dir u->v present" true (Hashtbl.mem dir_count (min u v, max u v));
+        Alcotest.(check bool) "dir v->u present" true (Hashtbl.mem dir_count (max u v, min u v)))
+      (Topology.Graph.edges g)
+  done;
+  (* 3. Real rounds are all present exactly once, in order. *)
+  let seen = ref [] in
+  for i = 1 to Chunking.n_real ch do
+    Array.iter
+      (List.iter (fun s ->
+           match s.Chunking.pi_round with Some r -> seen := r :: !seen | None -> ()))
+      (Chunking.chunk ch i).Chunking.rounds
+  done;
+  let rounds_seen = List.sort_uniq compare !seen in
+  let expected_rounds =
+    List.filter (fun r -> pi.Pi.sends_at r <> []) (List.init pi.Pi.rounds (fun r -> r))
+  in
+  Alcotest.(check (list int)) "all protocol rounds chunked" expected_rounds rounds_seen;
+  (* 4. Per-link event layout is consistent with the schedule. *)
+  for e = 0 to m - 1 do
+    let slots = Chunking.link_slots ch ~chunk_index:1 ~edge:e in
+    Alcotest.(check int) "events count matches"
+      (Array.length slots)
+      (Chunking.events_on_link ch ~chunk_index:1 ~edge:e);
+    Array.iter
+      (fun (_, src, dst) ->
+        Alcotest.(check int) "slots belong to the edge" e (Topology.Graph.edge_id g src dst))
+      slots
+  done;
+  ch
+
+let test_chunking_ring () =
+  let pi = Protocols.ring_sum ~n:5 ~bits:8 in
+  let ch = check_chunking pi (Topology.Graph.m pi.Pi.graph) in
+  Alcotest.(check bool) "multiple chunks" true (Chunking.n_real ch >= 1)
+
+let test_chunking_random_chatter () =
+  let g = Topology.Graph.random_connected rng ~n:7 ~extra_edges:4 in
+  let pi = Protocols.random_chatter g ~rounds:200 ~density:0.5 ~seed:9 in
+  ignore (check_chunking pi (Topology.Graph.m g))
+
+let test_chunking_k_larger_than_m () =
+  let pi = Protocols.ring_sum ~n:4 ~bits:6 in
+  ignore (check_chunking pi (3 * Topology.Graph.m pi.Pi.graph))
+
+let test_chunking_rejects_small_k () =
+  let pi = Protocols.ring_sum ~n:5 ~bits:4 in
+  Alcotest.check_raises "k < m" (Invalid_argument "Chunking.make: k < m") (fun () ->
+      ignore (Chunking.make pi ~k:(Topology.Graph.m pi.Pi.graph - 1)))
+
+let test_serialized_bits () =
+  let pi = Protocols.ring_sum ~n:4 ~bits:6 in
+  let ch = Chunking.make pi ~k:(Topology.Graph.m pi.Pi.graph) in
+  for e = 0 to Topology.Graph.m pi.Pi.graph - 1 do
+    Alcotest.(check int) "header + 2 bits per event"
+      (32 + (2 * Chunking.events_on_link ch ~chunk_index:1 ~edge:e))
+      (Chunking.serialized_chunk_bits ch ~chunk_index:1 ~edge:e)
+  done;
+  Alcotest.(check bool) "word bound positive" true (Chunking.max_transcript_words ch ~horizon:10 > 0);
+  Alcotest.(check bool) "word bound monotone" true
+    (Chunking.max_transcript_words ch ~horizon:20 >= Chunking.max_transcript_words ch ~horizon:10)
+
+let prop_link_slots_partition_chunk =
+  (* The per-link slot views partition the chunk's transmissions: summing
+     events_on_link over all edges recovers exactly 5K, for real and
+     dummy chunks alike. *)
+  QCheck.Test.make ~name:"link slots partition each chunk" ~count:25
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let r = Util.Rng.create ((a * 977) + b) in
+      let n = 4 + (a mod 6) in
+      let g = Topology.Graph.random_connected r ~n ~extra_edges:(b mod 5) in
+      let pi = Protocols.random_chatter g ~rounds:(40 + (b mod 60)) ~density:0.4 ~seed:b in
+      let k = Topology.Graph.m g in
+      let ch = Chunking.make pi ~k in
+      let ok = ref true in
+      for c = 1 to Chunking.n_real ch + 1 do
+        let total = ref 0 in
+        for e = 0 to Topology.Graph.m g - 1 do
+          total := !total + Chunking.events_on_link ch ~chunk_index:c ~edge:e
+        done;
+        ok := !ok && !total = 5 * k
+      done;
+      !ok)
+
+let test_link_slots_full_pads_marked () =
+  let pi = Protocols.ring_sum ~n:4 ~bits:6 in
+  let ch = Chunking.make pi ~k:(Topology.Graph.m pi.Pi.graph) in
+  (* Dummy chunks are pure padding; real chunks end in padding. *)
+  let dummy = Chunking.link_slots_full ch ~chunk_index:(Chunking.n_real ch + 1) ~edge:0 in
+  Alcotest.(check bool) "dummy chunk all pads" true
+    (Array.for_all (fun (_, _, _, pad) -> pad) dummy);
+  let real = Chunking.link_slots_full ch ~chunk_index:1 ~edge:0 in
+  let n = Array.length real in
+  Alcotest.(check bool) "real chunk ends with a pad" true
+    (n > 0 && (fun (_, _, _, pad) -> pad) real.(n - 1));
+  Alcotest.(check bool) "slot views agree" true
+    (Array.map (fun (r, s, d, _) -> (r, s, d)) real = Chunking.link_slots ch ~chunk_index:1 ~edge:0)
+
+let prop_chunking_exact_5k =
+  QCheck.Test.make ~name:"chunks are exactly 5K on random graphs" ~count:25
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let r = Util.Rng.create ((a * 131) + b) in
+      let n = 4 + (a mod 8) in
+      let g = Topology.Graph.random_connected r ~n ~extra_edges:(b mod 6) in
+      let pi = Protocols.random_chatter g ~rounds:(50 + (b mod 100)) ~density:0.3 ~seed:a in
+      let k = Topology.Graph.m g in
+      let ch = Chunking.make pi ~k in
+      let ok = ref true in
+      for i = 1 to Chunking.n_real ch + 1 do
+        let c = Chunking.chunk ch i in
+        let comm = Array.fold_left (fun acc s -> acc + List.length s) 0 c.Chunking.rounds in
+        ok := !ok && comm = 5 * k
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "protocols",
+        [
+          Alcotest.test_case "ring sum" `Quick test_ring_sum_correct;
+          Alcotest.test_case "broadcast tree" `Quick test_broadcast_tree_correct;
+          Alcotest.test_case "pairwise ip" `Quick test_pairwise_ip_correct;
+          Alcotest.test_case "line flow" `Quick test_line_flow_valid_and_deterministic;
+          Alcotest.test_case "random chatter" `Quick test_random_chatter_valid;
+          Alcotest.test_case "cc" `Quick test_cc_counts_transmissions;
+          Alcotest.test_case "validate" `Quick test_validate_catches_bad_schedule;
+        ] );
+      ( "chunking",
+        [
+          Alcotest.test_case "ring" `Quick test_chunking_ring;
+          Alcotest.test_case "random chatter" `Quick test_chunking_random_chatter;
+          Alcotest.test_case "k > m" `Quick test_chunking_k_larger_than_m;
+          Alcotest.test_case "rejects small k" `Quick test_chunking_rejects_small_k;
+          Alcotest.test_case "serialized bits" `Quick test_serialized_bits;
+          QCheck_alcotest.to_alcotest prop_chunking_exact_5k;
+          QCheck_alcotest.to_alcotest prop_link_slots_partition_chunk;
+          Alcotest.test_case "pad slots marked" `Quick test_link_slots_full_pads_marked;
+        ] );
+    ]

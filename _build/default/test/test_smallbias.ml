@@ -1,0 +1,139 @@
+(* Tests for the δ-biased generator: determinism, random access vs
+   sequential agreement, seed expansion (the G of Lemma 2.5), and an
+   empirical bias check on linear tests. *)
+
+open Smallbias
+
+let test_deterministic () =
+  let g1 = Generator.sample (Util.Rng.create 11) in
+  let g2 = Generator.create ~f:(fst (Generator.seed g1)) ~s:(snd (Generator.seed g1)) in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same words" (Generator.next_word g1) (Generator.next_word g2)
+  done
+
+let test_bit_at_matches_words () =
+  let g = Generator.sample (Util.Rng.create 12) in
+  let words = Array.init 8 (fun _ -> Generator.next_word g) in
+  for i = 0 to (8 * 64) - 1 do
+    let from_word = Int64.logand (Int64.shift_right_logical words.(i / 64) (i mod 64)) 1L = 1L in
+    Alcotest.(check bool) (Printf.sprintf "bit %d" i) from_word (Generator.bit_at g i)
+  done
+
+let test_seek_forward () =
+  let g1 = Generator.sample (Util.Rng.create 13) in
+  let g2 =
+    Generator.create ~f:(fst (Generator.seed g1)) ~s:(snd (Generator.seed g1))
+  in
+  for _ = 1 to 20 do
+    ignore (Generator.next_word g1)
+  done;
+  Generator.seek_word g2 20;
+  Alcotest.(check int64) "seek fwd = sequential" (Generator.next_word g1) (Generator.next_word g2)
+
+let test_seek_far_and_back () =
+  let g = Generator.sample (Util.Rng.create 14) in
+  Generator.seek_word g 5000;
+  let w5000 = Generator.next_word g in
+  Generator.seek_word g 0;
+  let w0 = Generator.next_word g in
+  Generator.seek_word g 5000;
+  Alcotest.(check int64) "far seek reproducible" w5000 (Generator.next_word g);
+  Generator.seek_word g 0;
+  Alcotest.(check int64) "seek back reproducible" w0 (Generator.next_word g)
+
+let test_of_seed_deterministic () =
+  let g1 = Generator.of_seed (123L, 456L) in
+  let g2 = Generator.of_seed (123L, 456L) in
+  Alcotest.(check bool) "same derived seed" true (Generator.seed g1 = Generator.seed g2);
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same stream" (Generator.next_word g1) (Generator.next_word g2)
+  done
+
+let test_of_seed_valid_modulus () =
+  (* Expansion must always land on an irreducible modulus, even for
+     degenerate seed bits. *)
+  List.iter
+    (fun (a, b) ->
+      let g = Generator.of_seed (a, b) in
+      let f, s = Generator.seed g in
+      Alcotest.(check bool) "irreducible" true (Gf.Gf2k.is_irreducible f);
+      Alcotest.(check bool) "nonzero state" true (s <> 0))
+    [ (0L, 0L); (0L, 1L); (-1L, -1L); (42L, 0L) ]
+
+let test_zero_state_rejected () =
+  let f = Gf.Gf2k.modulus_low Gf.Gf2k.default in
+  Alcotest.check_raises "zero state" (Invalid_argument "Generator.create: zero start state")
+    (fun () -> ignore (Generator.create ~f ~s:0))
+
+let test_streams_differ_across_seeds () =
+  let g1 = Generator.sample (Util.Rng.create 15) in
+  let g2 = Generator.sample (Util.Rng.create 16) in
+  let differ = ref false in
+  for _ = 1 to 8 do
+    if Generator.next_word g1 <> Generator.next_word g2 then differ := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differ
+
+let test_empirical_balance () =
+  (* Each individual output bit is a ±2^-63-biased coin over the seed; over
+     one fixed seed, long output stretches should still look balanced. *)
+  let g = Generator.sample (Util.Rng.create 17) in
+  let ones = ref 0 in
+  let words = 2000 in
+  for _ = 1 to words do
+    ones := !ones + Util.Bitvec.popcount (Generator.next_word g)
+  done;
+  let p = float_of_int !ones /. float_of_int (words * 64) in
+  Alcotest.(check bool) "balanced" true (p > 0.48 && p < 0.52)
+
+let test_empirical_bias_over_seeds () =
+  (* Definition 2.4: for a fixed nonzero linear test v over the first 64
+     output bits, Pr_seed[⟨v, bits⟩ = 0] must be 1/2 ± δ.  We estimate the
+     probability over many random seeds and check it is near 1/2 well
+     within sampling error. *)
+  let rng = Util.Rng.create 18 in
+  let trials = 400 in
+  let tests = [ 1L; 0xFFL; Int64.min_int; -1L; 0x123456789ABCDEFL ] in
+  List.iter
+    (fun v ->
+      let zero_count = ref 0 in
+      for _ = 1 to trials do
+        let g = Generator.sample rng in
+        let w = Generator.next_word g in
+        if Util.Bitvec.parity64 (Int64.logand v w) = 0 then incr zero_count
+      done;
+      let p = float_of_int !zero_count /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "linear test %Lx near 1/2 (got %.3f)" v p)
+        true
+        (p > 0.38 && p < 0.62))
+    tests
+
+let prop_word_index_tracks =
+  QCheck.Test.make ~name:"word_index tracks next_word/seek" ~count:50
+    QCheck.(small_nat)
+    (fun n ->
+      let g = Generator.sample (Util.Rng.create 19) in
+      Generator.seek_word g n;
+      let i0 = Generator.word_index g in
+      ignore (Generator.next_word g);
+      i0 = n && Generator.word_index g = n + 1)
+
+let () =
+  Alcotest.run "smallbias"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "bit_at matches words" `Quick test_bit_at_matches_words;
+          Alcotest.test_case "seek forward" `Quick test_seek_forward;
+          Alcotest.test_case "seek far and back" `Quick test_seek_far_and_back;
+          Alcotest.test_case "of_seed deterministic" `Quick test_of_seed_deterministic;
+          Alcotest.test_case "of_seed valid modulus" `Slow test_of_seed_valid_modulus;
+          Alcotest.test_case "zero state rejected" `Quick test_zero_state_rejected;
+          Alcotest.test_case "streams differ" `Quick test_streams_differ_across_seeds;
+          Alcotest.test_case "empirical balance" `Quick test_empirical_balance;
+          Alcotest.test_case "empirical bias over seeds" `Slow test_empirical_bias_over_seeds;
+          QCheck_alcotest.to_alcotest prop_word_index_tracks;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for graphs and spanning trees. *)
+
+open Topology
+
+let test_line () =
+  let g = Graph.line 5 in
+  Alcotest.(check int) "n" 5 (Graph.n g);
+  Alcotest.(check int) "m" 4 (Graph.m g);
+  Alcotest.(check int) "diameter" 4 (Graph.diameter g);
+  Alcotest.(check bool) "0-1 adjacent" true (Graph.are_adjacent g 0 1);
+  Alcotest.(check bool) "0-2 not adjacent" false (Graph.are_adjacent g 0 2)
+
+let test_cycle () =
+  let g = Graph.cycle 6 in
+  Alcotest.(check int) "m" 6 (Graph.m g);
+  Alcotest.(check int) "diameter" 3 (Graph.diameter g);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 0)
+
+let test_star () =
+  let g = Graph.star 7 in
+  Alcotest.(check int) "m" 6 (Graph.m g);
+  Alcotest.(check int) "centre degree" 6 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 3);
+  Alcotest.(check int) "diameter" 2 (Graph.diameter g)
+
+let test_clique () =
+  let g = Graph.clique 5 in
+  Alcotest.(check int) "m" 10 (Graph.m g);
+  Alcotest.(check int) "diameter" 1 (Graph.diameter g);
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g)
+
+let test_grid () =
+  let g = Graph.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "n" 12 (Graph.n g);
+  Alcotest.(check int) "m" 17 (Graph.m g);
+  Alcotest.(check int) "diameter" 5 (Graph.diameter g)
+
+let test_binary_tree () =
+  let g = Graph.binary_tree 7 in
+  Alcotest.(check int) "m" 6 (Graph.m g);
+  Alcotest.(check bool) "root-child" true (Graph.are_adjacent g 0 1);
+  Alcotest.(check bool) "root-grandchild" false (Graph.are_adjacent g 0 3)
+
+let test_edge_ids () =
+  let g = Graph.cycle 4 in
+  Alcotest.(check int) "symmetric" (Graph.edge_id g 0 1) (Graph.edge_id g 1 0);
+  Alcotest.(check bool) "distinct edges distinct ids" true
+    (Graph.edge_id g 0 1 <> Graph.edge_id g 1 2);
+  Alcotest.(check bool) "dir ids distinct" true
+    (Graph.dir_id g ~src:0 ~dst:1 <> Graph.dir_id g ~src:1 ~dst:0);
+  (try
+     ignore (Graph.edge_id g 0 2);
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
+let test_dir_id_range () =
+  let g = Graph.clique 5 in
+  let seen = Hashtbl.create 20 in
+  Array.iter
+    (fun (u, v) ->
+      List.iter
+        (fun (s, d) ->
+          let id = Graph.dir_id g ~src:s ~dst:d in
+          Alcotest.(check bool) "in range" true (id >= 0 && id < 2 * Graph.m g);
+          Alcotest.(check bool) "unique" false (Hashtbl.mem seen id);
+          Hashtbl.add seen id ())
+        [ (u, v); (v, u) ])
+    (Graph.edges g)
+
+let test_invalid_graphs () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "self loop" (fun () -> Graph.create ~n:2 ~edges:[ (0, 0) ]);
+  expect_invalid "duplicate" (fun () -> Graph.create ~n:2 ~edges:[ (0, 1); (1, 0) ]);
+  expect_invalid "disconnected" (fun () -> Graph.create ~n:4 ~edges:[ (0, 1); (2, 3) ]);
+  expect_invalid "out of range" (fun () -> Graph.create ~n:2 ~edges:[ (0, 5) ])
+
+let test_hypercube () =
+  let g = Graph.hypercube 4 in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check int) "m" 32 (Graph.m g);
+  Alcotest.(check int) "diameter = dimension" 4 (Graph.diameter g);
+  for v = 0 to 15 do
+    Alcotest.(check int) "regular degree d" 4 (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "neighbors differ in one bit" true (Graph.are_adjacent g 0b0101 0b0001)
+
+let test_torus () =
+  let g = Graph.torus ~rows:4 ~cols:5 in
+  Alcotest.(check int) "n" 20 (Graph.n g);
+  Alcotest.(check int) "m = 2n" 40 (Graph.m g);
+  for v = 0 to 19 do
+    Alcotest.(check int) "4-regular" 4 (Graph.degree g v)
+  done;
+  (* Wraparound: node (0,0) adjacent to (0,4) and (3,0). *)
+  Alcotest.(check bool) "row wrap" true (Graph.are_adjacent g 0 4);
+  Alcotest.(check bool) "col wrap" true (Graph.are_adjacent g 0 15)
+
+let test_random_regular () =
+  let rng = Util.Rng.create 17 in
+  for _ = 1 to 5 do
+    let g = Graph.random_regular rng ~n:12 ~degree:3 in
+    Alcotest.(check int) "n" 12 (Graph.n g);
+    Alcotest.(check bool) "m close to nd/2" true (Graph.m g >= 15 && Graph.m g <= 20);
+    for v = 0 to 11 do
+      Alcotest.(check bool) "degree close to d" true
+        (Graph.degree g v >= 2 && Graph.degree g v <= 4)
+    done
+  done
+
+let test_random_regular_invalid () =
+  let rng = Util.Rng.create 18 in
+  let expect_invalid f =
+    match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "expected invalid"
+  in
+  expect_invalid (fun () -> Graph.random_regular rng ~n:5 ~degree:3);
+  expect_invalid (fun () -> Graph.random_regular rng ~n:6 ~degree:6)
+
+let test_random_connected () =
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 10 do
+    let n = 5 + Util.Rng.int rng 20 in
+    let g = Graph.random_connected rng ~n ~extra_edges:(Util.Rng.int rng 10) in
+    Alcotest.(check int) "n" n (Graph.n g);
+    Alcotest.(check bool) "m >= n-1" true (Graph.m g >= n - 1)
+  done
+
+let check_tree g tree =
+  let open Graph in
+  Alcotest.(check int) "root level 1" 1 tree.level.(tree.root);
+  Alcotest.(check int) "root parent self" tree.root tree.parent.(tree.root);
+  for v = 0 to Graph.n g - 1 do
+    if v <> tree.root then begin
+      Alcotest.(check bool) "tree edge in graph" true (Graph.are_adjacent g v tree.parent.(v));
+      Alcotest.(check int) "level = parent level + 1" (tree.level.(tree.parent.(v)) + 1)
+        tree.level.(v)
+    end
+  done;
+  let counted = Array.fold_left (fun acc cs -> acc + Array.length cs) 0 tree.children in
+  Alcotest.(check int) "children count" (Graph.n g - 1) counted
+
+let test_bfs_tree_line () =
+  let g = Graph.line 6 in
+  let t = Graph.bfs_tree g in
+  check_tree g t;
+  Alcotest.(check int) "depth" 6 t.Graph.depth
+
+let test_bfs_tree_star () =
+  let g = Graph.star 8 in
+  let t = Graph.bfs_tree g in
+  check_tree g t;
+  Alcotest.(check int) "depth" 2 t.Graph.depth
+
+let test_bfs_tree_custom_root () =
+  let g = Graph.line 5 in
+  let t = Graph.bfs_tree ~root:2 g in
+  check_tree g t;
+  Alcotest.(check int) "depth from middle" 3 t.Graph.depth
+
+let prop_bfs_tree_valid =
+  QCheck.Test.make ~name:"bfs tree valid on random graphs" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let rng = Util.Rng.create ((a * 1000) + b) in
+      let n = 2 + (a mod 20) in
+      let g = Graph.random_connected rng ~n ~extra_edges:(b mod 15) in
+      let t = Graph.bfs_tree g in
+      let ok = ref (t.Graph.level.(t.Graph.root) = 1) in
+      for v = 0 to n - 1 do
+        if v <> t.Graph.root then
+          ok :=
+            !ok
+            && Graph.are_adjacent g v t.Graph.parent.(v)
+            && t.Graph.level.(v) = t.Graph.level.(t.Graph.parent.(v)) + 1
+            && t.Graph.level.(v) <= t.Graph.depth
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "random regular invalid" `Quick test_random_regular_invalid;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "edge ids" `Quick test_edge_ids;
+          Alcotest.test_case "dir id range" `Quick test_dir_id_range;
+        ] );
+      ("validation", [ Alcotest.test_case "invalid graphs" `Quick test_invalid_graphs ]);
+      ( "bfs tree",
+        [
+          Alcotest.test_case "line" `Quick test_bfs_tree_line;
+          Alcotest.test_case "star" `Quick test_bfs_tree_star;
+          Alcotest.test_case "custom root" `Quick test_bfs_tree_custom_root;
+          QCheck_alcotest.to_alcotest prop_bfs_tree_valid;
+        ] );
+    ]

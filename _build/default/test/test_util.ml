@@ -1,0 +1,216 @@
+(* Tests for the util library: RNG determinism and distribution sanity,
+   bit-vector invariants, statistics helpers. *)
+
+open Util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_stateless_at () =
+  Alcotest.(check int64) "at is pure" (Rng.at ~seed:99L 5) (Rng.at ~seed:99L 5);
+  Alcotest.(check bool) "at varies with index" true (Rng.at ~seed:99L 5 <> Rng.at ~seed:99L 6);
+  Alcotest.(check bool) "at varies with seed" true (Rng.at ~seed:99L 5 <> Rng.at ~seed:98L 5)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_bool_balanced () =
+  let r = Rng.create 5 in
+  let ones = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr ones
+  done;
+  let p = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "roughly balanced" true (p > 0.45 && p < 0.55)
+
+let test_rng_of_key () =
+  Alcotest.(check bool) "distinct keys distinct streams" true
+    (Rng.int64 (Rng.of_key "alpha") <> Rng.int64 (Rng.of_key "beta"))
+
+(* --- Bitvec --- *)
+
+let test_bitvec_push_get () =
+  let v = Bitvec.create () in
+  let bits = List.init 200 (fun i -> i mod 3 = 0) in
+  List.iter (Bitvec.push v) bits;
+  Alcotest.(check int) "length" 200 (Bitvec.length v);
+  List.iteri (fun i b -> Alcotest.(check bool) (Printf.sprintf "bit %d" i) b (Bitvec.get v i)) bits
+
+let test_bitvec_push_int () =
+  let v = Bitvec.create () in
+  Bitvec.push_int v ~bits:8 0b10110010;
+  Alcotest.(check int) "length" 8 (Bitvec.length v);
+  Alcotest.(check bool) "bit0 (lsb)" false (Bitvec.get v 0);
+  Alcotest.(check bool) "bit1" true (Bitvec.get v 1);
+  Alcotest.(check bool) "bit7 (msb)" true (Bitvec.get v 7)
+
+let test_bitvec_truncate_cleans_words () =
+  let v = Bitvec.create () in
+  for _ = 1 to 130 do
+    Bitvec.push v true
+  done;
+  Bitvec.truncate v 65;
+  Alcotest.(check int) "length" 65 (Bitvec.length v);
+  (* Word 1 must only expose bit 0; word 2 must be zero. *)
+  Alcotest.(check int64) "word1 masked" 1L (Bitvec.word v 1);
+  Alcotest.(check int64) "word2 zero" 0L (Bitvec.word v 2)
+
+let test_bitvec_truncate_then_push () =
+  let v = Bitvec.create () in
+  for _ = 1 to 100 do
+    Bitvec.push v true
+  done;
+  Bitvec.truncate v 50;
+  Bitvec.push v false;
+  Bitvec.push v true;
+  Alcotest.(check int) "length" 52 (Bitvec.length v);
+  Alcotest.(check bool) "old bit survives" true (Bitvec.get v 49);
+  Alcotest.(check bool) "new bit 50" false (Bitvec.get v 50);
+  Alcotest.(check bool) "new bit 51" true (Bitvec.get v 51)
+
+let test_bitvec_equal () =
+  let mk l = Bitvec.of_bools l in
+  Alcotest.(check bool) "equal" true (Bitvec.equal (mk [ true; false ]) (mk [ true; false ]));
+  Alcotest.(check bool) "length differs" false (Bitvec.equal (mk [ true ]) (mk [ true; false ]));
+  Alcotest.(check bool) "content differs" false (Bitvec.equal (mk [ true ]) (mk [ false ]))
+
+let test_bitvec_equal_after_truncate () =
+  let a = Bitvec.of_bools [ true; true; true ] in
+  let b = Bitvec.of_bools [ true; true; false ] in
+  Bitvec.truncate a 2;
+  Bitvec.truncate b 2;
+  Alcotest.(check bool) "prefixes equal" true (Bitvec.equal a b)
+
+let test_bitvec_word_beyond_data () =
+  let v = Bitvec.of_bools [ true ] in
+  Alcotest.(check int64) "out-of-range word is 0" 0L (Bitvec.word v 100)
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (Bitvec.popcount 0L);
+  Alcotest.(check int) "all ones" 64 (Bitvec.popcount (-1L));
+  Alcotest.(check int) "0xFF" 8 (Bitvec.popcount 0xFFL);
+  Alcotest.(check int) "single high bit" 1 (Bitvec.popcount Int64.min_int)
+
+let test_parity () =
+  Alcotest.(check int) "even" 0 (Bitvec.parity64 0b11L);
+  Alcotest.(check int) "odd" 1 (Bitvec.parity64 0b111L)
+
+let prop_bitvec_roundtrip =
+  QCheck.Test.make ~name:"bitvec push/get roundtrip" ~count:200
+    QCheck.(list bool)
+    (fun bits ->
+      let v = Bitvec.of_bools bits in
+      List.length bits = Bitvec.length v && List.mapi (fun i _ -> Bitvec.get v i) bits = bits)
+
+let prop_bitvec_append =
+  QCheck.Test.make ~name:"bitvec append = list append" ~count:200
+    QCheck.(pair (list bool) (list bool))
+    (fun (a, b) ->
+      let va = Bitvec.of_bools a in
+      Bitvec.append va (Bitvec.of_bools b);
+      Bitvec.equal va (Bitvec.of_bools (a @ b)))
+
+let prop_popcount_matches_naive =
+  QCheck.Test.make ~name:"popcount matches bit loop" ~count:500 QCheck.int64 (fun x ->
+      let naive = ref 0 in
+      for i = 0 to 63 do
+        if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr naive
+      done;
+      Bitvec.popcount x = !naive)
+
+(* --- Stats --- *)
+
+let test_stats_mean () = Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ])
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "singleton" 5. (Stats.median [ 5. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p95" 95. (Stats.percentile 0.95 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile 1.0 xs)
+
+let test_stats_wilson () =
+  let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "bounded" true (lo >= 0. && hi <= 1.);
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:0 in
+  Alcotest.(check bool) "empty trials" true (lo0 = 0. && hi0 = 1.)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 0.1; 0.9; 1.0 ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "total count" 4 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "stateless at" `Quick test_rng_stateless_at;
+          Alcotest.test_case "int in range" `Quick test_rng_int_range;
+          Alcotest.test_case "float in range" `Quick test_rng_float_range;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "of_key" `Quick test_rng_of_key;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "push/get" `Quick test_bitvec_push_get;
+          Alcotest.test_case "push_int lsb-first" `Quick test_bitvec_push_int;
+          Alcotest.test_case "truncate cleans words" `Quick test_bitvec_truncate_cleans_words;
+          Alcotest.test_case "truncate then push" `Quick test_bitvec_truncate_then_push;
+          Alcotest.test_case "equal" `Quick test_bitvec_equal;
+          Alcotest.test_case "equal after truncate" `Quick test_bitvec_equal_after_truncate;
+          Alcotest.test_case "word beyond data" `Quick test_bitvec_word_beyond_data;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "parity" `Quick test_parity;
+          QCheck_alcotest.to_alcotest prop_bitvec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bitvec_append;
+          QCheck_alcotest.to_alcotest prop_popcount_matches_naive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "wilson" `Quick test_stats_wilson;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+    ]
