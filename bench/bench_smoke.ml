@@ -1,0 +1,5 @@
+(* Smoke-test entry point for the transport microbenchmark, wired into
+   `dune runtest` through the bench-smoke alias: a few hundred rounds
+   per transport, no JSON output, hard assertions on success. *)
+
+let () = Exp_transport.smoke ()

@@ -81,7 +81,7 @@ let run () =
               Coding.Attacks.collision_hunter ~graph:g ~edge:(t mod Topology.Graph.m g) ~depth:4
                 ~rate_denom ()
             in
-            let r = Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create (8200 + t)) params pi adv in
+            let r = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create (8200 + t)) params pi adv in
             hits := !hits + stats.Coding.Attacks.hits;
             r)
       in
@@ -100,7 +100,7 @@ let run () =
               Coding.Attacks.collision_hunter ~graph:g ~edge:(t mod Topology.Graph.m g) ~depth:4
                 ~rate_denom:300 ()
             in
-            let r = Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create (8300 + t)) params pi adv in
+            let r = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create (8300 + t)) params pi adv in
             hits := !hits + stats.Coding.Attacks.hits;
             r)
       in

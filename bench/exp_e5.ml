@@ -19,7 +19,7 @@ let run () =
         [ Topology.Graph.dir_id g ~src:0 ~dst:1; Topology.Graph.dir_id g ~src:1 ~dst:0 ]
   in
   let r =
-    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 42) (Coding.Params.algorithm_1 g) pi adv
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~trace:true ()) ~rng:(Util.Rng.create 42) (Coding.Params.algorithm_1 g) pi adv
   in
   Format.printf "success = %b, |Pi| = %d chunks, blowup = %.1fx@.@." r.Coding.Scheme.success
     r.Coding.Scheme.chunks_total r.Coding.Scheme.rate_blowup;

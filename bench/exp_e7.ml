@@ -30,7 +30,8 @@ let run () =
                 ~rate_denom:300 ()
             in
             let r =
-              Coding.Scheme.run ~spy_hook:hook
+              Coding.Scheme.run
+                ~config:(Coding.Scheme.Config.make ~spy_hook:hook ())
                 ~rng:(Util.Rng.create (9000 + (100 * tau) + t))
                 (Coding.Params.algorithm_1 ~tau g) pi adv
             in

@@ -105,7 +105,7 @@ let run () =
              ~rate_denom:(int_of_float (fm *. logm /. eps_slot))
              ()
          in
-         Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create (1300 + t))
+         Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create (1300 + t))
            (Coding.Params.algorithm_b cycle) pi_cycle adv));
   measured_row "Algorithm C (CRS)" "cycle" "eps/(m llog m)" "adapt insdel"
     (Exp_common.run_trials ~trials (fun t ->
@@ -114,7 +114,7 @@ let run () =
              ~rate_denom:(int_of_float (fm *. 2. /. eps_slot))
              ()
          in
-         Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create (1400 + t))
+         Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create (1400 + t))
            (Coding.Params.algorithm_c cycle) pi_cycle adv));
   Format.printf "%s@." (String.make 96 '-');
   Format.printf

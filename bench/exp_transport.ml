@@ -1,0 +1,237 @@
+(* TRANSPORT — the slot-buffer redesign, measured.
+
+   Two levels:
+
+   1. Raw transport: drive the network with full-duplex traffic on
+      every directed link for N rounds, once through the legacy
+      list-based [Network.round] and once through [Network.round_buf]
+      on a preallocated [Network.Slots.t].  Reports rounds/sec and
+      minor-heap words allocated per round.
+
+   2. Full scheme: the same [Coding.Scheme.run] workload executed with
+      [Config.legacy_transport] on and off, so the end-to-end effect of
+      the hot-path rewrite is visible (and honest: phases do real work
+      besides moving bits).
+
+   Results go to stdout and to BENCH_transport.json in the working
+   directory.  This file deliberately exercises the deprecated list
+   API — it *is* the baseline. *)
+[@@@alert "-deprecated"]
+
+module Network = Netsim.Network
+module Slots = Netsim.Network.Slots
+
+type raw_result = {
+  topology : string;
+  transport : string;
+  rounds : int;
+  wall_s : float;
+  rounds_per_sec : float;
+  minor_words_per_round : float;
+}
+
+type scheme_result = {
+  s_topology : string;
+  s_transport : string;
+  s_rounds : int;
+  s_wall_s : float;
+  s_rounds_per_sec : float;
+  s_minor_words : float;
+  s_success : bool;
+}
+
+(* Full-duplex traffic: every directed link carries a bit each round,
+   the worst case for the list transport's per-round allocation. *)
+
+let bench_raw_lists name g ~rounds =
+  let adv = Netsim.Adversary.iid (Util.Rng.create 42) ~rate:0.01 in
+  let net = Network.create g adv in
+  let edges = Topology.Graph.edges g in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for r = 0 to rounds - 1 do
+    let sends = ref [] in
+    Array.iter
+      (fun (u, v) ->
+        sends := (u, v, (r + u) land 1 = 0) :: (v, u, (r + v) land 1 = 0) :: !sends)
+      edges;
+    let delivered = Network.round net ~sends:!sends in
+    ignore (List.length delivered)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    topology = name;
+    transport = "lists";
+    rounds;
+    wall_s = wall;
+    rounds_per_sec = float_of_int rounds /. wall;
+    minor_words_per_round = words /. float_of_int rounds;
+  }
+
+let bench_raw_slots name g ~rounds =
+  let adv = Netsim.Adversary.iid (Util.Rng.create 42) ~rate:0.01 in
+  let net = Network.create g adv in
+  let slots = Network.slots net in
+  let edges = Topology.Graph.edges g in
+  let n_edges = Array.length edges in
+  (* dir lo->hi is 2e, hi->lo is 2e+1; precompute both halves once, as
+     the phase drivers do. *)
+  let dir_fwd = Array.init n_edges (fun e -> 2 * e) in
+  let dir_bwd = Array.init n_edges (fun e -> (2 * e) + 1) in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for r = 0 to rounds - 1 do
+    Slots.clear slots;
+    for e = 0 to n_edges - 1 do
+      let u, v = edges.(e) in
+      Slots.set slots ~dir:dir_fwd.(e) ((r + u) land 1 = 0);
+      Slots.set slots ~dir:dir_bwd.(e) ((r + v) land 1 = 0)
+    done;
+    Network.round_buf net slots;
+    let seen = ref 0 in
+    Slots.iter slots (fun ~dir:_ _ -> incr seen);
+    ignore !seen
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    topology = name;
+    transport = "slots";
+    rounds;
+    wall_s = wall;
+    rounds_per_sec = float_of_int rounds /. wall;
+    minor_words_per_round = words /. float_of_int rounds;
+  }
+
+let bench_scheme name g pi ~legacy =
+  let params = Coding.Params.algorithm_1 g in
+  let adv = Netsim.Adversary.iid (Util.Rng.create 11) ~rate:0.0005 in
+  let config = Coding.Scheme.Config.make ~legacy_transport:legacy () in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = Coding.Scheme.run ~config ~rng:(Util.Rng.create 7) params pi adv in
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    s_topology = name;
+    s_transport = (if legacy then "lists" else "slots");
+    s_rounds = r.Coding.Scheme.rounds;
+    s_wall_s = wall;
+    s_rounds_per_sec = float_of_int r.Coding.Scheme.rounds /. wall;
+    s_minor_words = words;
+    s_success = r.Coding.Scheme.success;
+  }
+
+let json_of ~rounds raw scheme =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"transport\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"raw_rounds\": %d,\n" rounds);
+  Buffer.add_string b "  \"raw\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"topology\": %S, \"transport\": %S, \"rounds\": %d, \"wall_s\": %.6f, \
+            \"rounds_per_sec\": %.1f, \"minor_words_per_round\": %.1f}%s\n"
+           r.topology r.transport r.rounds r.wall_s r.rounds_per_sec r.minor_words_per_round
+           (if i = List.length raw - 1 then "" else ",")))
+    raw;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"scheme_run\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"topology\": %S, \"transport\": %S, \"rounds\": %d, \"wall_s\": %.6f, \
+            \"rounds_per_sec\": %.1f, \"minor_words\": %.0f, \"success\": %b}%s\n"
+           s.s_topology s.s_transport s.s_rounds s.s_wall_s s.s_rounds_per_sec s.s_minor_words
+           s.s_success
+           (if i = List.length scheme - 1 then "" else ",")))
+    scheme;
+  Buffer.add_string b "  ],\n";
+  let speedup topo =
+    let find t = List.find (fun r -> r.topology = topo && r.transport = t) raw in
+    (find "slots").rounds_per_sec /. (find "lists").rounds_per_sec
+  in
+  let alloc_drop topo =
+    let find t = List.find (fun s -> s.s_topology = topo && s.s_transport = t) scheme in
+    let l = (find "lists").s_minor_words and s = (find "slots").s_minor_words in
+    (l -. s) /. l
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"raw_speedup\": {\"K5\": %.2f, \"line16\": %.2f},\n" (speedup "K5")
+       (speedup "line16"));
+  Buffer.add_string b
+    (Printf.sprintf "  \"scheme_minor_alloc_drop\": {\"K5\": %.4f, \"line16\": %.4f}\n"
+       (alloc_drop "K5") (alloc_drop "line16"));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let run_with ?(rounds = 200_000) ?(json = Some "BENCH_transport.json") () =
+  Exp_common.heading "TRANSPORT |  slot-buffer hot path vs legacy list transport";
+  let k5 = Topology.Graph.clique 5 in
+  let line16 = Topology.Graph.line 16 in
+  let topologies = [ ("K5", k5); ("line16", line16) ] in
+  Exp_common.subheading
+    (Printf.sprintf "raw transport, full-duplex traffic on every link, %d rounds" rounds);
+  Format.printf "  %-8s %-8s %14s %16s@." "topology" "path" "rounds/sec" "minor words/rnd";
+  let raw =
+    List.concat_map
+      (fun (name, g) ->
+        let l = bench_raw_lists name g ~rounds in
+        let s = bench_raw_slots name g ~rounds in
+        List.iter
+          (fun r ->
+            Format.printf "  %-8s %-8s %14.0f %16.1f@." r.topology r.transport r.rounds_per_sec
+              r.minor_words_per_round)
+          [ l; s ];
+        Format.printf "  %-8s speedup  %13.2fx %15.1f%%@." name
+          (s.rounds_per_sec /. l.rounds_per_sec)
+          (100. *. (l.minor_words_per_round -. s.minor_words_per_round)
+          /. l.minor_words_per_round);
+        [ l; s ])
+      topologies
+  in
+  Exp_common.subheading "full Scheme.run (Algorithm 1, iid noise 0.05%)";
+  Format.printf "  %-8s %-8s %14s %16s %9s@." "topology" "path" "rounds/sec" "minor words" "ok";
+  let scheme =
+    List.concat_map
+      (fun (name, g) ->
+        let pi = Exp_common.workload ~rounds:120 g in
+        let l = bench_scheme name g pi ~legacy:true in
+        let s = bench_scheme name g pi ~legacy:false in
+        List.iter
+          (fun r ->
+            Format.printf "  %-8s %-8s %14.0f %16.0f %9b@." r.s_topology r.s_transport
+              r.s_rounds_per_sec r.s_minor_words r.s_success)
+          [ l; s ];
+        Format.printf "  %-8s speedup  %13.2fx  alloc drop %4.1f%%@." name
+          (s.s_rounds_per_sec /. l.s_rounds_per_sec)
+          (100. *. (l.s_minor_words -. s.s_minor_words) /. l.s_minor_words);
+        [ l; s ])
+      topologies
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_of ~rounds raw scheme);
+      close_out oc;
+      Format.printf "@.[wrote %s]@." path);
+  (raw, scheme)
+
+let run () = ignore (run_with ())
+
+(* A fast variant for `dune runtest` via the bench-smoke alias: a few
+   hundred transport rounds plus one scheme run per path, asserting the
+   differential invariant cheaply (both transports must succeed). *)
+let smoke () =
+  let raw, scheme = run_with ~rounds:400 ~json:None () in
+  assert (List.length raw = 4);
+  assert (List.for_all (fun s -> s.s_success) scheme);
+  Format.printf "@.[bench-smoke ok]@."

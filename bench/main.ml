@@ -24,6 +24,7 @@ let experiments =
     ("e13", "failure probability vs |Pi| + Remark 1", Exp_e13.run);
     ("e14", "empirical noise thresholds", Exp_e14.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
+    ("transport", "slot-buffer vs list transport (BENCH_transport.json)", Exp_transport.run);
   ]
 
 let () =

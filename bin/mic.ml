@@ -84,7 +84,9 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
           (adv, Some hook, Some stats)
     in
     let result =
-      Coding.Scheme.run ~trace ?spy_hook:hook ~rng:(Util.Rng.create (seed + t)) params pi adversary
+      Coding.Scheme.run
+        ~config:(Coding.Scheme.Config.make ~trace ?spy_hook:hook ())
+        ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
     if result.Coding.Scheme.success then incr successes;
     Format.printf "trial %d: %a%s@." t Coding.Report.pp_summary result

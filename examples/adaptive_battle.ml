@@ -19,7 +19,11 @@ let battle name params pi seed =
   let adversary, hook, stats =
     Coding.Attacks.collision_hunter ~graph ~edge:0 ~depth:4 ~rate_denom:300 ()
   in
-  let result = Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create seed) params pi adversary in
+  let result =
+    Coding.Scheme.run
+      ~config:(Coding.Scheme.Config.make ~spy_hook:hook ())
+      ~rng:(Util.Rng.create seed) params pi adversary
+  in
   Format.printf "  %-34s tau=%-3d %-9b %7d %6d %9.5f%% %8.1fx@." name params.Coding.Params.tau
     result.Coding.Scheme.success stats.Coding.Attacks.attempts stats.Coding.Attacks.hits
     (100. *. result.Coding.Scheme.noise_fraction)

@@ -25,7 +25,9 @@ let () =
       ~dirs:[ Topology.Graph.dir_id graph ~src:0 ~dst:1 ]
   in
   let result =
-    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 99) params pi adversary
+    Coding.Scheme.run
+      ~config:(Coding.Scheme.Config.make ~trace:true ())
+      ~rng:(Util.Rng.create 99) params pi adversary
   in
 
   Format.printf "Line cascade: burst of 25 corruptions on link 0-1 of a %d-party line@." n;

@@ -22,7 +22,8 @@ let () =
 
   (* 4. Run the coding scheme. *)
   let params = Coding.Params.algorithm_1 graph in
-  let result = Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 7) params pi adversary in
+  let config = Coding.Scheme.Config.make ~inputs () in
+  let result = Coding.Scheme.run ~config ~rng:(Util.Rng.create 7) params pi adversary in
 
   Format.printf "Quickstart: %s over a noisy 5-cycle@." params.Coding.Params.name;
   Format.printf "  expected sum         : %d@." expected;
@@ -42,7 +43,7 @@ let () =
     Netsim.Adversary.single ~round:0 ~dir:(Topology.Graph.dir_id graph ~src:u ~dst:v) ~addend:1
   in
   let bare = Coding.Baseline.uncoded ~inputs ~rng:(Util.Rng.create 7) pi (one_error ()) in
-  let coded = Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 7) params pi (one_error ()) in
+  let coded = Coding.Scheme.run ~config ~rng:(Util.Rng.create 7) params pi (one_error ()) in
   Format.printf "  1 corruption, uncoded: success=%b (outputs %s)@." bare.Coding.Baseline.success
     (String.concat ", " (Array.to_list (Array.map string_of_int bare.Coding.Baseline.outputs)));
   Format.printf "  1 corruption, coded  : success=%b@." coded.Coding.Scheme.success;

@@ -31,7 +31,7 @@ let () =
   let net = Netsim.Network.create graph adv in
   let noisy = (Coding.Randomness_exchange.run net ~rng:(Util.Rng.create 5)).(0) in
   Format.printf "@.Stage 3: exchange under 5%% insertion/deletion/substitution noise@.";
-  Format.printf "  corruptions          : %d@." (Netsim.Network.corruptions net);
+  Format.printf "  corruptions          : %d@." (Netsim.Network.stats net).Netsim.Network.corruptions;
   Format.printf "  endpoints agree      : %b (the ECC absorbed the noise)@."
     noisy.Coding.Randomness_exchange.ok;
 
@@ -63,6 +63,6 @@ let () =
   let smashed = (Coding.Randomness_exchange.run net ~rng:(Util.Rng.create 7)).(0) in
   Format.printf "@.Stage 6: saturating the link (the attack the budget argument prices)@.";
   Format.printf "  corruptions paid     : %d (vs %d for one honest codeword)@."
-    (Netsim.Network.corruptions net) rounds;
+    (Netsim.Network.stats net).Netsim.Network.corruptions rounds;
   Format.printf "  endpoints agree      : %b@." smashed.Coding.Randomness_exchange.ok;
   if not (out.ok && noisy.ok && h_lo = h_hi && not smashed.ok) then exit 1

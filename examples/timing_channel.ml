@@ -21,20 +21,26 @@ let payload = [ true; false; true; true; false; false; true; false ]
    (b = 0) round of its two-round slot; decode by timing. *)
 let run_channel adversary =
   (* Drive send and receive together: we interleave by re-simulating the
-     schedule with the receiver watching deliveries. *)
+     schedule with the receiver watching deliveries — straight on the
+     slot-buffer transport. *)
   let net = Netsim.Network.create graph adversary in
+  let slots = Netsim.Network.slots net in
+  let half b =
+    Netsim.Network.Slots.clear slots;
+    if b then Netsim.Network.Slots.set slots ~dir:dir01 true;
+    Netsim.Network.round_buf net slots;
+    not (Netsim.Network.Slots.is_silent slots ~dir:dir01)
+  in
   let received = ref [] in
   List.iter
     (fun b ->
-      let first = Netsim.Network.round net ~sends:(if b then [ (0, 1, true) ] else []) in
-      let second = Netsim.Network.round net ~sends:(if b then [] else [ (0, 1, true) ]) in
-      let got_first = List.exists (fun (s, d, _) -> s = 0 && d = 1) first in
-      let got_second = List.exists (fun (s, d, _) -> s = 0 && d = 1) second in
+      let got_first = half b in
+      let got_second = half (not b) in
       (* Timing decode: symbol in the first round = 1, second = 0,
          neither/both = garbage (call it 0). *)
       received := (got_first && not got_second) :: !received)
     payload;
-  (List.rev !received, Netsim.Network.corruptions net)
+  (List.rev !received, (Netsim.Network.stats net).Netsim.Network.corruptions)
 
 let pp_bits bits = String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
 

@@ -12,7 +12,8 @@ type result = {
 }
 
 let finish net pi ~outputs ~reference =
-  let cc = Netsim.Network.cc net in
+  let stats = Netsim.Network.stats net in
+  let cc = stats.Netsim.Network.cc in
   let cc_pi = Pi.cc pi in
   {
     success = outputs = reference;
@@ -21,30 +22,39 @@ let finish net pi ~outputs ~reference =
     cc;
     cc_pi;
     rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
-    corruptions = Netsim.Network.corruptions net;
-    noise_fraction = Netsim.Network.noise_fraction net;
+    corruptions = stats.Netsim.Network.corruptions;
+    noise_fraction = stats.Netsim.Network.noise_fraction;
   }
 
 let default_inputs rng n = Array.init n (fun _ -> Util.Rng.int rng 65536)
 
 let uncoded ?inputs ~rng pi adversary =
   Pi.validate pi;
-  let n = Topology.Graph.n pi.Pi.graph in
+  let graph = pi.Pi.graph in
+  let n = Topology.Graph.n graph in
   let inputs = match inputs with Some i -> i | None -> default_inputs rng n in
   let reference = Pi.run_noiseless pi ~inputs in
-  let net = Netsim.Network.create pi.Pi.graph adversary in
+  let net = Netsim.Network.create graph adversary in
+  let slots = Netsim.Network.slots net in
   let machines = Array.init n (fun party -> pi.Pi.spawn ~party ~input:inputs.(party)) in
   for r = 0 to pi.Pi.rounds - 1 do
     let scheduled = pi.Pi.sends_at r in
-    let sends = List.map (fun (u, v) -> (u, v, machines.(u).Pi.send ~round:r ~dst:v)) scheduled in
-    let delivered = Netsim.Network.round net ~sends in
-    let got = Hashtbl.create 8 in
-    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
+    Netsim.Network.Slots.clear slots;
+    List.iter
+      (fun (u, v) ->
+        Netsim.Network.Slots.set slots
+          ~dir:(Topology.Graph.dir_id graph ~src:u ~dst:v)
+          (machines.(u).Pi.send ~round:r ~dst:v))
+      scheduled;
+    Netsim.Network.round_buf net slots;
     (* Receivers expect exactly the scheduled transmissions; a deletion
        reads as 0, insertions outside the schedule are ignored. *)
     List.iter
       (fun (u, v) ->
-        let bit = Option.value ~default:false (Hashtbl.find_opt got (u, v)) in
+        let bit =
+          Option.value ~default:false
+            (Netsim.Network.Slots.get slots ~dir:(Topology.Graph.dir_id graph ~src:u ~dst:v))
+        in
         machines.(v).Pi.recv ~round:r ~src:u bit)
       scheduled
   done;
@@ -53,25 +63,32 @@ let uncoded ?inputs ~rng pi adversary =
 let repetition ?inputs ~rng ~rep pi adversary =
   if rep < 1 || rep mod 2 = 0 then invalid_arg "Baseline.repetition: rep must be odd";
   Pi.validate pi;
-  let n = Topology.Graph.n pi.Pi.graph in
+  let graph = pi.Pi.graph in
+  let n = Topology.Graph.n graph in
   let inputs = match inputs with Some i -> i | None -> default_inputs rng n in
   let reference = Pi.run_noiseless pi ~inputs in
-  let net = Netsim.Network.create pi.Pi.graph adversary in
+  let net = Netsim.Network.create graph adversary in
+  let slots = Netsim.Network.slots net in
   let machines = Array.init n (fun party -> pi.Pi.spawn ~party ~input:inputs.(party)) in
   for r = 0 to pi.Pi.rounds - 1 do
     let scheduled = pi.Pi.sends_at r in
-    let sends = List.map (fun (u, v) -> (u, v, machines.(u).Pi.send ~round:r ~dst:v)) scheduled in
+    let sends =
+      List.map (fun (u, v) -> (u, v, machines.(u).Pi.send ~round:r ~dst:v)) scheduled
+    in
     (* Each logical round becomes [rep] network rounds; receivers
        majority-vote over the copies that arrive. *)
     let votes = Hashtbl.create 8 in
     for _copy = 1 to rep do
-      let delivered = Netsim.Network.round net ~sends in
+      Netsim.Network.Slots.clear slots;
       List.iter
-        (fun (src, dst, bit) ->
-          let key = (src, dst) in
+        (fun (u, v, bit) ->
+          Netsim.Network.Slots.set slots ~dir:(Topology.Graph.dir_id graph ~src:u ~dst:v) bit)
+        sends;
+      Netsim.Network.round_buf net slots;
+      Netsim.Network.Slots.iter slots (fun ~dir bit ->
+          let key = Netsim.Network.link_ends net ~dir in
           let ones, seen = Option.value ~default:(0, 0) (Hashtbl.find_opt votes key) in
           Hashtbl.replace votes key ((ones + if bit then 1 else 0), seen + 1))
-        delivered
     done;
     List.iter
       (fun (u, v) ->

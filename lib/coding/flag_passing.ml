@@ -2,53 +2,86 @@ open Topology
 
 let rounds_needed (tree : Graph.tree) = 2 * (tree.Graph.depth - 1)
 
-let run net ~(tree : Graph.tree) ~statuses =
-  let n = Array.length statuses in
+(* The phase's traffic pattern is fixed by the tree, so the directed-link
+   indices and per-level sender sets are compiled once per execution and
+   the per-round work touches only preallocated arrays. *)
+type schedule = {
+  tree : Graph.tree;
+  up_dir : int array; (* v -> dir id of v -> parent(v); -1 at the root *)
+  down_dir : int array; (* v -> dir id of parent(v) -> v; -1 at the root *)
+  by_level : int array array; (* level (1-based) -> nodes at that level *)
+}
+
+let compile graph ~(tree : Graph.tree) =
+  let n = Array.length tree.Graph.parent in
+  let up_dir = Array.make n (-1) and down_dir = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if v <> tree.Graph.root then begin
+      let p = tree.Graph.parent.(v) in
+      up_dir.(v) <- Graph.dir_id graph ~src:v ~dst:p;
+      down_dir.(v) <- Graph.dir_id graph ~src:p ~dst:v
+    end
+  done;
+  let by_level =
+    Array.init (tree.Graph.depth + 1) (fun ell ->
+        let acc = ref [] in
+        for v = n - 1 downto 0 do
+          if tree.Graph.level.(v) = ell then acc := v :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  { tree; up_dir; down_dir; by_level }
+
+let run_buf net sched ~slots ~statuses =
+  let tree = sched.tree in
   let d = tree.Graph.depth in
   let agg = Array.copy statuses in
   (* Upward convergecast: nodes at level d - r speak in round r; a parent
      has heard all its children before its own sending round. *)
   for r = 0 to d - 2 do
     let sender_level = d - r in
-    let sends = ref [] in
-    for v = 0 to n - 1 do
-      if v <> tree.Graph.root && tree.Graph.level.(v) = sender_level then
-        sends := (v, tree.Graph.parent.(v), agg.(v)) :: !sends
-    done;
-    let delivered = Netsim.Network.round net ~sends:!sends in
+    Netsim.Network.Slots.clear slots;
+    Array.iter
+      (fun v ->
+        if v <> tree.Graph.root then
+          Netsim.Network.Slots.set slots ~dir:sched.up_dir.(v) agg.(v))
+      sched.by_level.(sender_level);
+    Netsim.Network.round_buf net slots;
     (* A parent expects a flag from each child at the sender level; a
        missing flag reads as stop. *)
-    let got = Hashtbl.create 8 in
-    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
-    for p = 0 to n - 1 do
-      Array.iter
-        (fun c ->
-          if tree.Graph.level.(c) = sender_level then
-            match Hashtbl.find_opt got (c, p) with
-            | Some bit -> agg.(p) <- agg.(p) && bit
-            | None -> agg.(p) <- false)
-        tree.Graph.children.(p)
-    done
+    Array.iter
+      (fun c ->
+        if c <> tree.Graph.root then
+          let p = tree.Graph.parent.(c) in
+          match Netsim.Network.Slots.get slots ~dir:sched.up_dir.(c) with
+          | Some bit -> agg.(p) <- agg.(p) && bit
+          | None -> agg.(p) <- false)
+      sched.by_level.(sender_level)
   done;
   (* Downward broadcast: level ℓ speaks in round (d - 1) + (ℓ - 1);
      every node forwards its own netCorrect, not the raw bit. *)
-  let net_correct = Array.make n false in
+  let net_correct = Array.make (Array.length statuses) false in
   net_correct.(tree.Graph.root) <- agg.(tree.Graph.root);
   for ell = 1 to d - 1 do
-    let sends = ref [] in
-    for v = 0 to n - 1 do
-      if tree.Graph.level.(v) = ell then
-        Array.iter (fun c -> sends := (v, c, net_correct.(v)) :: !sends) tree.Graph.children.(v)
-    done;
-    let delivered = Netsim.Network.round net ~sends:!sends in
-    let got = Hashtbl.create 8 in
-    List.iter (fun (src, dst, bit) -> Hashtbl.replace got (src, dst) bit) delivered;
-    for v = 0 to n - 1 do
-      if v <> tree.Graph.root && tree.Graph.level.(v) = ell + 1 then
-        net_correct.(v) <-
-          (match Hashtbl.find_opt got (tree.Graph.parent.(v), v) with
-          | Some bit -> bit && statuses.(v)
-          | None -> false)
-    done
+    Netsim.Network.Slots.clear slots;
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun c -> Netsim.Network.Slots.set slots ~dir:sched.down_dir.(c) net_correct.(v))
+          tree.Graph.children.(v))
+      sched.by_level.(ell);
+    Netsim.Network.round_buf net slots;
+    Array.iter
+      (fun v ->
+        if v <> tree.Graph.root then
+          net_correct.(v) <-
+            (match Netsim.Network.Slots.get slots ~dir:sched.down_dir.(v) with
+            | Some bit -> bit && statuses.(v)
+            | None -> false))
+      sched.by_level.(ell + 1)
   done;
   net_correct
+
+let run net ~tree ~statuses =
+  let sched = compile (Netsim.Network.graph net) ~tree in
+  run_buf net sched ~slots:(Netsim.Network.slots net) ~statuses

@@ -8,13 +8,32 @@
     conservative direction (idling costs an iteration; wrongly continuing
     costs communication) — while an inserted or flipped bit can of course
     forge either verdict, which is exactly the attack surface the
-    analysis charges to the adversary. *)
+    analysis charges to the adversary.
+
+    The phase's traffic pattern is fixed by the tree, so callers on the
+    hot path {!compile} the schedule (per-level sender sets and directed
+    link indices) once per execution and drive {!run_buf} with a reused
+    slot buffer; {!run} compiles on the fly for one-shot use. *)
 
 val rounds_needed : Topology.Graph.tree -> int
 (** 2·(depth − 1): the a-priori fixed length of the phase. *)
 
+type schedule
+(** Precompiled per-level sender sets and directed-link indices. *)
+
+val compile : Topology.Graph.t -> tree:Topology.Graph.tree -> schedule
+
+val run_buf :
+  Netsim.Network.t ->
+  schedule ->
+  slots:Netsim.Network.Slots.t ->
+  statuses:bool array ->
+  bool array
+(** [run_buf net sched ~slots ~statuses] executes the phase through the
+    slot-buffer transport; [statuses.(u)] is status_u (true = continue).
+    Returns netCorrect per party: with no noise, every entry is
+    [for_all statuses].  [slots] is caller-owned scratch. *)
+
 val run :
   Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array
-(** [run net ~tree ~statuses] executes the phase; [statuses.(u)] is
-    status_u (true = continue).  Returns netCorrect per party: with no
-    noise, every entry is [for_all statuses]. *)
+(** One-shot convenience over {!compile} + {!run_buf}. *)

@@ -21,13 +21,28 @@ let k t = t.k
 
 let message_bits ~tau = 5 * tau
 
-let encode_message ~tau msg =
-  let field v = List.init tau (fun j -> (v lsr j) land 1 = 1) in
-  List.concat [ field msg.hk; field msg.hp1; field msg.hp2; field msg.ht1; field msg.ht2 ]
+let encode_message_into ~tau msg out =
+  if Array.length out <> 5 * tau then
+    invalid_arg "Meeting_points.encode_message_into: wrong buffer length";
+  let field i v =
+    for j = 0 to tau - 1 do
+      out.((i * tau) + j) <- (v lsr j) land 1 = 1
+    done
+  in
+  field 0 msg.hk;
+  field 1 msg.hp1;
+  field 2 msg.hp2;
+  field 3 msg.ht1;
+  field 4 msg.ht2
 
-let decode_message ~tau bits =
-  let arr = Array.of_list bits in
-  if Array.length arr <> 5 * tau then invalid_arg "Meeting_points.decode_message: wrong length";
+let encode_message ~tau msg =
+  let out = Array.make (5 * tau) false in
+  encode_message_into ~tau msg out;
+  Array.to_list out
+
+let decode_message_arr ~tau arr =
+  if Array.length arr <> 5 * tau then
+    invalid_arg "Meeting_points.decode_message_arr: wrong length";
   let field i =
     let v = ref 0 in
     for j = 0 to tau - 1 do
@@ -36,6 +51,8 @@ let decode_message ~tau bits =
     !v
   in
   { hk = field 0; hp1 = field 1; hp2 = field 2; ht1 = field 3; ht2 = field 4 }
+
+let decode_message ~tau bits = decode_message_arr ~tau (Array.of_list bits)
 
 (* κ = 2^⌈log₂ k⌉ for k ≥ 1. *)
 let scale k =

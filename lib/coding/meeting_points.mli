@@ -34,10 +34,17 @@ type message = { hk : int; hp1 : int; hp2 : int; ht1 : int; ht2 : int }
 val message_bits : tau:int -> int
 (** Wire size of one message: 5τ. *)
 
-val encode_message : tau:int -> message -> bool list
-val decode_message : tau:int -> bool option list -> message
+val encode_message_into : tau:int -> message -> bool array -> unit
+(** Serialize into a caller-owned 5τ-bit buffer (the per-link outgoing
+    message buffer the scheme reuses across iterations). *)
+
+val decode_message_arr : tau:int -> bool option array -> message
 (** Missing bits (deletions) decode as 0 — at worst a hash mismatch,
     which is the conservative direction. *)
+
+val encode_message : tau:int -> message -> bool list
+val decode_message : tau:int -> bool option list -> message
+(** List-based codecs, kept for tests and downstream callers. *)
 
 (** The hash oracle a step uses, pre-seeded for (this iteration, this
     link): [h_int ~field v] for integers (field < 3), [h_prefix ~field p]

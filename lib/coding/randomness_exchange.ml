@@ -47,20 +47,22 @@ let run net ~rng =
   let codewords = Array.map (fun s -> Ecc.Concat.encode code (seed_to_payload s)) seeds in
   let nbits = Ecc.Concat.codeword_bits code in
   let received = Array.init m (fun _ -> Array.make nbits None) in
+  (* One codeword bit per edge per round, always lower -> higher endpoint.
+     Only the scheduled direction matters; inserted traffic on the reverse
+     direction is ignored by the receiver. *)
+  let slots = Netsim.Network.slots net in
+  let lo_dir =
+    Array.map (fun (u, v) -> Topology.Graph.dir_id graph ~src:(min u v) ~dst:(max u v)) edges
+  in
   for r = 0 to nbits - 1 do
-    let sends =
-      Array.to_list
-        (Array.mapi
-           (fun e (u, v) -> (min u v, max u v, codewords.(e).(r)))
-           edges)
-    in
-    let delivered = Netsim.Network.round net ~sends in
-    List.iter
-      (fun (src, dst, bit) ->
-        (* Only the scheduled direction matters; inserted traffic on the
-           reverse direction is ignored by the receiver. *)
-        if src < dst then received.(Topology.Graph.edge_id graph src dst).(r) <- Some bit)
-      delivered
+    Netsim.Network.Slots.clear slots;
+    for e = 0 to m - 1 do
+      Netsim.Network.Slots.set slots ~dir:lo_dir.(e) codewords.(e).(r)
+    done;
+    Netsim.Network.round_buf net slots;
+    for e = 0 to m - 1 do
+      received.(e).(r) <- Netsim.Network.Slots.get slots ~dir:lo_dir.(e)
+    done
   done;
   Array.init m (fun e ->
       let lo_gen = Smallbias.Generator.of_seed seeds.(e) in

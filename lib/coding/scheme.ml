@@ -1,4 +1,6 @@
 open Protocol
+module Network = Netsim.Network
+module Slots = Netsim.Network.Slots
 
 let log_src = Logs.Src.create "mic.scheme" ~doc:"Coding-scheme execution"
 
@@ -34,18 +36,53 @@ type result = {
   trace : iter_stat list;
 }
 
+(* ---------- adversary spy (non-oblivious model, §6) ---------- *)
+
+type edge_view = {
+  tr_lo : Transcript.t;
+  tr_hi : Transcript.t;
+  seeds : Seeds.t;
+  in_sync : bool;
+}
+
+type spy = {
+  spy_chunking : Protocol.Chunking.t;
+  current_iteration : unit -> int;
+  edge_view : int -> edge_view;
+}
+
+(* ---------- execution configuration ---------- *)
+
+module Config = struct
+  type t = {
+    trace : bool;
+    inputs : int array option;
+    spy_hook : (spy -> unit) option;
+    legacy_transport : bool;
+  }
+
+  let default = { trace = false; inputs = None; spy_hook = None; legacy_transport = false }
+
+  let make ?(trace = false) ?inputs ?spy_hook ?(legacy_transport = false) () =
+    { trace; inputs; spy_hook; legacy_transport }
+end
+
 type link_state = {
   peer : int;
   edge : int;
+  dir_out : int; (* directed link id self -> peer, resolved once *)
+  dir_in : int; (* directed link id peer -> self *)
   tr : Transcript.t;
   mp : Meeting_points.t;
   seeds : Seeds.t;
   mutable already_rewound : bool;
   mutable bot : bool;
-  mutable out_msg : bool array; (* outgoing MP message bits *)
-  mutable in_msg : bool option array; (* incoming MP message bits *)
-  mutable sent_log : bool option array; (* per chunk-round offset *)
-  mutable recv_log : bool option array;
+  out_msg : bool array; (* outgoing MP message bits, reused every iteration *)
+  in_msg : bool option array; (* incoming MP message bits, reused *)
+  sent_log : bool option array; (* per chunk-round offset, reused *)
+  recv_log : bool option array;
+  mutable mp_len : int; (* transcript length captured at MP-phase start *)
+  mutable mp_hasher : Meeting_points.hasher option;
 }
 
 type party_state = {
@@ -111,46 +148,45 @@ let hasher_for l ~iter =
               h);
     }
 
-(* ---------- phase executors ---------- *)
+(* ---------- phase executors ----------
 
-let meeting_points_phase net parties ~iter ~tau =
-  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
+   Each drives the network through a caller-owned slot buffer: write the
+   round's transmissions by precomputed dir index, [step] the network
+   (normally Network.round_buf; Network.round_via_lists when benchmarking
+   against the legacy transport), then read deliveries back out of the
+   same buffer.  No per-round lists, hashtables or log arrays. *)
+
+let meeting_points_phase net slots step parties ~iter ~tau =
+  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
   let mp_rounds = Meeting_points.message_bits ~tau in
-  let lens = Hashtbl.create 64 in
-  let hashers = Hashtbl.create 64 in
   Array.iter
     (fun p ->
       Array.iter
         (fun l ->
-          let len = Transcript.length l.tr in
+          l.mp_len <- Transcript.length l.tr;
           let hasher = hasher_for l ~iter in
-          Hashtbl.replace lens (p.id, l.peer) len;
-          Hashtbl.replace hashers (p.id, l.peer) hasher;
-          let msg = Meeting_points.prepare l.mp hasher ~len in
-          l.out_msg <- Array.of_list (Meeting_points.encode_message ~tau msg);
-          l.in_msg <- Array.make mp_rounds None)
+          l.mp_hasher <- Some hasher;
+          let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
+          Meeting_points.encode_message_into ~tau msg l.out_msg;
+          Array.fill l.in_msg 0 mp_rounds None)
         p.links)
     parties;
   for t = 0 to mp_rounds - 1 do
-    let sends = ref [] in
+    Slots.clear slots;
     Array.iter
-      (fun p -> Array.iter (fun l -> sends := (p.id, l.peer, l.out_msg.(t)) :: !sends) p.links)
+      (fun p -> Array.iter (fun l -> Slots.set slots ~dir:l.dir_out l.out_msg.(t)) p.links)
       parties;
-    let delivered = Netsim.Network.round net ~sends:!sends in
-    List.iter
-      (fun (src, dst, bit) ->
-        let q = parties.(dst) in
-        let li = q.by_peer.(src) in
-        if li >= 0 then q.links.(li).in_msg.(t) <- Some bit)
-      delivered
+    step net slots;
+    Array.iter
+      (fun p -> Array.iter (fun l -> l.in_msg.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
+      parties
   done;
   Array.iter
     (fun p ->
       Array.iter
         (fun l ->
-          let len = Hashtbl.find lens (p.id, l.peer) in
-          let msg = Meeting_points.decode_message ~tau (Array.to_list l.in_msg) in
-          match Meeting_points.process l.mp (Hashtbl.find hashers (p.id, l.peer)) ~len msg with
+          let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
+          match Meeting_points.process l.mp (Option.get l.mp_hasher) ~len:l.mp_len msg with
           | `Keep -> ()
           | `Truncate_to x -> Transcript.truncate l.tr x)
         p.links)
@@ -162,38 +198,37 @@ let compute_statuses parties =
       let in_mp =
         Array.exists (fun l -> Meeting_points.status l.mp = Meeting_points.Meeting_points) p.links
       in
-      let lens = Array.map (fun l -> Transcript.length l.tr) p.links in
-      let equal_lens = Array.for_all (fun x -> x = lens.(0)) lens in
+      let len0 = Transcript.length p.links.(0).tr in
+      let equal_lens = Array.for_all (fun l -> Transcript.length l.tr = len0) p.links in
       let status = (not in_mp) && equal_lens in
       p.status <- status;
       status)
     parties
 
-let simulation_phase net parties ch ~iter ~n_real =
-  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
+let simulation_phase net slots step parties ch ~iter ~n_real =
+  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
   let max_r = Chunking.max_rounds ch in
   Array.iter
     (fun p ->
       Array.iter
         (fun l ->
           l.bot <- false;
-          l.sent_log <- Array.make max_r None;
-          l.recv_log <- Array.make max_r None)
+          Array.fill l.sent_log 0 max_r None;
+          Array.fill l.recv_log 0 max_r None)
         p.links)
     parties;
   (* ⊥ round: idling parties announce, everyone listens (Line 16/23). *)
-  let bot_sends = ref [] in
+  Slots.clear slots;
   Array.iter
     (fun p ->
       if not p.net_correct then
-        Array.iter (fun l -> bot_sends := (p.id, l.peer, true) :: !bot_sends) p.links)
+        Array.iter (fun l -> Slots.set slots ~dir:l.dir_out true) p.links)
     parties;
-  List.iter
-    (fun (src, dst, _) ->
-      let q = parties.(dst) in
-      let li = q.by_peer.(src) in
-      if li >= 0 then q.links.(li).bot <- true)
-    (Netsim.Network.round net ~sends:!bot_sends);
+  step net slots;
+  Array.iter
+    (fun p ->
+      Array.iter (fun l -> if not (Slots.is_silent slots ~dir:l.dir_in) then l.bot <- true) p.links)
+    parties;
   (* Participants set up their live chunk simulation. *)
   let participants =
     Array.to_list parties
@@ -213,7 +248,7 @@ let simulation_phase net parties ch ~iter ~n_real =
            end)
   in
   for t = 0 to max_r - 1 do
-    let sends = ref [] in
+    Slots.clear slots;
     List.iter
       (fun (p, _, machine, sched) ->
         if t < Array.length sched.Chunking.rounds then
@@ -230,21 +265,17 @@ let simulation_phase net parties ch ~iter ~n_real =
                 in
                 let l = p.links.(p.by_peer.(slot.Chunking.dst)) in
                 if not l.bot then begin
-                  sends := (p.id, slot.Chunking.dst, bit) :: !sends;
+                  Slots.set slots ~dir:l.dir_out bit;
                   l.sent_log.(t) <- Some bit
                 end
               end)
             sched.Chunking.rounds.(t))
       participants;
-    let delivered = Netsim.Network.round net ~sends:!sends in
+    step net slots;
     List.iter
-      (fun (src, dst, bit) ->
-        let q = parties.(dst) in
-        if q.net_correct then begin
-          let li = q.by_peer.(src) in
-          if li >= 0 then q.links.(li).recv_log.(t) <- Some bit
-        end)
-      delivered;
+      (fun (p, _, _, _) ->
+        Array.iter (fun l -> l.recv_log.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
+      participants;
     (* Feed the live machines, sends-before-receives per round. *)
     List.iter
       (fun (p, _, machine, sched) ->
@@ -278,7 +309,7 @@ let simulation_phase net parties ch ~iter ~n_real =
           else begin
             let e = Transcript.length l.tr + 1 in
             if e <> c then all_aligned := false;
-            let slots = Chunking.link_slots ch ~chunk_index:e ~edge:l.edge in
+            let chunk_slots = Chunking.link_slots ch ~chunk_index:e ~edge:l.edge in
             let events =
               Array.map
                 (fun (roff, src, _) ->
@@ -286,7 +317,7 @@ let simulation_phase net parties ch ~iter ~n_real =
                   match if roff < Array.length log then log.(roff) else None with
                   | Some b -> Transcript.sym_bit b
                   | None -> Transcript.sym_star)
-                slots
+                chunk_slots
             in
             Transcript.push_chunk l.tr ~events
           end)
@@ -297,12 +328,15 @@ let simulation_phase net parties ch ~iter ~n_real =
       | _ -> ())
     participants
 
-let rewind_phase net parties ~iter =
-  Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
+let rewind_phase net slots step parties ~iter =
+  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
   let n = Array.length parties in
   for _round = 1 to n do
-    (* Plan sends from the state at round start (Line 27-31). *)
-    let plans = ref [] in
+    (* Plan sends from the state at round start (Line 27-31); the per-link
+       truncation can be applied immediately because each link's decision
+       reads only its own length against the party's min, which a
+       single-chunk truncation of a longer link cannot lower. *)
+    Slots.clear slots;
     Array.iter
       (fun p ->
         let min_len =
@@ -314,34 +348,31 @@ let rewind_phase net parties ~iter =
               Meeting_points.status l.mp <> Meeting_points.Meeting_points
               && (not l.already_rewound)
               && Transcript.length l.tr > min_len
-            then plans := (p, l) :: !plans)
+            then begin
+              Slots.set slots ~dir:l.dir_out true;
+              Transcript.truncate l.tr (Transcript.length l.tr - 1);
+              l.already_rewound <- true
+            end)
           p.links)
       parties;
-    let sends = List.map (fun (p, l) -> (p.id, l.peer, true)) !plans in
-    List.iter
-      (fun (_, l) ->
-        Transcript.truncate l.tr (Transcript.length l.tr - 1);
-        l.already_rewound <- true)
-      !plans;
-    let delivered = Netsim.Network.round net ~sends in
+    step net slots;
     (* Any symbol received in a rewind round is a rewind request —
        insertions forge them, deletions suppress them (Line 33-38). *)
-    List.iter
-      (fun (src, dst, _bit) ->
-        let q = parties.(dst) in
-        let li = q.by_peer.(src) in
-        if li >= 0 then begin
-          let l = q.links.(li) in
-          if
-            Meeting_points.status l.mp <> Meeting_points.Meeting_points
-            && not l.already_rewound
-          then begin
-            if Transcript.length l.tr > 0 then
-              Transcript.truncate l.tr (Transcript.length l.tr - 1);
-            l.already_rewound <- true
-          end
-        end)
-      delivered
+    Array.iter
+      (fun p ->
+        Array.iter
+          (fun l ->
+            if
+              (not (Slots.is_silent slots ~dir:l.dir_in))
+              && Meeting_points.status l.mp <> Meeting_points.Meeting_points
+              && not l.already_rewound
+            then begin
+              if Transcript.length l.tr > 0 then
+                Transcript.truncate l.tr (Transcript.length l.tr - 1);
+              l.already_rewound <- true
+            end)
+          p.links)
+      parties
   done
 
 (* ---------- global instrumentation (simulator-side only) ---------- *)
@@ -366,6 +397,7 @@ let stats_of net parties graph ~iteration =
       then incr links_in_mp)
     edges;
   let g_star = if !g_star = max_int then 0 else !g_star in
+  let net_stats = Network.stats net in
   {
     iteration;
     g_star;
@@ -375,8 +407,8 @@ let stats_of net parties graph ~iteration =
     sum_b = !sum_b;
     links_in_mp = !links_in_mp;
     mp_k_total = !mp_k_total;
-    cc = Netsim.Network.cc net;
-    corruptions = Netsim.Network.corruptions net;
+    cc = net_stats.Network.cc;
+    corruptions = net_stats.Network.corruptions;
   }
 
 let all_done parties graph ~n_real =
@@ -387,29 +419,14 @@ let all_done parties graph ~n_real =
       Transcript.equal_prefix lu.tr lv.tr >= n_real)
     (Topology.Graph.edges graph)
 
-(* ---------- adversary spy (non-oblivious model, §6) ---------- *)
-
-type edge_view = {
-  tr_lo : Transcript.t;
-  tr_hi : Transcript.t;
-  seeds : Seeds.t;
-  in_sync : bool;
-}
-
-type spy = {
-  spy_chunking : Protocol.Chunking.t;
-  current_iteration : unit -> int;
-  edge_view : int -> edge_view;
-}
-
 (* ---------- main entry ---------- *)
 
-let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
+let run ?(config = Config.default) ~rng params pi adversary =
   Pi.validate pi;
   let graph = pi.Pi.graph in
   let n = Topology.Graph.n graph and m = Topology.Graph.m graph in
   let inputs =
-    match inputs with
+    match config.Config.inputs with
     | Some i ->
         if Array.length i <> n then invalid_arg "Scheme.run: wrong input count";
         i
@@ -422,7 +439,14 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
   let horizon = n_real + iterations + 2 in
   let wmax = Chunking.max_transcript_words ch ~horizon in
   let tree = Topology.Graph.bfs_tree graph in
-  let net = Netsim.Network.create graph adversary in
+  let net = Network.create graph adversary in
+  (* Transport plumbing: one slot buffer and one flag-passing schedule
+     for the whole execution. *)
+  let slots = Network.slots net in
+  let step = if config.Config.legacy_transport then Network.round_via_lists else Network.round_buf in
+  let flag_sched = Flag_passing.compile graph ~tree in
+  let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
+  let max_r = Chunking.max_rounds ch in
   (* Randomness: CRS or per-link exchange (Algorithm 5). *)
   let exchange_failures = ref 0 in
   let seeds_for =
@@ -433,7 +457,7 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
           Seeds.make ~stream:(Hashing.Seed_stream.uniform ~key) ~tau:params.Params.tau ~wmax
             ~slot:edge ~slots:m
     | Params.Exchange ->
-        Netsim.Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
+        Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
         let outcomes = Randomness_exchange.run net ~rng in
         Array.iter (fun o -> if not o.Randomness_exchange.ok then incr exchange_failures) outcomes;
         fun ~edge ~lower ->
@@ -454,15 +478,19 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
               {
                 peer;
                 edge;
+                dir_out = Topology.Graph.dir_id graph ~src:id ~dst:peer;
+                dir_in = Topology.Graph.dir_id graph ~src:peer ~dst:id;
                 tr = Transcript.create ();
                 mp = Meeting_points.create ();
                 seeds = seeds_for ~edge ~lower:(id < peer);
                 already_rewound = false;
                 bot = false;
-                out_msg = [||];
-                in_msg = [||];
-                sent_log = [||];
-                recv_log = [||];
+                out_msg = Array.make mp_bits false;
+                in_msg = Array.make mp_bits None;
+                sent_log = Array.make max_r None;
+                recv_log = Array.make max_r None;
+                mp_len = 0;
+                mp_hasher = None;
               })
             neighbors
         in
@@ -477,7 +505,7 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
   in
   (* ---- adversary spy ---- *)
   let cur_iter = ref 0 in
-  (match spy_hook with
+  (match config.Config.spy_hook with
   | None -> ()
   | Some hook ->
       let edge_view e =
@@ -485,6 +513,7 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
         let lo = min u v and hi = max u v in
         let l_lo = parties.(lo).links.(parties.(lo).by_peer.(hi)) in
         let l_hi = parties.(hi).links.(parties.(hi).by_peer.(lo)) in
+        assert (l_lo.peer = hi && l_hi.peer = lo);
         let in_sync =
           Meeting_points.status l_lo.mp = Meeting_points.Simulate
           && Meeting_points.status l_hi.mp = Meeting_points.Simulate
@@ -502,14 +531,15 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
        iterations_run := iter + 1;
        cur_iter := iter;
        Log.debug (fun f ->
-           f "iteration %d: cc=%d corruptions=%d" iter (Netsim.Network.cc net)
-             (Netsim.Network.corruptions net));
+           let s = Network.stats net in
+           f "iteration %d: cc=%d corruptions=%d" iter s.Network.cc s.Network.corruptions);
        Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
-       meeting_points_phase net parties ~iter ~tau:params.Params.tau;
+       meeting_points_phase net slots step parties ~iter ~tau:params.Params.tau;
        let statuses = compute_statuses parties in
-       Netsim.Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Flag;
+       Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Flag;
        let net_corrects =
-         if params.Params.flag_passing then Flag_passing.run net ~tree ~statuses else statuses
+         if params.Params.flag_passing then Flag_passing.run_buf net flag_sched ~slots ~statuses
+         else statuses
        in
        Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
        Log.debug (fun f ->
@@ -517,9 +547,9 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
              (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
              (String.concat ""
                 (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
-       simulation_phase net parties ch ~iter ~n_real;
-       if params.Params.rewind then rewind_phase net parties ~iter;
-       if trace then traces := stats_of net parties graph ~iteration:iter :: !traces;
+       simulation_phase net slots step parties ch ~iter ~n_real;
+       if params.Params.rewind then rewind_phase net slots step parties ~iter;
+       if config.Config.trace then traces := stats_of net parties graph ~iteration:iter :: !traces;
        if params.Params.early_stop && all_done parties graph ~n_real then raise Exit
      done
    with Exit -> ());
@@ -533,7 +563,8 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
         Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
       parties
   in
-  let cc = Netsim.Network.cc net in
+  let net_stats = Network.stats net in
+  let cc = net_stats.Network.cc in
   let cc_pi = Pi.cc pi in
   {
     success = outputs = reference;
@@ -542,9 +573,9 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
     cc;
     cc_pi;
     rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
-    rounds = Netsim.Network.rounds net;
-    corruptions = Netsim.Network.corruptions net;
-    noise_fraction = Netsim.Network.noise_fraction net;
+    rounds = net_stats.Network.rounds;
+    corruptions = net_stats.Network.corruptions;
+    noise_fraction = net_stats.Network.noise_fraction;
     iterations_run = !iterations_run;
     chunks_total = n_real;
     exchange_failures = !exchange_failures;
@@ -555,3 +586,8 @@ let run ?(trace = false) ?inputs ?spy_hook ~rng params pi adversary =
         0 parties;
     trace = List.rev !traces;
   }
+
+(* Deprecated optional-argument entry point, kept so downstream callers
+   keep compiling while they migrate to Config. *)
+let run_legacy ?trace ?inputs ?spy_hook ~rng params pi adversary =
+  run ~config:(Config.make ?trace ?inputs ?spy_hook ()) ~rng params pi adversary

@@ -71,7 +71,51 @@ type spy = {
   edge_view : int -> edge_view;
 }
 
+(** {2 Execution configuration}
+
+    Everything optional about an execution lives in one record, so the
+    entry point does not grow a new optional argument per feature. *)
+
+module Config : sig
+  type t = {
+    trace : bool;  (** collect per-iteration {!iter_stat}s *)
+    inputs : int array option;
+        (** party inputs; [None] draws a deterministic pseudorandom
+            assignment from the run's [rng] *)
+    spy_hook : (spy -> unit) option;
+        (** hand a non-oblivious adversary its read access (§6) *)
+    legacy_transport : bool;
+        (** benchmark-only: drive every phase through the legacy
+            list-based {!Netsim.Network.round} shim instead of the
+            slot-buffer transport, reproducing the pre-slot allocation
+            profile.  Semantically identical; never faster. *)
+  }
+
+  val default : t
+  (** No trace, pseudorandom inputs, no spy, slot transport. *)
+
+  val make :
+    ?trace:bool ->
+    ?inputs:int array ->
+    ?spy_hook:(spy -> unit) ->
+    ?legacy_transport:bool ->
+    unit ->
+    t
+end
+
 val run :
+  ?config:Config.t ->
+  rng:Util.Rng.t ->
+  Params.t ->
+  Protocol.Pi.t ->
+  Netsim.Adversary.t ->
+  result
+(** Simulate Π over the given noisy network.  [rng] drives seed sampling
+    (and default input assignment).  The adversary sees everything the
+    model grants it and nothing more (in particular, oblivious patterns
+    are fixed before any randomness is drawn from the network). *)
+
+val run_legacy :
   ?trace:bool ->
   ?inputs:int array ->
   ?spy_hook:(spy -> unit) ->
@@ -80,11 +124,8 @@ val run :
   Protocol.Pi.t ->
   Netsim.Adversary.t ->
   result
-(** Simulate Π over the given noisy network.  [inputs] defaults to a
-    deterministic pseudorandom assignment derived from [rng]; [rng] also
-    drives seed sampling.  The adversary sees everything the model
-    grants it and nothing more (in particular, oblivious patterns are
-    fixed before any randomness is drawn from the network). *)
+  [@@deprecated "use run with a Config.t (Scheme.Config.make)"]
+(** The historical optional-argument entry point; forwards to {!run}. *)
 
 val planned_rounds : Params.t -> Protocol.Pi.t -> int
 (** The a-priori fixed round count of the full (non-early-stopped)

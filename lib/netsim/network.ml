@@ -1,3 +1,46 @@
+(* Slot buffers: the zero-allocation transport representation.  A buffer
+   holds one Z3-encoded symbol per directed link (0, 1 are bits; 2 is
+   silence ∗) and is reused across rounds, so the hot path never builds
+   or destructures (src, dst, bit) lists. *)
+module Slots = struct
+  type t = int array
+
+  let silent = 2
+
+  let create graph = Array.make (2 * Topology.Graph.m graph) silent
+  let of_length two_m = Array.make two_m silent
+  let length (t : t) = Array.length t
+  let clear (t : t) = Array.fill t 0 (Array.length t) silent
+  let set (t : t) ~dir bit = t.(dir) <- if bit then 1 else 0
+  let unset (t : t) ~dir = t.(dir) <- silent
+  let is_silent (t : t) ~dir = t.(dir) = silent
+
+  let get (t : t) ~dir =
+    match t.(dir) with 0 -> Some false | 1 -> Some true | _ -> None
+
+  let iter (t : t) f =
+    for dir = 0 to Array.length t - 1 do
+      match t.(dir) with
+      | 0 -> f ~dir false
+      | 1 -> f ~dir true
+      | _ -> ()
+    done
+
+  let count (t : t) =
+    let c = ref 0 in
+    for dir = 0 to Array.length t - 1 do
+      if t.(dir) <> silent then incr c
+    done;
+    !c
+end
+
+type stats = {
+  rounds : int;
+  cc : int;
+  corruptions : int;
+  noise_fraction : float;
+}
+
 type t = {
   graph : Topology.Graph.t;
   adversary : Adversary.t;
@@ -6,9 +49,10 @@ type t = {
   mutable corruptions : int;
   mutable iteration : int;
   mutable phase : Adversary.phase;
-  (* Directed link id -> (src, dst); slot values indexed by dir id. *)
+  (* Directed link id -> (src, dst). *)
   dir_ends : (int * int) array;
-  slots : int array; (* Z3-encoded symbol per directed link, rebuilt each round *)
+  addends : int array; (* per-round adversary addends, reused *)
+  shim_slots : Slots.t; (* scratch buffer backing the legacy list API *)
 }
 
 let dir_endpoints g =
@@ -23,6 +67,7 @@ let dir_endpoints g =
   ends
 
 let create graph adversary =
+  let two_m = 2 * Topology.Graph.m graph in
   {
     graph;
     adversary;
@@ -32,40 +77,53 @@ let create graph adversary =
     iteration = -1;
     phase = Adversary.Idle;
     dir_ends = dir_endpoints graph;
-    slots = Array.make (2 * Topology.Graph.m graph) 2;
+    addends = Array.make two_m 0;
+    shim_slots = Slots.of_length two_m;
   }
 
 let graph t = t.graph
+let slots t = Slots.of_length (Array.length t.addends)
+let link_ends t ~dir = t.dir_ends.(dir)
 
 let set_phase t ~iteration ~phase =
   t.iteration <- iteration;
   t.phase <- phase
 
 (* Symbols in Z3: 0, 1 are bits; 2 is silence (∗). *)
-let encode = function None -> 2 | Some false -> 0 | Some true -> 1
 let decode = function 0 -> Some false | 1 -> Some true | _ -> None
 
-let round t ~sends =
-  let two_m = Array.length t.slots in
-  Array.fill t.slots 0 two_m 2;
-  List.iter
-    (fun (src, dst, bit) ->
-      let d = Topology.Graph.dir_id t.graph ~src ~dst in
-      if t.slots.(d) <> 2 then invalid_arg "Network.round: duplicate send on a directed link";
-      t.slots.(d) <- encode (Some bit);
-      t.cc <- t.cc + 1)
-    sends;
+(* The adaptive strategy interface predates the slot API and consumes a
+   (src, dst, bit) list; rebuild one (ascending dir order) only on that
+   path. *)
+let sends_of_slots t (slots : Slots.t) =
+  let acc = ref [] in
+  for d = Array.length slots - 1 downto 0 do
+    match decode slots.(d) with
+    | None -> ()
+    | Some bit ->
+        let src, dst = t.dir_ends.(d) in
+        acc := (src, dst, bit) :: !acc
+  done;
+  !acc
+
+let round_buf t (slots : Slots.t) =
+  let two_m = Array.length t.addends in
+  if Array.length slots <> two_m then
+    invalid_arg "Network.round_buf: buffer length mismatch";
+  for d = 0 to two_m - 1 do
+    if slots.(d) <> 2 then t.cc <- t.cc + 1;
+    t.addends.(d) <- 0
+  done;
   (* Collect the adversary's addends for this round.  A fixing adversary
      is translated into the addend that forces its chosen output; forcing
      the honest symbol yields addend 0 and is free (Remark 1). *)
-  let addends = Array.make two_m 0 in
   (match t.adversary with
   | Adversary.Silent -> ()
   | Adversary.Oblivious pattern ->
       for d = 0 to two_m - 1 do
         let a = pattern ~round:t.round_no ~dir:d in
         assert (a >= 0 && a <= 2);
-        addends.(d) <- a
+        t.addends.(d) <- a
       done
   | Adversary.Oblivious_fixing pattern ->
       for d = 0 to two_m - 1 do
@@ -73,7 +131,7 @@ let round t ~sends =
         | None -> ()
         | Some forced ->
             assert (forced >= 0 && forced <= 2);
-            addends.(d) <- ((forced - t.slots.(d)) mod 3 + 3) mod 3
+            t.addends.(d) <- ((forced - slots.(d)) mod 3 + 3) mod 3
       done
   | Adversary.Adaptive { budget; strategy } ->
       let budget_left = max 0 (budget t.cc - t.corruptions) in
@@ -87,36 +145,80 @@ let round t ~sends =
             cc_sent = t.cc;
             corruptions = t.corruptions;
             budget_left;
-            sends;
+            sends = sends_of_slots t slots;
           }
       in
       let left = ref budget_left in
       List.iter
         (fun (d, a) ->
-          if d >= 0 && d < two_m && (a = 1 || a = 2) && addends.(d) = 0 && !left > 0 then begin
-            addends.(d) <- a;
+          if d >= 0 && d < two_m && (a = 1 || a = 2) && t.addends.(d) = 0 && !left > 0
+          then begin
+            t.addends.(d) <- a;
             decr left
           end)
         (strategy ctx));
+  for d = 0 to two_m - 1 do
+    let a = t.addends.(d) in
+    if a <> 0 then begin
+      t.corruptions <- t.corruptions + 1;
+      slots.(d) <- (slots.(d) + a) mod 3
+    end
+  done;
+  t.round_no <- t.round_no + 1
+
+(* Legacy list API: a thin shim over [round_buf] that keeps the original
+   allocation profile (send-list iteration, dir resolution, delivered-list
+   construction) for callers that still want it. *)
+let round t ~sends =
+  let slots = t.shim_slots in
+  Slots.clear slots;
+  List.iter
+    (fun (src, dst, bit) ->
+      let d = Topology.Graph.dir_id t.graph ~src ~dst in
+      if not (Slots.is_silent slots ~dir:d) then
+        invalid_arg "Network.round: duplicate send on a directed link";
+      Slots.set slots ~dir:d bit)
+    sends;
+  round_buf t slots;
   let delivered = ref [] in
-  for d = two_m - 1 downto 0 do
-    let a = addends.(d) in
-    if a <> 0 then t.corruptions <- t.corruptions + 1;
-    match decode ((t.slots.(d) + a) mod 3) with
+  for d = Array.length slots - 1 downto 0 do
+    match decode slots.(d) with
     | None -> ()
     | Some bit ->
         let src, dst = t.dir_ends.(d) in
         delivered := (src, dst, bit) :: !delivered
   done;
-  t.round_no <- t.round_no + 1;
   !delivered
+
+(* Benchmark aid: performs [round_buf]'s contract through the legacy list
+   API — reconstructs the send list, calls [round], and writes the
+   delivered list back into the buffer.  This reproduces the allocation
+   profile of the pre-slot-buffer transport so the two can be compared in
+   one binary; never use it outside measurements. *)
+let round_via_lists t (slots : Slots.t) =
+  let sends = sends_of_slots t slots in
+  Slots.clear slots;
+  let delivered = round t ~sends in
+  List.iter
+    (fun (src, dst, bit) ->
+      Slots.set slots ~dir:(Topology.Graph.dir_id t.graph ~src ~dst) bit)
+    delivered
 
 let silence t ~rounds =
   for _ = 1 to rounds do
-    ignore (round t ~sends:[])
+    Slots.clear t.shim_slots;
+    round_buf t t.shim_slots
   done
 
 let rounds t = t.round_no
 let cc t = t.cc
 let corruptions t = t.corruptions
 let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc
+
+let stats t =
+  {
+    rounds = t.round_no;
+    cc = t.cc;
+    corruptions = t.corruptions;
+    noise_fraction = noise_fraction t;
+  }

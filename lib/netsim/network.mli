@@ -5,38 +5,117 @@
     adversary transforms each of the 2m directed-link slots (including
     silent ones, enabling insertions); the network delivers what survives.
 
+    The transport representation is a reusable {!Slots} buffer holding
+    one symbol per directed link.  The allocation-free entry point is
+    {!round_buf}: callers write their transmissions into a preallocated
+    buffer, the network applies the adversary {e in place}, and callers
+    read what was delivered out of the same buffer.  The historical
+    list-based {!round} survives as a thin compatibility shim.
+
     The network keeps the two books the paper's accounting needs:
     - [cc]: the number of transmissions the parties actually sent — the
       communication complexity CC of the instance;
     - [corruptions]: the number of corrupted slots, so that the noise
-      fraction of the instance is [corruptions / cc]. *)
+      fraction of the instance is [corruptions / cc].
+    Both are exposed together through {!stats}. *)
+
+(** A preallocated buffer of 2m directed-link slots, indexed by the
+    {!Topology.Graph.dir_id} of the link.  Each slot holds a bit or
+    silence (the paper's ∗).  Buffers are reused across rounds: [clear]
+    then [set] the transmissions, hand the buffer to {!round_buf}, then
+    [get]/[iter] the delivered symbols — no lists, no per-round
+    allocation. *)
+module Slots : sig
+  type t
+
+  val create : Topology.Graph.t -> t
+  (** A fresh all-silent buffer sized for the graph (2m slots). *)
+
+  val length : t -> int
+  (** Number of slots (2m). *)
+
+  val clear : t -> unit
+  (** Reset every slot to silence. *)
+
+  val set : t -> dir:int -> bool -> unit
+  (** Submit a bit on a directed link (overwrites the slot). *)
+
+  val unset : t -> dir:int -> unit
+  (** Silence one slot. *)
+
+  val get : t -> dir:int -> bool option
+  (** The slot's symbol; [None] is silence. *)
+
+  val is_silent : t -> dir:int -> bool
+
+  val iter : t -> (dir:int -> bool -> unit) -> unit
+  (** Visit every non-silent slot in ascending dir order. *)
+
+  val count : t -> int
+  (** Number of non-silent slots. *)
+end
+
+type stats = {
+  rounds : int;  (** rounds elapsed *)
+  cc : int;  (** transmissions sent — the instance's CC *)
+  corruptions : int;  (** corrupted slots *)
+  noise_fraction : float;  (** [corruptions / cc] (0 when nothing sent) *)
+}
 
 type t
 
 val create : Topology.Graph.t -> Adversary.t -> t
 val graph : t -> Topology.Graph.t
 
+val slots : t -> Slots.t
+(** A fresh slot buffer sized for this network. *)
+
+val link_ends : t -> dir:int -> int * int
+(** (src, dst) endpoints of a directed link id. *)
+
 val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
 (** Label the upcoming rounds for adaptive adversaries and traces.  The
     label leaks no private state: the schedule of phases is public by
     construction (each phase has an a-priori fixed number of rounds). *)
 
+val round_buf : t -> Slots.t -> unit
+(** [round_buf t slots] executes one synchronous round in place: on
+    entry [slots] holds the parties' transmissions for the round; on
+    return it holds what the network delivered.  Substituted bits are
+    altered, deleted ones become silence, inserted ones appear in slots
+    that were silent.  Raises [Invalid_argument] if the buffer's length
+    does not match the network.  Allocation-free for silent, oblivious
+    and fixing adversaries. *)
+
+val round_via_lists : t -> Slots.t -> unit
+(** Same contract as {!round_buf}, but routed through the legacy list
+    API: the send list is reconstructed, {!round} is called, and the
+    delivered list is written back into the buffer.  This reproduces the
+    allocation profile of the pre-slot-buffer transport so benchmarks
+    can compare both in one binary.  Never use it outside
+    measurements. *)
+
 val round : t -> sends:(int * int * bool) list -> (int * int * bool) list
+  [@@deprecated "use round_buf with a reusable Slots.t; this shim allocates per round"]
 (** [round t ~sends] executes one synchronous round.  [sends] holds
     (src, dst, bit) transmissions — src and dst must be adjacent and a
     directed link may appear at most once.  Returns the delivered
-    (src, dst, bit) list: substituted bits are altered, deleted ones are
-    absent, inserted ones appear though never sent. *)
+    (src, dst, bit) list (ascending dir order): substituted bits are
+    altered, deleted ones are absent, inserted ones appear though never
+    sent.  Compatibility shim over {!round_buf}. *)
 
 val silence : t -> rounds:int -> unit
 (** Let [rounds] rounds pass with no party speaking (insertions may still
     occur but nobody is listening — used to advance the clock). *)
 
-val rounds : t -> int
+val stats : t -> stats
+(** The network's books, in one read. *)
+
+val rounds : t -> int [@@deprecated "use stats"]
 (** Rounds elapsed. *)
 
-val cc : t -> int
-val corruptions : t -> int
+val cc : t -> int [@@deprecated "use stats"]
+val corruptions : t -> int [@@deprecated "use stats"]
 
-val noise_fraction : t -> float
+val noise_fraction : t -> float [@@deprecated "use stats"]
 (** [corruptions / cc] (0 when nothing was sent). *)

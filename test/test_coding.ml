@@ -450,7 +450,7 @@ let test_replayer_matches_noiseless () =
   (* Noiseless coded run: outputs must equal the reference — this
      exercises replayer-driven simulation and output extraction. *)
   let params = Coding.Params.algorithm_1 g in
-  let r = Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 5) params pi Netsim.Adversary.Silent in
+  let r = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~inputs ()) ~rng:(Util.Rng.create 5) params pi Netsim.Adversary.Silent in
   Alcotest.(check bool) "outputs = noiseless outputs" true (r.Coding.Scheme.outputs = reference)
 
 let test_replayer_cache_correctness () =
@@ -659,7 +659,7 @@ let test_scheme_ring_sum_correct_value () =
   let expected = Array.fold_left ( + ) 0 inputs land 1023 in
   let adv = Netsim.Adversary.iid (Util.Rng.create 25) ~rate:0.001 in
   let r =
-    Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 26)
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~inputs ()) ~rng:(Util.Rng.create 26)
       (Coding.Params.algorithm_1 pi.Protocol.Pi.graph)
       pi adv
   in
@@ -674,12 +674,12 @@ let test_scheme_adaptive_attack_algorithm_b () =
   let pi = Protocol.Protocols.random_chatter g ~rounds:250 ~density:0.4 ~seed:10 in
   let attack () = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:4 ~rate_denom:300 () in
   let adv1, hook1, stats1 = attack () in
-  let r1 = Coding.Scheme.run ~spy_hook:hook1 ~rng:(Util.Rng.create 27) (Coding.Params.algorithm_1 g) pi adv1 in
+  let r1 = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook1 ()) ~rng:(Util.Rng.create 27) (Coding.Params.algorithm_1 g) pi adv1 in
   ignore r1;
   Alcotest.(check bool) "hunter hides corruptions from Algorithm 1" true
     (stats1.Coding.Attacks.hits > 0);
   let adv_b, hook_b, stats_b = attack () in
-  let rb = Coding.Scheme.run ~spy_hook:hook_b ~rng:(Util.Rng.create 28) (Coding.Params.algorithm_b g) pi adv_b in
+  let rb = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook_b ()) ~rng:(Util.Rng.create 28) (Coding.Params.algorithm_b g) pi adv_b in
   Alcotest.(check bool) "algorithm B beats the hunter" true rb.Coding.Scheme.success;
   Alcotest.(check int) "hunter finds nothing against B" 0 stats_b.Coding.Attacks.hits
 
@@ -716,7 +716,7 @@ let test_scheme_trace_progress () =
   let g = Topology.Graph.cycle 5 in
   let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:12 in
   let r =
-    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 29) (Coding.Params.algorithm_1 g) pi
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~trace:true ()) ~rng:(Util.Rng.create 29) (Coding.Params.algorithm_1 g) pi
       Netsim.Adversary.Silent
   in
   let trace = Array.of_list r.Coding.Scheme.trace in
@@ -736,7 +736,7 @@ let test_scheme_trace_burst_recovery () =
       ~dirs:[ Topology.Graph.dir_id g ~src:0 ~dst:1 ]
   in
   let r =
-    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create 31) (Coding.Params.algorithm_1 g) pi adv
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~trace:true ()) ~rng:(Util.Rng.create 31) (Coding.Params.algorithm_1 g) pi adv
   in
   Alcotest.(check bool) "recovered" true r.Coding.Scheme.success;
   let had_backlog = List.exists (fun st -> st.Coding.Scheme.b_star > 0) r.Coding.Scheme.trace in
@@ -796,12 +796,12 @@ let test_scheme_two_party () =
   let pi = Protocol.Protocols.pairwise_ip g ~bits:16 in
   let inputs = [| 0xBEEF; 0xCAFE |] in
   let noiseless =
-    Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 50) (Coding.Params.algorithm_1 g) pi
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~inputs ()) ~rng:(Util.Rng.create 50) (Coding.Params.algorithm_1 g) pi
       Netsim.Adversary.Silent
   in
   Alcotest.(check bool) "two-party noiseless" true noiseless.Coding.Scheme.success;
   let noisy =
-    Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 51) (Coding.Params.algorithm_a g) pi
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~inputs ()) ~rng:(Util.Rng.create 51) (Coding.Params.algorithm_a g) pi
       (Netsim.Adversary.iid (Util.Rng.create 52) ~rate:0.002)
   in
   Alcotest.(check bool) "two-party noisy (Algorithm A)" true noisy.Coding.Scheme.success
@@ -847,7 +847,7 @@ let test_scheme_algorithm_c_vs_hunter () =
   let g = Topology.Graph.cycle 6 in
   let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.4 ~seed:33 in
   let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:4 ~rate_denom:300 () in
-  let r = Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 60) (Coding.Params.algorithm_c g) pi adv in
+  let r = Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create 60) (Coding.Params.algorithm_c g) pi adv in
   Alcotest.(check bool) "algorithm C succeeds" true r.Coding.Scheme.success;
   Alcotest.(check int) "no hidden corruptions" 0 stats.Coding.Attacks.hits
 

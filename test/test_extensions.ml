@@ -52,7 +52,7 @@ let test_gossip_max_coded_under_noise () =
   let inputs = [| 5; 900; 17; 1023; 44; 300 |] in
   let adv = Netsim.Adversary.iid (Util.Rng.create 8) ~rate:0.0008 in
   let r =
-    Coding.Scheme.run ~inputs ~rng:(Util.Rng.create 9) (Coding.Params.algorithm_1 g) pi adv
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~inputs ()) ~rng:(Util.Rng.create 9) (Coding.Params.algorithm_1 g) pi adv
   in
   Alcotest.(check bool) "success" true r.Coding.Scheme.success;
   Array.iter (fun o -> Alcotest.(check int) "max value" 1023 o) r.Coding.Scheme.outputs
@@ -92,7 +92,7 @@ let trace_of adversary seed =
   let g = Topology.Graph.cycle 6 in
   let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:2 in
   let r =
-    Coding.Scheme.run ~trace:true ~rng:(Util.Rng.create seed) (Coding.Params.algorithm_1 g) pi
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~trace:true ()) ~rng:(Util.Rng.create seed) (Coding.Params.algorithm_1 g) pi
       adversary
   in
   (r, Topology.Graph.m g)
@@ -153,7 +153,7 @@ let test_hunter_respects_budget () =
   let pi = Protocol.Protocols.random_chatter g ~rounds:200 ~density:0.5 ~seed:2 in
   let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:3 ~rate_denom:400 () in
   let r =
-    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 23) (Coding.Params.algorithm_1 g) pi adv
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create 23) (Coding.Params.algorithm_1 g) pi adv
   in
   Alcotest.(check bool) "noise fraction within budget" true
     (r.Coding.Scheme.noise_fraction <= 1. /. 400. +. 0.001);
@@ -168,7 +168,7 @@ let test_hunter_hits_are_invisible () =
   let pi = Protocol.Protocols.random_chatter g ~rounds:250 ~density:0.5 ~seed:2 in
   let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:4 ~rate_denom:300 () in
   let r =
-    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 24) (Coding.Params.algorithm_1 g) pi adv
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create 24) (Coding.Params.algorithm_1 g) pi adv
   in
   Alcotest.(check bool) "hunter found hits vs tau=6" true (stats.Coding.Attacks.hits > 0);
   Alcotest.(check bool) "hidden corruptions delayed the run" true
@@ -179,7 +179,7 @@ let test_hunter_blind_against_long_hashes () =
   let pi = Protocol.Protocols.random_chatter g ~rounds:150 ~density:0.5 ~seed:2 in
   let adv, hook, stats = Coding.Attacks.collision_hunter ~graph:g ~edge:0 ~depth:3 ~rate_denom:300 () in
   let r =
-    Coding.Scheme.run ~spy_hook:hook ~rng:(Util.Rng.create 25)
+    Coding.Scheme.run ~config:(Coding.Scheme.Config.make ~spy_hook:hook ()) ~rng:(Util.Rng.create 25)
       (Coding.Params.algorithm_1 ~tau:20 g) pi adv
   in
   Alcotest.(check bool) "success" true r.Coding.Scheme.success;

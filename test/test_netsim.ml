@@ -1,6 +1,12 @@
 (* Tests for the synchronous noisy network: faithful delivery without
-   noise, and exact insertion/deletion/substitution semantics of the
-   additive adversary. *)
+   noise, exact insertion/deletion/substitution semantics of the
+   additive adversary, and the differential guarantee that the
+   slot-buffer transport (round_buf) is observationally identical to
+   the legacy list-based round.
+
+   This file exercises the deprecated legacy API on purpose — it is the
+   reference the differential tests compare against. *)
+[@@@alert "-deprecated"]
 
 open Netsim
 
@@ -278,6 +284,141 @@ let test_noise_fraction () =
   let net = Network.create g4 Adversary.Silent in
   Alcotest.(check (float 0.001)) "zero cc" 0. (Network.noise_fraction net)
 
+(* ------------------------------------------------------------------ *)
+(* Slot-buffer transport.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_slots_basics () =
+  let s = Network.Slots.create g4 in
+  Alcotest.(check int) "2m slots" (2 * Topology.Graph.m g4) (Network.Slots.length s);
+  Alcotest.(check int) "all silent" 0 (Network.Slots.count s);
+  let d01 = dir g4 0 1 and d21 = dir g4 2 1 in
+  Network.Slots.set s ~dir:d01 true;
+  Network.Slots.set s ~dir:d21 false;
+  Alcotest.(check (option bool)) "read back 1" (Some true) (Network.Slots.get s ~dir:d01);
+  Alcotest.(check (option bool)) "read back 0" (Some false) (Network.Slots.get s ~dir:d21);
+  Alcotest.(check (option bool)) "untouched silent" None (Network.Slots.get s ~dir:(dir g4 1 0));
+  Alcotest.(check bool) "is_silent false" false (Network.Slots.is_silent s ~dir:d01);
+  Alcotest.(check int) "count 2" 2 (Network.Slots.count s);
+  let seen = ref [] in
+  Network.Slots.iter s (fun ~dir bit -> seen := (dir, bit) :: !seen);
+  Alcotest.(check bool) "iter ascending, non-silent only" true
+    (List.rev !seen = List.sort compare [ (d01, true); (d21, false) ]);
+  Network.Slots.unset s ~dir:d01;
+  Alcotest.(check (option bool)) "unset silences" None (Network.Slots.get s ~dir:d01);
+  Network.Slots.clear s;
+  Alcotest.(check int) "clear empties" 0 (Network.Slots.count s)
+
+(* Drive one network with the legacy list round and a twin with
+   round_buf on the same (pure, oblivious) adversary value; deliveries
+   and stats must agree round for round. *)
+let delivered_of_slots net slots =
+  let out = ref [] in
+  Network.Slots.iter slots (fun ~dir bit ->
+      let src, dst = Network.link_ends net ~dir in
+      out := (src, dst, bit) :: !out);
+  List.rev !out
+
+let check_differential ~name g adv ~rounds ~sends_at =
+  let net_list = Network.create g adv in
+  let net_buf = Network.create g adv in
+  let slots = Network.slots net_buf in
+  for r = 0 to rounds - 1 do
+    let sends = sends_at r in
+    let d_list = Network.round net_list ~sends in
+    Network.Slots.clear slots;
+    List.iter (fun (src, dst, bit) ->
+        Network.Slots.set slots ~dir:(Topology.Graph.dir_id g ~src ~dst) bit)
+      sends;
+    Network.round_buf net_buf slots;
+    let d_buf = delivered_of_slots net_buf slots in
+    Alcotest.(check (list (triple int int bool)))
+      (Printf.sprintf "%s: delivery, round %d" name r)
+      d_list d_buf
+  done;
+  let s_list = Network.stats net_list and s_buf = Network.stats net_buf in
+  Alcotest.(check int) (name ^ ": rounds") s_list.Network.rounds s_buf.Network.rounds;
+  Alcotest.(check int) (name ^ ": cc") s_list.Network.cc s_buf.Network.cc;
+  Alcotest.(check int) (name ^ ": corruptions") s_list.Network.corruptions
+    s_buf.Network.corruptions;
+  Alcotest.(check (float 1e-9)) (name ^ ": noise fraction") s_list.Network.noise_fraction
+    s_buf.Network.noise_fraction
+
+let test_differential_substitution () =
+  (* Addend 1 on a sent 0 flips it: pure substitution. *)
+  let adv = Adversary.single ~round:3 ~dir:(dir g4 0 1) ~addend:1 in
+  check_differential ~name:"substitution" g4 adv ~rounds:6 ~sends_at:(fun _ ->
+      [ (0, 1, false); (2, 1, true) ])
+
+let test_differential_deletion () =
+  (* Addend 2 on a sent 0 silences it. *)
+  let adv = Adversary.single ~round:2 ~dir:(dir g4 0 1) ~addend:2 in
+  check_differential ~name:"deletion" g4 adv ~rounds:5 ~sends_at:(fun _ -> [ (0, 1, false) ])
+
+let test_differential_insertion () =
+  (* Addend on a silent slot conjures a symbol from nothing. *)
+  let adv = Adversary.single ~round:1 ~dir:(dir g4 3 2) ~addend:1 in
+  check_differential ~name:"insertion" g4 adv ~rounds:4 ~sends_at:(fun _ -> [])
+
+let test_differential_random () =
+  (* QuickCheck-style: random connected topologies, iid noise mixing
+     all three corruption kinds, pseudorandom traffic.  The send
+     pattern is a pure function of (seed, round, dir) so both networks
+     offer identical traffic. *)
+  for seed = 0 to 19 do
+    let g =
+      Topology.Graph.random_connected (Util.Rng.create (100 + seed)) ~n:(3 + (seed mod 5))
+        ~extra_edges:(seed mod 4)
+    in
+    let adv = Adversary.iid (Util.Rng.create (200 + seed)) ~rate:0.2 in
+    let sends_at r =
+      let sends = ref [] in
+      Array.iteri
+        (fun e (u, v) ->
+          (* Decide each direction from a cheap hash of (seed, r, e). *)
+          let h k = (((seed * 31) + r) * 31) + (e * 7) + k in
+          if h 0 mod 3 <> 0 then sends := (u, v, h 1 mod 2 = 0) :: !sends;
+          if h 2 mod 3 <> 1 then sends := (v, u, h 3 mod 2 = 0) :: !sends)
+        (Topology.Graph.edges g);
+      !sends
+    in
+    check_differential ~name:(Printf.sprintf "random topology (seed %d)" seed) g adv
+      ~rounds:40 ~sends_at
+  done
+
+let test_round_via_lists_matches () =
+  (* The benchmark baseline transport must also be a drop-in. *)
+  let adv = Adversary.iid (Util.Rng.create 77) ~rate:0.15 in
+  let net_a = Network.create g4 adv in
+  let net_b = Network.create g4 adv in
+  let sa = Network.slots net_a and sb = Network.slots net_b in
+  for r = 0 to 29 do
+    Network.Slots.clear sa;
+    Network.Slots.clear sb;
+    if r mod 3 <> 0 then begin
+      Network.Slots.set sa ~dir:(dir g4 0 1) (r mod 2 = 0);
+      Network.Slots.set sb ~dir:(dir g4 0 1) (r mod 2 = 0)
+    end;
+    Network.round_buf net_a sa;
+    Network.round_via_lists net_b sb;
+    Alcotest.(check (list (triple int int bool)))
+      (Printf.sprintf "round_via_lists, round %d" r)
+      (delivered_of_slots net_a sa) (delivered_of_slots net_b sb)
+  done;
+  Alcotest.(check int) "same corruption count" (Network.stats net_a).Network.corruptions
+    (Network.stats net_b).Network.corruptions
+
+let test_round_shim_still_works () =
+  (* The deprecated list shim stays available and consistent with the
+     stats record. *)
+  let net = Network.create g4 Adversary.Silent in
+  let d = Network.round net ~sends:[ (0, 1, true) ] in
+  Alcotest.(check (list (triple int int bool))) "shim delivers" [ (0, 1, true) ] d;
+  let s = Network.stats net in
+  Alcotest.(check int) "stats.rounds" 1 s.Network.rounds;
+  Alcotest.(check int) "stats.cc" 1 s.Network.cc;
+  Alcotest.(check int) "legacy accessors agree" s.Network.cc (Network.cc net)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -309,5 +450,15 @@ let () =
           Alcotest.test_case "noise fraction" `Quick test_noise_fraction;
           QCheck_alcotest.to_alcotest prop_additive_semantics;
           Alcotest.test_case "compose" `Quick test_compose;
+        ] );
+      ( "slot transport",
+        [
+          Alcotest.test_case "slots basics" `Quick test_slots_basics;
+          Alcotest.test_case "differential: substitution" `Quick test_differential_substitution;
+          Alcotest.test_case "differential: deletion" `Quick test_differential_deletion;
+          Alcotest.test_case "differential: insertion" `Quick test_differential_insertion;
+          Alcotest.test_case "differential: random topologies" `Quick test_differential_random;
+          Alcotest.test_case "round_via_lists drop-in" `Quick test_round_via_lists_matches;
+          Alcotest.test_case "legacy shim" `Quick test_round_shim_still_works;
         ] );
     ]
