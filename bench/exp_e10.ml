@@ -4,35 +4,37 @@
 
    We sweep an adaptive noise budget (mixed attack: simulation + MP
    traffic on random links) against B and C at the same chunking-relative
-   budgets.  Expected shape: both survive small budgets; as the budget
-   rises, B — which pays for a K = m log m chunk against a budget
-   accounted per m log m — falls before C does at budgets between the
-   two thresholds. *)
+   budgets.  Asymptotically B — which pays for a K = m log m chunk
+   against a budget accounted per m log m — should fall before C; at
+   m = 8 the separation is a factor 1.5 and stays inside trial noise
+   (see EXPERIMENTS.md), so the measured claim is "C is at least B". *)
 
-let trials = 5
+let trials = 10
 
 let run () =
   Exp_common.heading "E10 |  Appendix B: Algorithm C between A and B (cycle, m = 8)";
   let g = Topology.Graph.cycle 8 in
   let pi = Exp_common.workload ~rounds:250 g in
-  Format.printf "%-16s | %-26s | %-26s@." "attack budget" "Algorithm B (exchange)"
+  Format.printf "%-16s | %-28s | %-28s@." "attack budget" "Algorithm B (exchange)"
     "Algorithm C (pre-shared)";
-  Format.printf "%s@." (String.make 76 '-');
+  Format.printf "%s@." (String.make 80 '-');
   List.iter
     (fun rate_denom ->
-      let s params base =
+      let s params kid =
+        let key = Printf.sprintf "e10:%s:%d" kid rate_denom in
         Exp_common.run_trials ~trials (fun t ->
-            Coding.Scheme.run ~rng:(Util.Rng.create (base + t)) params pi
+            Coding.Scheme.run ~rng:(Exp_common.trial_rng (key ^ ":scheme") t) params pi
               (Netsim.Adversary.adaptive_phase_attack ~rate_denom
                  ~phases:[ Netsim.Adversary.Simulation; Netsim.Adversary.Meeting_points ]
-                 (Util.Rng.create (base + t + 17))))
+                 (Exp_common.trial_rng (key ^ ":adv") t)))
       in
-      let sb = s (Coding.Params.algorithm_b g) 9100 in
-      let sc = s (Coding.Params.algorithm_c g) 9200 in
-      Format.printf "cc/%-13d | %10.0f%% / %9.1fx | %10.0f%% / %9.1fx@." rate_denom
-        (Exp_common.success_pct sb) sb.Exp_common.mean_blowup (Exp_common.success_pct sc)
-        sc.Exp_common.mean_blowup)
+      let sb = s (Coding.Params.algorithm_b g) "algB" in
+      let sc = s (Coding.Params.algorithm_c g) "algC" in
+      Format.printf "cc/%-13d | %15s / %8.1fx | %15s / %8.1fx@." rate_denom
+        (Exp_common.success_cell sb) (Exp_common.mean_blowup sb) (Exp_common.success_cell sc)
+        (Exp_common.mean_blowup sc))
     [ 6000; 3000; 1500; 800; 400 ];
-  Format.printf "@.Algorithm C spends smaller chunks (K = m log log m vs m log m) for the@.";
-  Format.printf "same hash protection, so the same corruption budget hurts it less —@.";
-  Format.printf "pre-shared randomness buys noise tolerance, Appendix B's trade.@."
+  Format.printf "@.B and C collapse at the same budgets: the log m vs log log m separation@.";
+  Format.printf "(1.5x at m = 8) is inside trial noise at simulable scales.  What does@.";
+  Format.printf "reproduce is Appendix B's qualitative trade — pre-shared randomness@.";
+  Format.printf "gives C at-least-B resilience with no exchange phase left to attack.@."

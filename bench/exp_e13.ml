@@ -29,12 +29,13 @@ let run () =
       List.iter
         (fun rounds ->
           let pi = Exp_common.workload ~rounds g in
+          let key = Printf.sprintf "e13:%.4f:%d" rate rounds in
           let s =
             Exp_common.run_trials ~trials (fun t ->
                 Coding.Scheme.run
-                  ~rng:(Util.Rng.create (11000 + (100 * rounds) + t))
+                  ~rng:(Exp_common.trial_rng (key ^ ":scheme") t)
                   (Coding.Params.algorithm_1 g) pi
-                  (Netsim.Adversary.iid (Util.Rng.create ((3 * rounds) + t)) ~rate))
+                  (Netsim.Adversary.iid (Exp_common.trial_rng (key ^ ":adv") t) ~rate))
           in
           Format.printf " | %9.0f%%  " (Exp_common.success_pct s))
         lengths;
@@ -47,21 +48,24 @@ let run () =
   Format.printf "narrow knee shows trial noise.@.";
   Exp_common.subheading "Remark 1: additive vs fixing oblivious adversary";
   let pi = Exp_common.workload ~rounds:300 g in
-  Format.printf "%-10s | %-26s | %-26s@." "slot rate" "additive (succ / measured)"
+  Format.printf "%-10s | %-28s | %-28s@." "slot rate" "additive (succ / measured)"
     "fixing (succ / measured)";
-  Format.printf "%s@." (String.make 72 '-');
+  Format.printf "%s@." (String.make 76 '-');
   List.iter
     (fun rate ->
-      let s mk base =
+      let s mk kid =
+        let key = Printf.sprintf "e13:%s:%.4f" kid rate in
         Exp_common.run_trials ~trials:6 (fun t ->
-            Coding.Scheme.run ~rng:(Util.Rng.create (base + t)) (Coding.Params.algorithm_1 g) pi
-              (mk (Util.Rng.create (base + t + 31)) ~rate))
+            Coding.Scheme.run
+              ~rng:(Exp_common.trial_rng (key ^ ":scheme") t)
+              (Coding.Params.algorithm_1 g) pi
+              (mk (Exp_common.trial_rng (key ^ ":adv") t) ~rate))
       in
-      let add = s Netsim.Adversary.iid 12000 in
-      let femme = s Netsim.Adversary.iid_fixing 13000 in
-      Format.printf "%-10.4f | %10.0f%% / %10.5f | %10.0f%% / %10.5f@." rate
-        (Exp_common.success_pct add) add.Exp_common.mean_fraction (Exp_common.success_pct femme)
-        femme.Exp_common.mean_fraction)
+      let add = s Netsim.Adversary.iid "additive" in
+      let femme = s Netsim.Adversary.iid_fixing "fixing" in
+      Format.printf "%-10.4f | %15s / %8.5f | %15s / %8.5f@." rate
+        (Exp_common.success_cell add) (Exp_common.mean_fraction add)
+        (Exp_common.success_cell femme) (Exp_common.mean_fraction femme))
     [ 0.001; 0.002; 0.004 ];
   Format.printf "@.Same thresholds; the fixing adversary's measured fraction runs ~2/3 of@.";
   Format.printf "the additive one's because a third of its fixings hit the honest symbol.@."

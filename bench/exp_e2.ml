@@ -15,24 +15,32 @@ let run () =
   let g = Topology.Graph.cycle 8 in
   let pi = Exp_common.workload g in
   let m = float_of_int (Topology.Graph.m g) in
-  Format.printf "%-12s %-12s | %-28s | %-28s@." "slot rate" "~fraction" "Algorithm 1 (CRS)"
-    "Algorithm A (no CRS)";
+  Format.printf "%-12s %-12s | %-24s | %-24s@." "slot rate" "~fraction"
+    "Algorithm 1 (CRS)" "Algorithm A (no CRS)";
   Format.printf "%s@." (String.make 90 '-');
   List.iter
     (fun slot_rate ->
-      let run_one params seed_base t =
-        Coding.Scheme.run ~rng:(Util.Rng.create (seed_base + t)) params pi
+      let run_one params key t =
+        Coding.Scheme.run
+          ~rng:(Exp_common.trial_rng (key ^ ":scheme") t)
+          params pi
           (if slot_rate = 0. then Netsim.Adversary.Silent
-           else Netsim.Adversary.iid (Util.Rng.create (seed_base + (7 * t) + 1)) ~rate:slot_rate)
+           else Netsim.Adversary.iid (Exp_common.trial_rng (key ^ ":adv") t) ~rate:slot_rate)
       in
-      let s1 = Exp_common.run_trials ~trials (run_one (Coding.Params.algorithm_1 g) 5000) in
-      let sa = Exp_common.run_trials ~trials (run_one (Coding.Params.algorithm_a g) 6000) in
-      Format.printf "%-12.5f %-12.5f | %3.0f%% %s | %3.0f%% %s@." slot_rate
-        s1.Exp_common.mean_fraction (Exp_common.success_pct s1)
-        (Exp_common.bar ~width:22 (Exp_common.success_pct s1 /. 100.))
-        (Exp_common.success_pct sa)
-        (Exp_common.bar ~width:22 (Exp_common.success_pct sa /. 100.)))
+      let key alg = Printf.sprintf "e2:%s:%.6f" alg slot_rate in
+      let s1 =
+        Exp_common.run_trials ~trials (run_one (Coding.Params.algorithm_1 g) (key "alg1"))
+      in
+      let sa =
+        Exp_common.run_trials ~trials (run_one (Coding.Params.algorithm_a g) (key "algA"))
+      in
+      Format.printf "%-12.5f %-12.5f | %-15s %s | %-15s %s@." slot_rate
+        (Exp_common.mean_fraction s1) (Exp_common.success_cell s1)
+        (Exp_common.bar ~width:8 (Exp_common.success_pct s1 /. 100.))
+        (Exp_common.success_cell sa)
+        (Exp_common.bar ~width:8 (Exp_common.success_pct sa /. 100.)))
     [ 0.; 0.1 /. (m *. 100.); 0.2 /. (m *. 100.); 0.5 /. (m *. 100.); 1. /. (m *. 100.);
       2. /. (m *. 100.); 4. /. (m *. 100.) ];
   Format.printf "@.(rates are per channel slot; '~fraction' is the measured corrupted@.";
-  Format.printf " fraction of the coded communication, the paper's noise measure)@."
+  Format.printf " fraction of the coded communication; success cells carry the Wilson@.";
+  Format.printf " 95%% interval over %d trials)@." trials

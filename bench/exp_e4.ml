@@ -6,7 +6,10 @@
    CC(coded)/CC(Π) for Algorithm 1 and Algorithm B.  Expected shape: a
    roughly flat line per family (the constant differs per family because
    the flag-passing and rewind phases cost Θ(n) per iteration against
-   chunks of Θ(m) bits — on sparse graphs n ≈ m, on cliques n ≪ m). *)
+   chunks of Θ(m) bits — on sparse graphs n ≈ m, on cliques n ≪ m).
+
+   Each (family, n) cell is an independent noiseless run, so the grid
+   goes through the trial pool and prints in canonical order. *)
 
 let run () =
   Exp_common.heading "E4  |  Constant rate: blowup vs network size (noiseless)";
@@ -23,22 +26,28 @@ let run () =
       ("hypercube", fun n -> Topology.Graph.hypercube (max 2 (Coding.Params.ceil_log2 n)));
     ]
   in
+  let cells =
+    List.concat_map (fun (fname, make) -> List.map (fun n -> (fname, make, n)) [ 5; 8; 12; 16 ])
+      families
+  in
+  let rows =
+    Exp_common.grid cells (fun (fname, make, n) ->
+        let g = make n in
+        let pi = Exp_common.workload ~rounds:200 g in
+        let blowup params =
+          (Coding.Scheme.run
+             ~rng:(Exp_common.trial_rng (Printf.sprintf "e4:%s:%d" fname n) 0)
+             params pi Netsim.Adversary.Silent)
+            .Coding.Scheme.rate_blowup
+        in
+        let b1 = blowup (Coding.Params.algorithm_1 g) in
+        let bb = blowup (Coding.Params.algorithm_b g) in
+        (fname, n, Topology.Graph.m g, Protocol.Pi.cc pi, b1, bb))
+  in
   List.iter
-    (fun (fname, make) ->
-      List.iter
-        (fun n ->
-          let g = make n in
-          let pi = Exp_common.workload ~rounds:200 g in
-          let blowup params =
-            (Coding.Scheme.run ~rng:(Util.Rng.create (n * 13)) params pi Netsim.Adversary.Silent)
-              .Coding.Scheme.rate_blowup
-          in
-          let b1 = blowup (Coding.Params.algorithm_1 g) in
-          let bb = blowup (Coding.Params.algorithm_b g) in
-          Format.printf "%-10s %4d %4d %6d | %12.1fx %14.1fx | %10.1fx@." fname n
-            (Topology.Graph.m g) (Protocol.Pi.cc pi) b1 bb 5.0)
-        [ 5; 8; 12; 16 ])
-    families;
+    (fun (fname, n, m, cc, b1, bb) ->
+      Format.printf "%-10s %4d %4d %6d | %12.1fx %14.1fx | %10.1fx@." fname n m cc b1 bb 5.0)
+    rows;
   Format.printf "@.Blowups stay bounded as n and m grow: constant rate.  (The repetition@.";
   Format.printf "baseline's x5 only buys substitution-resistance ~2/5 per transmission,@.";
   Format.printf "and to match an eps/m noise *fraction* it would need rep = Theta(m).)@."

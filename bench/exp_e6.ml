@@ -17,18 +17,19 @@ let run () =
   let n = 9 in
   let g = Topology.Graph.line n in
   let pi = Protocol.Protocols.line_flow ~n ~phases:16 ~chat:10 in
-  Format.printf "%-22s %9s %12s %14s %10s@." "configuration" "success" "iterations"
-    "rework (chunks)" "blowup";
-  Format.printf "%s@." (String.make 72 '-');
-  let measure label flag_passing =
+  Format.printf "%-22s %15s %22s %15s %9s@." "configuration" "success [95%]"
+    "iterations (sd, p95)" "rework (chunks)" "blowup";
+  Format.printf "%s@." (String.make 88 '-');
+  let measure label kid flag_passing =
     let params = { (Coding.Params.algorithm_1 g) with Coding.Params.flag_passing } in
-    let rework = ref 0 in
-    let s =
-      Exp_common.run_trials ~trials (fun t ->
+    (* Per-trial rework counts come back through run_trials_aux (a
+       closed-over ref would race across worker domains). *)
+    let s, aux =
+      Exp_common.run_trials_aux ~trials (fun t ->
           (* Three bursts on the first link, spread over the run. *)
           let d01 = Topology.Graph.dir_id g ~src:0 ~dst:1 in
           let d10 = Topology.Graph.dir_id g ~src:1 ~dst:0 in
-          let key = Util.Rng.int64 (Util.Rng.create (600 + t)) in
+          let key = Util.Rng.int64 (Exp_common.trial_rng ("e6:burst:" ^ kid) t) in
           let adv =
             Netsim.Adversary.Oblivious
               (fun ~round ~dir ->
@@ -36,17 +37,19 @@ let run () =
                   1 + Int64.to_int (Int64.logand (Util.Rng.at ~seed:key ((round * 16) + dir)) 1L)
                 else 0)
           in
-          let r = Coding.Scheme.run ~rng:(Util.Rng.create (700 + t)) params pi adv in
-          rework := !rework + r.Coding.Scheme.chunks_rewound;
-          r)
+          let r =
+            Coding.Scheme.run ~rng:(Exp_common.trial_rng ("e6:scheme:" ^ kid) t) params pi adv
+          in
+          (r, r.Coding.Scheme.chunks_rewound))
     in
-    Format.printf "%-22s %8.0f%% %12.1f %14.1f %9.1fx@." label (Exp_common.success_pct s)
-      s.Exp_common.mean_iters
-      (float_of_int !rework /. float_of_int trials)
-      s.Exp_common.mean_blowup
+    let rework = List.fold_left (fun acc a -> acc + Option.value ~default:0 a) 0 aux in
+    Format.printf "%-22s %15s %22s %15.1f %8.1fx@." label (Exp_common.success_cell s)
+      (Exp_common.iters_cell s)
+      (float_of_int rework /. float_of_int trials)
+      (Exp_common.mean_blowup s)
   in
-  measure "flag passing ON" true;
-  measure "flag passing OFF" false;
+  measure "flag passing ON" "on" true;
+  measure "flag passing OFF" "off" false;
   Format.printf
     "@.Both configurations stay correct (the per-link ⊥ announcements bound the@.";
   Format.printf

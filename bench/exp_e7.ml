@@ -17,14 +17,15 @@ let run () =
   let depth = 4 in
   Format.printf "(hunter candidate space 3^%d - 1 = %d per chunk)@.@." depth
     (int_of_float (3. ** float_of_int depth) - 1);
-  Format.printf "%4s %10s | %9s %8s %8s %12s@." "tau" "2^tau" "success" "chunks" "hidden"
-    "hit rate";
-  Format.printf "%s@." (String.make 62 '-');
+  Format.printf "%4s %10s | %15s %8s %8s %12s@." "tau" "2^tau" "success [95%]" "chunks"
+    "hidden" "hit rate";
+  Format.printf "%s@." (String.make 68 '-');
   List.iter
     (fun tau ->
-      let attempts = ref 0 and hits = ref 0 in
-      let s =
-        Exp_common.run_trials ~trials (fun t ->
+      (* The hunter's attempt/hit counters are per-trial state, returned
+         through run_trials_aux and summed in trial order. *)
+      let s, aux =
+        Exp_common.run_trials_aux ~trials (fun t ->
             let adv, hook, stats =
               Coding.Attacks.collision_hunter ~graph:g ~edge:(t mod Topology.Graph.m g) ~depth
                 ~rate_denom:300 ()
@@ -32,16 +33,19 @@ let run () =
             let r =
               Coding.Scheme.run
                 ~config:(Coding.Scheme.Config.make ~spy_hook:hook ())
-                ~rng:(Util.Rng.create (9000 + (100 * tau) + t))
+                ~rng:(Exp_common.trial_rng (Printf.sprintf "e7:tau%d" tau) t)
                 (Coding.Params.algorithm_1 ~tau g) pi adv
             in
-            attempts := !attempts + stats.Coding.Attacks.attempts;
-            hits := !hits + stats.Coding.Attacks.hits;
-            r)
+            (r, (stats.Coding.Attacks.attempts, stats.Coding.Attacks.hits)))
       in
-      Format.printf "%4d %10d | %8.0f%% %8d %8d %11.1f%%@." tau (1 lsl tau)
-        (Exp_common.success_pct s) !attempts !hits
-        (100. *. float_of_int !hits /. float_of_int (max 1 !attempts)))
+      let attempts, hits =
+        List.fold_left
+          (fun (a, h) -> function Some (da, dh) -> (a + da, h + dh) | None -> (a, h))
+          (0, 0) aux
+      in
+      Format.printf "%4d %10d | %15s %8d %8d %11.1f%%@." tau (1 lsl tau)
+        (Exp_common.success_cell s) attempts hits
+        (100. *. float_of_int hits /. float_of_int (max 1 attempts)))
     [ 3; 4; 6; 8; 10; 12; 16 ];
   Format.printf "@.Hidden-corruption rate tracks 3^depth/2^tau; once tau clears the@.";
   Format.printf "candidate space (the Theta(log m) regime), the hunter goes blind@.";

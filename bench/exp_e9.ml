@@ -4,7 +4,10 @@
    codeword under the three noise types and report decode success.  The
    theorem's shape: a constant decoding radius — success stays ~100% up
    to a constant fraction of corrupted bits, then collapses; deletions
-   (erasures) are cheaper to correct than substitutions, 2e + f <= d-1. *)
+   (erasures) are cheaper to correct than substitutions, 2e + f <= d-1.
+
+   Each (noise level, noise kind) cell is 60 independent decode trials
+   with per-trial keyed randomness; cells run on the trial pool. *)
 
 let run () =
   Exp_common.heading "E9  |  ECC of Theorem 2.1: decode success vs noise (RS[48,16] x rep-3)";
@@ -12,11 +15,10 @@ let run () =
   let nbits = Ecc.Concat.codeword_bits code in
   let trials = 60 in
   Format.printf "codeword %d bits, rate %.3f@.@." nbits (Ecc.Concat.rate code);
-  Format.printf "%-10s | %-12s %-12s %-12s@." "bit noise" "flips" "deletions" "mixed";
-  Format.printf "%s@." (String.make 52 '-');
-  let rng = Util.Rng.create 0xE9 in
-  let payload t = String.init 16 (fun i -> Char.chr ((i * 37 + t) land 0xff)) in
-  let attempt p kind t =
+  Format.printf "%-10s | %-16s %-16s %-16s@." "bit noise" "flips" "deletions" "mixed";
+  Format.printf "%s@." (String.make 64 '-');
+  let payload t = String.init 16 (fun i -> Char.chr (((i * 37) + t) land 0xff)) in
+  let attempt ~rng p kind t =
     let pl = payload t in
     let bits = Ecc.Concat.encode code pl in
     let received =
@@ -32,18 +34,29 @@ let run () =
     in
     Ecc.Concat.decode code received = Some pl
   in
-  List.iter
-    (fun p ->
-      let rate kind =
+  let kinds = [ ("flip", `Flip); ("del", `Delete); ("mix", `Mixed) ] in
+  let levels = [ 0.0; 0.02; 0.05; 0.08; 0.11; 0.14; 0.18; 0.25; 0.35 ] in
+  let cells = List.concat_map (fun p -> List.map (fun k -> (p, k)) kinds) levels in
+  let results =
+    Exp_common.grid cells (fun (p, (kname, kind)) ->
         let ok = ref 0 in
         for t = 1 to trials do
-          if attempt p kind t then incr ok
+          let rng = Exp_common.trial_rng (Printf.sprintf "e9:%s:%.2f" kname p) t in
+          if attempt ~rng p kind t then incr ok
         done;
-        100. *. float_of_int !ok /. float_of_int trials
-      in
-      Format.printf "%-10.2f | %10.0f%% %11.0f%% %11.0f%%@." p (rate `Flip) (rate `Delete)
-        (rate `Mixed))
-    [ 0.0; 0.02; 0.05; 0.08; 0.11; 0.14; 0.18; 0.25; 0.35 ];
+        !ok)
+  in
+  let cell successes =
+    let lo, hi = Util.Stats.wilson_interval ~successes ~trials in
+    Printf.sprintf "%3.0f%% [%.0f,%.0f]"
+      (100. *. float_of_int successes /. float_of_int trials)
+      (100. *. lo) (100. *. hi)
+  in
+  List.iteri
+    (fun i p ->
+      let at j = List.nth results ((i * List.length kinds) + j) in
+      Format.printf "%-10.2f | %-16s %-16s %-16s@." p (cell (at 0)) (cell (at 1)) (cell (at 2)))
+    levels;
   Format.printf "@.Constant decoding radius: ~100%% below it, collapse above; deletions@.";
   Format.printf "(= erasures at known rounds, footnote 9) are corrected at ~2x the rate@.";
   Format.printf "of substitutions, as 2e + f <= n - k predicts.@."

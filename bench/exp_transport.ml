@@ -127,33 +127,32 @@ let bench_scheme name g pi ~legacy =
   }
 
 let json_of ~rounds raw scheme =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"bench\": \"transport\",\n";
-  Buffer.add_string b (Printf.sprintf "  \"raw_rounds\": %d,\n" rounds);
-  Buffer.add_string b "  \"raw\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"topology\": %S, \"transport\": %S, \"rounds\": %d, \"wall_s\": %.6f, \
-            \"rounds_per_sec\": %.1f, \"minor_words_per_round\": %.1f}%s\n"
-           r.topology r.transport r.rounds r.wall_s r.rounds_per_sec r.minor_words_per_round
-           (if i = List.length raw - 1 then "" else ",")))
-    raw;
-  Buffer.add_string b "  ],\n";
-  Buffer.add_string b "  \"scheme_run\": [\n";
-  List.iteri
-    (fun i s ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"topology\": %S, \"transport\": %S, \"rounds\": %d, \"wall_s\": %.6f, \
-            \"rounds_per_sec\": %.1f, \"minor_words\": %.0f, \"success\": %b}%s\n"
-           s.s_topology s.s_transport s.s_rounds s.s_wall_s s.s_rounds_per_sec s.s_minor_words
-           s.s_success
-           (if i = List.length scheme - 1 then "" else ",")))
-    scheme;
-  Buffer.add_string b "  ],\n";
+  (* Rendered with the shared Runner.Report.Json helpers; same document
+     shape as the hand-rolled writer it replaces. *)
+  let module J = Runner.Report.Json in
+  let raw_row r =
+    J.obj
+      [
+        ("topology", J.str r.topology);
+        ("transport", J.str r.transport);
+        ("rounds", J.int r.rounds);
+        ("wall_s", J.num r.wall_s);
+        ("rounds_per_sec", J.num r.rounds_per_sec);
+        ("minor_words_per_round", J.num r.minor_words_per_round);
+      ]
+  in
+  let scheme_row s =
+    J.obj
+      [
+        ("topology", J.str s.s_topology);
+        ("transport", J.str s.s_transport);
+        ("rounds", J.int s.s_rounds);
+        ("wall_s", J.num s.s_wall_s);
+        ("rounds_per_sec", J.num s.s_rounds_per_sec);
+        ("minor_words", J.num s.s_minor_words);
+        ("success", J.bool s.s_success);
+      ]
+  in
   let speedup topo =
     let find t = List.find (fun r -> r.topology = topo && r.transport = t) raw in
     (find "slots").rounds_per_sec /. (find "lists").rounds_per_sec
@@ -163,14 +162,17 @@ let json_of ~rounds raw scheme =
     let l = (find "lists").s_minor_words and s = (find "slots").s_minor_words in
     (l -. s) /. l
   in
-  Buffer.add_string b
-    (Printf.sprintf "  \"raw_speedup\": {\"K5\": %.2f, \"line16\": %.2f},\n" (speedup "K5")
-       (speedup "line16"));
-  Buffer.add_string b
-    (Printf.sprintf "  \"scheme_minor_alloc_drop\": {\"K5\": %.4f, \"line16\": %.4f}\n"
-       (alloc_drop "K5") (alloc_drop "line16"));
-  Buffer.add_string b "}\n";
-  Buffer.contents b
+  J.obj
+    [
+      ("bench", J.str "transport");
+      ("raw_rounds", J.int rounds);
+      ("raw", J.arr (List.map raw_row raw));
+      ("scheme_run", J.arr (List.map scheme_row scheme));
+      ( "raw_speedup",
+        J.obj [ ("K5", J.num (speedup "K5")); ("line16", J.num (speedup "line16")) ] );
+      ( "scheme_minor_alloc_drop",
+        J.obj [ ("K5", J.num (alloc_drop "K5")); ("line16", J.num (alloc_drop "line16")) ] );
+    ]
 
 let run_with ?(rounds = 200_000) ?(json = Some "BENCH_transport.json") () =
   Exp_common.heading "TRANSPORT |  slot-buffer hot path vs legacy list transport";
@@ -219,9 +221,7 @@ let run_with ?(rounds = 200_000) ?(json = Some "BENCH_transport.json") () =
   (match json with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      output_string oc (json_of ~rounds raw scheme);
-      close_out oc;
+      Runner.Report.write_file ~path (json_of ~rounds raw scheme);
       Format.printf "@.[wrote %s]@." path);
   (raw, scheme)
 

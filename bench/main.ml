@@ -5,7 +5,13 @@
    Usage:
      dune exec bench/main.exe            # run everything
      dune exec bench/main.exe t1 e5 e7   # run a subset
-     dune exec bench/main.exe -- --list  # list experiment ids *)
+     dune exec bench/main.exe -- -j 4 e2 # 4 worker domains for the trials
+     dune exec bench/main.exe -- --list  # list experiment ids
+
+   Trials run on lib/runner's domain pool; the job count comes from
+   -j N (or -jN), else the MIC_JOBS environment variable, else the
+   machine's recommended domain count.  Published numbers are
+   job-count-invariant (see DESIGN.md §Runner). *)
 
 let experiments =
   [
@@ -25,11 +31,34 @@ let experiments =
     ("e14", "empirical noise thresholds", Exp_e14.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
     ("transport", "slot-buffer vs list transport (BENCH_transport.json)", Exp_transport.run);
+    ("runner", "trial-pool scaling, jobs=1 vs jobs=4 (BENCH_runner.json)", Exp_runner.run);
   ]
+
+(* Pull -j N / -jN / --jobs N out of the argument list; the rest are
+   experiment ids. *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | ("-j" | "--jobs") :: n :: rest -> (int_of_string_opt n, List.rev_append acc rest)
+    | [ ("-j" | "--jobs") ] ->
+        Format.eprintf "-j expects a worker count@.";
+        exit 2
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        (int_of_string_opt (String.sub a 2 (String.length a - 2)), List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  let jobs_arg, args = parse_jobs args in
+  (match jobs_arg with
+  | Some n when n >= 1 -> Exp_common.jobs := min n 64
+  | Some _ ->
+      Format.eprintf "-j expects a positive worker count@.";
+      exit 2
+  | None -> ());
   if List.mem "--list" args then
     List.iter (fun (id, descr, _) -> Format.printf "%-6s %s@." id descr) experiments
   else begin
@@ -47,6 +76,7 @@ let () =
     in
     let t0 = Unix.gettimeofday () in
     List.iter (fun (_, _, run) -> run ()) selected;
-    Format.printf "@.[%d experiment(s) in %.1f s]@." (List.length selected)
+    Format.printf "@.[%d experiment(s) in %.1f s, jobs=%d]@." (List.length selected)
       (Unix.gettimeofday () -. t0)
+      !Exp_common.jobs
   end

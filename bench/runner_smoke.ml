@@ -1,0 +1,6 @@
+(* Smoke-test entry point for the trial-pool engine, wired into
+   `dune runtest` through the runner-smoke alias: a toy E2 sweep at
+   jobs=1 vs jobs=2 asserting byte-identical summaries, plus the
+   exception-capture invariant. *)
+
+let () = Exp_runner.smoke ()

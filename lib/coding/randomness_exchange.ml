@@ -6,9 +6,12 @@ type link_outcome = {
 
 let payload_bytes = 16
 
-let code = lazy (Ecc.Concat.create ~payload_bytes ())
+(* Eager, not lazy: scheme runs execute on pool worker domains, and a
+   top-level [lazy] forced concurrently is not domain-safe in OCaml 5.
+   Building the code once at module init costs microseconds. *)
+let code = Ecc.Concat.create ~payload_bytes ()
 
-let rounds_needed () = Ecc.Concat.codeword_bits (Lazy.force code)
+let rounds_needed () = Ecc.Concat.codeword_bits code
 
 let seed_to_payload (a, b) =
   String.init 16 (fun i ->
@@ -39,7 +42,6 @@ let fallback_seed received =
   (!a, !b)
 
 let run net ~rng =
-  let code = Lazy.force code in
   let graph = Netsim.Network.graph net in
   let edges = Topology.Graph.edges graph in
   let m = Array.length edges in

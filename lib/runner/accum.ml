@@ -1,0 +1,89 @@
+(* Welford online moments + a stride-decimated reservoir for percentiles.
+   All state is a pure function of the add-call sequence: no randomness,
+   no wall clock, so a fixed sample order gives bit-identical summaries. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+  buf : float array;  (* retained reservoir samples, arrival order *)
+  mutable kept : int;
+  mutable stride : int;  (* keep every stride-th arrival *)
+}
+
+let create ?(reservoir = 4096) () =
+  if reservoir < 2 then invalid_arg "Accum.create: reservoir < 2";
+  {
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    mn = infinity;
+    mx = neg_infinity;
+    buf = Array.make reservoir 0.;
+    kept = 0;
+    stride = 1;
+  }
+
+let count t = t.n
+
+(* Halve the reservoir in place, keeping every other retained sample, and
+   double the stride — systematic decimation, deterministic in arrival
+   order. *)
+let thin t =
+  let k = ref 0 in
+  let i = ref 0 in
+  while !i < t.kept do
+    t.buf.(!k) <- t.buf.(!i);
+    incr k;
+    i := !i + 2
+  done;
+  t.kept <- !k;
+  t.stride <- 2 * t.stride
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  if (t.n - 1) mod t.stride = 0 then begin
+    if t.kept = Array.length t.buf then thin t;
+    (* After thinning the stride doubled; the current arrival index is a
+       multiple of the old stride but maybe not of the new one. *)
+    if (t.n - 1) mod t.stride = 0 then begin
+      t.buf.(t.kept) <- x;
+      t.kept <- t.kept + 1
+    end
+  end
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let empty_summary =
+  { n = 0; mean = nan; stddev = 0.; min = nan; max = nan; p50 = nan; p95 = nan }
+
+let summary (t : t) =
+  if t.n = 0 then empty_summary
+  else begin
+    let stddev = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1)) in
+    let retained = Array.sub t.buf 0 t.kept in
+    {
+      n = t.n;
+      mean = t.mean;
+      stddev;
+      min = t.mn;
+      max = t.mx;
+      p50 = Util.Stats.percentile_arr 0.5 retained;
+      p95 = Util.Stats.percentile_arr 0.95 retained;
+    }
+  end

@@ -1,0 +1,41 @@
+(** Streaming metric accumulators for Monte Carlo trials.
+
+    One {!t} tracks a single scalar metric across trials in O(1) memory
+    for the moments (Welford's online mean/variance) plus a {e bounded}
+    reservoir for percentiles: instead of retaining every sample (the
+    unbounded [float list ref]s this module replaces), the reservoir
+    keeps a systematic subsample — every [stride]-th arrival — and
+    doubles the stride whenever it fills.  Everything the accumulator
+    computes is a pure function of the {e sequence} of [add] calls, so
+    feeding samples in a canonical order (the pool feeds them in trial
+    order) gives bit-identical results regardless of how many domains
+    produced them. *)
+
+type t
+
+val create : ?reservoir:int -> unit -> t
+(** Fresh accumulator.  [reservoir] (default 4096) bounds the percentile
+    buffer; it must be at least 2. *)
+
+val add : t -> float -> unit
+(** Feed one sample. *)
+
+val count : t -> int
+
+type summary = {
+  n : int;
+  mean : float;  (** nan when [n = 0] *)
+  stddev : float;  (** sample stddev; 0 when [n < 2] *)
+  min : float;  (** nan when [n = 0] *)
+  max : float;  (** nan when [n = 0] *)
+  p50 : float;  (** nearest-rank median of the retained reservoir *)
+  p95 : float;  (** nearest-rank 95th percentile of the retained reservoir *)
+}
+
+val summary : t -> summary
+(** Snapshot of the statistics.  Percentiles are exact while the number
+    of samples fits the reservoir, and a stride-decimated estimate
+    beyond it. *)
+
+val empty_summary : summary
+(** The [n = 0] summary (all-nan moments), for metrics never fed. *)

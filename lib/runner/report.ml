@@ -1,0 +1,89 @@
+module Json = struct
+  let str s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
+  let num x =
+    match Float.classify_float x with
+    | FP_nan | FP_infinite -> "null"
+    | _ -> Printf.sprintf "%.6f" x
+
+  let int = string_of_int
+  let bool = string_of_bool
+  let obj fields =
+    "{" ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields) ^ "}"
+
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+end
+
+type t = {
+  experiment : string;
+  key : string;
+  trials : int;
+  successes : int;
+  errors : int;
+  jobs : int;
+  wall_s : float;
+  metrics : (string * Accum.summary) list;
+}
+
+let wilson t = Util.Stats.wilson_interval ~successes:t.successes ~trials:t.trials
+
+let summary_json (s : Accum.summary) =
+  Json.obj
+    [
+      ("n", Json.int s.Accum.n);
+      ("mean", Json.num s.Accum.mean);
+      ("stddev", Json.num s.Accum.stddev);
+      ("min", Json.num s.Accum.min);
+      ("max", Json.num s.Accum.max);
+      ("p50", Json.num s.Accum.p50);
+      ("p95", Json.num s.Accum.p95);
+    ]
+
+let to_json ?(timing = true) t =
+  let lo, hi = wilson t in
+  let rate = float_of_int t.successes /. float_of_int (max 1 t.trials) in
+  let base =
+    [
+      ("experiment", Json.str t.experiment);
+      ("key", Json.str t.key);
+      ("trials", Json.int t.trials);
+      ("successes", Json.int t.successes);
+      ("errors", Json.int t.errors);
+      ("success_rate", Json.num rate);
+      ("wilson95", Json.arr [ Json.num lo; Json.num hi ]);
+    ]
+  in
+  let timing_fields =
+    if not timing then []
+    else
+      [
+        ("jobs", Json.int t.jobs);
+        ("wall_s", Json.num t.wall_s);
+        ("per_trial_s", Json.num (t.wall_s /. float_of_int (max 1 t.trials)));
+      ]
+  in
+  let metrics =
+    ("metrics", Json.obj (List.map (fun (name, s) -> (name, summary_json s)) t.metrics))
+  in
+  Json.obj (base @ timing_fields @ [ metrics ])
+
+let write_file ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  if String.length contents = 0 || contents.[String.length contents - 1] <> '\n' then
+    output_char oc '\n';
+  close_out oc

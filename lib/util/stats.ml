@@ -18,6 +18,16 @@ let percentile p xs =
       let idx = max 0 (min (n - 1) idx) in
       List.nth sorted idx
 
+let percentile_arr p xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+  end
+
 let median xs = percentile 0.5 xs
 let minimum = function [] -> nan | xs -> List.fold_left min (List.hd xs) xs
 let maximum = function [] -> nan | xs -> List.fold_left max (List.hd xs) xs
@@ -32,7 +42,9 @@ let wilson_interval ~successes ~trials =
     let denom = 1. +. (z2 /. n) in
     let centre = p +. (z2 /. (2. *. n)) in
     let spread = z *. sqrt (((p *. (1. -. p)) +. (z2 /. (4. *. n))) /. n) in
-    ((centre -. spread) /. denom, (centre +. spread) /. denom)
+    (* Clamp: at p = 0 or 1 the exact bound is 0 or 1, but the two
+       algebraically-equal expressions can differ in the last ulp. *)
+    (max 0. ((centre -. spread) /. denom), min 1. ((centre +. spread) /. denom))
   end
 
 let histogram ~bins xs =

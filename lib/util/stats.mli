@@ -6,6 +6,10 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0,1]; nearest-rank on the sorted list. *)
 
+val percentile_arr : float -> float array -> float
+(** [percentile_arr p xs]: nearest-rank percentile of an array (sorts a
+    copy; the argument is not modified).  nan on the empty array. *)
+
 val minimum : float list -> float
 val maximum : float list -> float
 

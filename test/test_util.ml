@@ -163,6 +163,26 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p95" 95. (Stats.percentile 0.95 xs);
   Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile 1.0 xs)
 
+let test_stats_percentile_arr () =
+  let xs = Array.init 100 (fun i -> float_of_int (100 - i)) in
+  Alcotest.(check (float 1e-9)) "p95" 95. (Stats.percentile_arr 0.95 xs);
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile_arr 0.50 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile_arr 1.0 xs);
+  (* Agrees with the list version on the same data. *)
+  let ys = [ 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "matches list at %.2f" p)
+        (Stats.percentile p ys)
+        (Stats.percentile_arr p (Array.of_list ys)))
+    [ 0.; 0.25; 0.5; 0.9; 1.0 ];
+  (* Does not mutate its argument. *)
+  let zs = [| 2.; 1. |] in
+  ignore (Stats.percentile_arr 0.5 zs);
+  Alcotest.(check bool) "input untouched" true (zs.(0) = 2. && zs.(1) = 1.);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.percentile_arr 0.5 [||]))
+
 let test_stats_wilson () =
   let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 in
   Alcotest.(check bool) "contains p" true (lo < 0.5 && 0.5 < hi);
@@ -210,6 +230,7 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile_arr" `Quick test_stats_percentile_arr;
           Alcotest.test_case "wilson" `Quick test_stats_wilson;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
         ] );
