@@ -22,15 +22,25 @@ type summary = {
    from -j N / MIC_JOBS.  Experiments never read it directly. *)
 let jobs = ref (Runner.Pool.default_jobs ())
 
+(* Trials that raised or timed out anywhere in this process, so main.ml
+   can exit non-zero when any cell silently lost trials.  A captured
+   error is never fatal to the sweep, but it must not be invisible in
+   the exit status either. *)
+let total_errors = ref 0
+let exit_code () = if !total_errors > 0 then 1 else 0
+
 let success_pct s = 100. *. float_of_int s.successes /. float_of_int (max 1 s.trials)
 
 let wilson s = Util.Stats.wilson_interval ~successes:s.successes ~trials:s.trials
 
 (* "92.0% [85.1,95.9]" — the Wilson 95% interval next to every success
-   rate, so a tables reader can tell 8/8 from 800/800. *)
+   rate, so a tables reader can tell 8/8 from 800/800.  Cells with
+   captured trial errors carry an explicit "E:n" marker: a success rate
+   computed over fewer trials than requested must say so. *)
 let success_cell s =
   let lo, hi = wilson s in
-  Format.asprintf "%.0f%% [%.0f,%.0f]" (success_pct s) (100. *. lo) (100. *. hi)
+  let errs = if s.errors > 0 then Format.asprintf " E:%d" s.errors else "" in
+  Format.asprintf "%.0f%% [%.0f,%.0f]%s" (success_pct s) (100. *. lo) (100. *. hi) errs
 
 let mean_blowup s = s.blowup.Runner.Accum.mean
 let mean_fraction s = s.fraction.Runner.Accum.mean
@@ -73,9 +83,13 @@ let run_trials_aux ?jobs:j ~trials (f : int -> Coding.Scheme.result * 'aux) :
             ((if r.Coding.Scheme.success then succ + 1 else succ), errs, Some a :: aux)
         | Runner.Pool.Raised e ->
             Format.eprintf "[trial %d raised: %s]@." t e.Runner.Pool.message;
+            (succ, errs + 1, None :: aux)
+        | Runner.Pool.Timed_out { trial; elapsed_s } ->
+            Format.eprintf "[trial %d timed out after %.1fs]@." trial elapsed_s;
             (succ, errs + 1, None :: aux))
       f
   in
+  total_errors := !total_errors + errors;
   ( {
       trials;
       successes;
@@ -101,7 +115,9 @@ let grid (cells : 'a list) (f : 'a -> 'b) : 'b list =
   |> Array.to_list
   |> List.map (function
        | Runner.Pool.Value v -> v
-       | Runner.Pool.Raised e -> failwith e.Runner.Pool.message)
+       | Runner.Pool.Raised e -> failwith e.Runner.Pool.message
+       | Runner.Pool.Timed_out { trial; elapsed_s } ->
+           failwith (Format.asprintf "grid cell %d timed out after %.1fs" trial elapsed_s))
 
 (* The Report record for a summary, for experiments that emit JSON. *)
 let report ~experiment ~key s =

@@ -1,0 +1,8 @@
+(* Smoke-test entry point for the fault-injection engine, wired into
+   `dune runtest` through the faults-smoke alias: a tiny crash/overload
+   sweep at jobs=1 vs jobs=4 asserting byte-identical timing-free JSON
+   and that every trial ends in Completed/Degraded/Aborted. *)
+
+let () =
+  Exp_faults.smoke ();
+  exit (Exp_common.exit_code ())

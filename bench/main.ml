@@ -32,6 +32,7 @@ let experiments =
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
     ("transport", "slot-buffer vs list transport (BENCH_transport.json)", Exp_transport.run);
     ("runner", "trial-pool scaling, jobs=1 vs jobs=4 (BENCH_runner.json)", Exp_runner.run);
+    ("faults", "graceful degradation under crashes/overload (BENCH_faults.json)", Exp_faults.run);
   ]
 
 (* Pull -j N / -jN / --jobs N out of the argument list; the rest are
@@ -78,5 +79,10 @@ let () =
     List.iter (fun (_, _, run) -> run ()) selected;
     Format.printf "@.[%d experiment(s) in %.1f s, jobs=%d]@." (List.length selected)
       (Unix.gettimeofday () -. t0)
-      !Exp_common.jobs
+      !Exp_common.jobs;
+    (* Captured trial errors are never fatal to a sweep, but they must
+       not produce a clean exit status either (cells marked E:n). *)
+    if !Exp_common.total_errors > 0 then
+      Format.eprintf "[%d trial error(s) captured during the run]@." !Exp_common.total_errors;
+    exit (Exp_common.exit_code ())
   end

@@ -51,8 +51,25 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
+(* The fault plan behind --crash/--stall/--overload: the first [crash]
+   parties crash-stop early, edge 0 stalls for [stall] rounds, and
+   [overload] scales the noise past the budget by that factor. *)
+let fault_plan ~crash ~stall ~overload ~rate ~seed t =
+  let specs = ref [] in
+  for i = 0 to crash - 1 do
+    specs := Faults.Plan.Crash { party = i; at_iteration = 2 + i; recover_at = None } :: !specs
+  done;
+  if stall > 0 then
+    specs := Faults.Plan.Link_stall { edge = 0; from_round = 50; rounds = stall } :: !specs;
+  if overload > 0. then
+    specs :=
+      Faults.Plan.Noise_overload
+        { factor = overload; from_round = 0; rounds = 1_000_000_000; rate = Float.max rate 1e-4 }
+      :: !specs;
+  Faults.Plan.make ~key:(Printf.sprintf "mic:%d:%d" seed t) !specs
+
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed trace
-    trials verbose =
+    trials crash stall overload verbose =
   setup_logs verbose;
   let graph = make_topology topology parties seed in
   let pi = make_protocol protocol graph rounds seed in
@@ -83,17 +100,29 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
           in
           (adv, Some hook, Some stats)
     in
-    let result =
-      Coding.Scheme.run
-        ~config:(Coding.Scheme.Config.make ~trace ?spy_hook:hook ())
+    let faults = fault_plan ~crash ~stall ~overload ~rate ~seed t in
+    let outcome =
+      Coding.Scheme.run_outcome
+        ~config:(Coding.Scheme.Config.make ~trace ?spy_hook:hook ~faults ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
-    if result.Coding.Scheme.success then incr successes;
-    Format.printf "trial %d: %a%s@." t Coding.Report.pp_summary result
-      (match stats with
-      | Some s -> Printf.sprintf " hidden=%d/%d" s.Coding.Attacks.hits s.Coding.Attacks.attempts
-      | None -> "");
-    if trace then Coding.Report.pp_trace Format.std_formatter result.Coding.Scheme.trace
+    (match Faults.Outcome.result outcome with
+    | Some result ->
+        if result.Coding.Scheme.success then incr successes;
+        Format.printf "trial %d [%s]: %a%s@." t (Faults.Outcome.label outcome)
+          Coding.Report.pp_summary result
+          (match stats with
+          | Some s -> Printf.sprintf " hidden=%d/%d" s.Coding.Attacks.hits s.Coding.Attacks.attempts
+          | None -> "");
+        if trace then Coding.Report.pp_trace Format.std_formatter result.Coding.Scheme.trace
+    | None ->
+        (match outcome with
+        | Faults.Outcome.Aborted (reason, _) ->
+            Format.printf "trial %d [aborted]: %s@." t (Faults.Outcome.abort_to_string reason)
+        | _ -> assert false));
+    match Faults.Outcome.diagnosis outcome with
+    | Some d -> Format.printf "  diagnosis: %a@." Faults.Outcome.pp_diagnosis d
+    | None -> ()
   done;
   Format.printf "=> %d/%d successes@." !successes trials;
   if !successes < trials then 1 else 0
@@ -149,10 +178,23 @@ let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print per-iteration glo
 let trials_t = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.")
 let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
+let crash_t =
+  Arg.(value & opt int 0 & info [ "crash" ] ~doc:"Crash-stop the first $(docv) parties early.")
+
+let stall_t =
+  Arg.(value & opt int 0 & info [ "stall" ] ~doc:"Force edge 0 silent for $(docv) rounds.")
+
+let overload_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "overload" ]
+        ~doc:"Inject unbudgeted noise at $(docv) times the iid rate (and scale adaptive budgets).")
+
 let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
-    $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ verbose_t)
+    $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
+    $ verbose_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

@@ -32,9 +32,10 @@ let compile graph ~(tree : Graph.tree) =
   in
   { tree; up_dir; down_dir; by_level }
 
-let run_buf net sched ~slots ~statuses =
+let run_buf ?alive net sched ~slots ~statuses =
   let tree = sched.tree in
   let d = tree.Graph.depth in
+  let up v = match alive with None -> true | Some a -> a.(v) in
   let agg = Array.copy statuses in
   (* Upward convergecast: nodes at level d - r speak in round r; a parent
      has heard all its children before its own sending round. *)
@@ -43,7 +44,7 @@ let run_buf net sched ~slots ~statuses =
     Netsim.Network.Slots.clear slots;
     Array.iter
       (fun v ->
-        if v <> tree.Graph.root then
+        if v <> tree.Graph.root && up v then
           Netsim.Network.Slots.set slots ~dir:sched.up_dir.(v) agg.(v))
       sched.by_level.(sender_level);
     Netsim.Network.round_buf net slots;
@@ -53,28 +54,32 @@ let run_buf net sched ~slots ~statuses =
       (fun c ->
         if c <> tree.Graph.root then
           let p = tree.Graph.parent.(c) in
-          match Netsim.Network.Slots.get slots ~dir:sched.up_dir.(c) with
-          | Some bit -> agg.(p) <- agg.(p) && bit
-          | None -> agg.(p) <- false)
+          if up p then
+            match Netsim.Network.Slots.get slots ~dir:sched.up_dir.(c) with
+            | Some bit -> agg.(p) <- agg.(p) && bit
+            | None -> agg.(p) <- false)
       sched.by_level.(sender_level)
   done;
   (* Downward broadcast: level ℓ speaks in round (d - 1) + (ℓ - 1);
      every node forwards its own netCorrect, not the raw bit. *)
   let net_correct = Array.make (Array.length statuses) false in
-  net_correct.(tree.Graph.root) <- agg.(tree.Graph.root);
+  net_correct.(tree.Graph.root) <- (agg.(tree.Graph.root) && up tree.Graph.root);
   for ell = 1 to d - 1 do
     Netsim.Network.Slots.clear slots;
     Array.iter
       (fun v ->
-        Array.iter
-          (fun c -> Netsim.Network.Slots.set slots ~dir:sched.down_dir.(c) net_correct.(v))
-          tree.Graph.children.(v))
+        if up v then
+          Array.iter
+            (fun c -> Netsim.Network.Slots.set slots ~dir:sched.down_dir.(c) net_correct.(v))
+            tree.Graph.children.(v))
       sched.by_level.(ell);
     Netsim.Network.round_buf net slots;
     Array.iter
       (fun v ->
         if v <> tree.Graph.root then
           net_correct.(v) <-
+            up v
+            &&
             (match Netsim.Network.Slots.get slots ~dir:sched.down_dir.(v) with
             | Some bit -> bit && statuses.(v)
             | None -> false))

@@ -24,6 +24,7 @@ type schedule
 val compile : Topology.Graph.t -> tree:Topology.Graph.tree -> schedule
 
 val run_buf :
+  ?alive:bool array ->
   Netsim.Network.t ->
   schedule ->
   slots:Netsim.Network.Slots.t ->
@@ -32,7 +33,12 @@ val run_buf :
 (** [run_buf net sched ~slots ~statuses] executes the phase through the
     slot-buffer transport; [statuses.(u)] is status_u (true = continue).
     Returns netCorrect per party: with no noise, every entry is
-    [for_all statuses].  [slots] is caller-owned scratch. *)
+    [for_all statuses].  [slots] is caller-owned scratch.
+
+    [?alive] (fault injection): crashed parties ([alive.(v) = false])
+    neither send nor update state during the phase; their silence reads
+    as {e stop} at live parents — the conservative noise semantics — and
+    their own netCorrect is pinned false. *)
 
 val run :
   Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array

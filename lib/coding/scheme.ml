@@ -59,12 +59,25 @@ module Config = struct
     inputs : int array option;
     spy_hook : (spy -> unit) option;
     legacy_transport : bool;
+    faults : Faults.Plan.t;
+    max_wall_s : float option;
+    max_iterations : int option;
   }
 
-  let default = { trace = false; inputs = None; spy_hook = None; legacy_transport = false }
+  let default =
+    {
+      trace = false;
+      inputs = None;
+      spy_hook = None;
+      legacy_transport = false;
+      faults = Faults.Plan.empty;
+      max_wall_s = None;
+      max_iterations = None;
+    }
 
-  let make ?(trace = false) ?inputs ?spy_hook ?(legacy_transport = false) () =
-    { trace; inputs; spy_hook; legacy_transport }
+  let make ?(trace = false) ?inputs ?spy_hook ?(legacy_transport = false)
+      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
+    { trace; inputs; spy_hook; legacy_transport; faults; max_wall_s; max_iterations }
 end
 
 type link_state = {
@@ -122,8 +135,13 @@ let transcripts_fn p = fun nbr -> p.links.(p.by_peer.(nbr)).tr
 (* The hasher memoizes per (field, argument): within one iteration the
    meeting-points step hashes the same prefixes in [prepare] and again in
    [process], and with δ-biased seeds each transcript-prefix hash costs a
-   pass over the expanded seed, so the cache matters. *)
-let hasher_for l ~iter =
+   pass over the expanded seed, so the cache matters.
+
+   [?rot] is the seed-rot fault: a fixed nonzero mask XORed into every
+   hash output, modeling a party whose stored seed words decayed — its
+   hashes are internally consistent but disagree with the peer's. *)
+let hasher_for ?rot l ~iter =
+  let mask = match rot with None -> fun h -> h | Some m -> fun h -> h lxor m in
   let int_cache = Hashtbl.create 8 and prefix_cache = Hashtbl.create 8 in
   Meeting_points.
     {
@@ -132,7 +150,7 @@ let hasher_for l ~iter =
           match Hashtbl.find_opt int_cache (field, v) with
           | Some h -> h
           | None ->
-              let h = Seeds.hash_int l.seeds ~iter ~field v in
+              let h = mask (Seeds.hash_int l.seeds ~iter ~field v) in
               Hashtbl.replace int_cache (field, v) h;
               h);
       h_prefix =
@@ -141,12 +159,24 @@ let hasher_for l ~iter =
           | Some h -> h
           | None ->
               let h =
-                Seeds.hash_prefix l.seeds ~iter ~field (Transcript.serialized l.tr)
-                  ~bits:(Transcript.prefix_bits l.tr prefix_chunks)
+                mask
+                  (Seeds.hash_prefix l.seeds ~iter ~field (Transcript.serialized l.tr)
+                     ~bits:(Transcript.prefix_bits l.tr prefix_chunks))
               in
               Hashtbl.replace prefix_cache (field, prefix_chunks) h;
               h);
     }
+
+(* Per-run fault state threaded through the phase executors.  [alive]
+   is the crash mask (dead parties neither send nor update state);
+   [rot_mask.(id)] is the party's fixed seed-rot mask (0 when the plan
+   never rots that party's seeds). *)
+type fault_ctx = {
+  plan : Faults.Plan.t;
+  diag : Faults.Outcome.diagnosis;
+  alive : bool array;
+  rot_mask : int array;
+}
 
 (* ---------- phase executors ----------
 
@@ -156,43 +186,57 @@ let hasher_for l ~iter =
    against the legacy transport), then read deliveries back out of the
    same buffer.  No per-round lists, hashtables or log arrays. *)
 
-let meeting_points_phase net slots step parties ~iter ~tau =
+let meeting_points_phase net slots step parties fc ~iter ~tau =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
   let mp_rounds = Meeting_points.message_bits ~tau in
   Array.iter
     (fun p ->
-      Array.iter
-        (fun l ->
-          l.mp_len <- Transcript.length l.tr;
-          let hasher = hasher_for l ~iter in
-          l.mp_hasher <- Some hasher;
-          let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
-          Meeting_points.encode_message_into ~tau msg l.out_msg;
-          Array.fill l.in_msg 0 mp_rounds None)
-        p.links)
+      if fc.alive.(p.id) then begin
+        let rot =
+          if Faults.Plan.seed_rot fc.plan ~party:p.id ~iteration:iter then
+            Some fc.rot_mask.(p.id)
+          else None
+        in
+        Array.iter
+          (fun l ->
+            l.mp_len <- Transcript.length l.tr;
+            if rot <> None then
+              fc.diag.Faults.Outcome.seed_rot <- fc.diag.Faults.Outcome.seed_rot + 1;
+            let hasher = hasher_for ?rot l ~iter in
+            l.mp_hasher <- Some hasher;
+            let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
+            Meeting_points.encode_message_into ~tau msg l.out_msg;
+            Array.fill l.in_msg 0 mp_rounds None)
+          p.links
+      end)
     parties;
   for t = 0 to mp_rounds - 1 do
     Slots.clear slots;
     Array.iter
-      (fun p -> Array.iter (fun l -> Slots.set slots ~dir:l.dir_out l.out_msg.(t)) p.links)
+      (fun p ->
+        if fc.alive.(p.id) then
+          Array.iter (fun l -> Slots.set slots ~dir:l.dir_out l.out_msg.(t)) p.links)
       parties;
     step net slots;
     Array.iter
-      (fun p -> Array.iter (fun l -> l.in_msg.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
+      (fun p ->
+        if fc.alive.(p.id) then
+          Array.iter (fun l -> l.in_msg.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
       parties
   done;
   Array.iter
     (fun p ->
-      Array.iter
-        (fun l ->
-          let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
-          match Meeting_points.process l.mp (Option.get l.mp_hasher) ~len:l.mp_len msg with
-          | `Keep -> ()
-          | `Truncate_to x -> Transcript.truncate l.tr x)
-        p.links)
+      if fc.alive.(p.id) then
+        Array.iter
+          (fun l ->
+            let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
+            match Meeting_points.process l.mp (Option.get l.mp_hasher) ~len:l.mp_len msg with
+            | `Keep -> ()
+            | `Truncate_to x -> Transcript.truncate l.tr x)
+          p.links)
     parties
 
-let compute_statuses parties =
+let compute_statuses parties ~alive =
   Array.map
     (fun p ->
       let in_mp =
@@ -200,12 +244,12 @@ let compute_statuses parties =
       in
       let len0 = Transcript.length p.links.(0).tr in
       let equal_lens = Array.for_all (fun l -> Transcript.length l.tr = len0) p.links in
-      let status = (not in_mp) && equal_lens in
+      let status = alive.(p.id) && (not in_mp) && equal_lens in
       p.status <- status;
       status)
     parties
 
-let simulation_phase net slots step parties ch ~iter ~n_real =
+let simulation_phase net slots step parties fc ch ~iter ~n_real =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
   let max_r = Chunking.max_rounds ch in
   Array.iter
@@ -217,23 +261,27 @@ let simulation_phase net slots step parties ch ~iter ~n_real =
           Array.fill l.recv_log 0 max_r None)
         p.links)
     parties;
-  (* ⊥ round: idling parties announce, everyone listens (Line 16/23). *)
+  (* ⊥ round: idling parties announce, everyone listens (Line 16/23).
+     Crashed parties announce nothing — their links just go dark. *)
   Slots.clear slots;
   Array.iter
     (fun p ->
-      if not p.net_correct then
+      if fc.alive.(p.id) && not p.net_correct then
         Array.iter (fun l -> Slots.set slots ~dir:l.dir_out true) p.links)
     parties;
   step net slots;
   Array.iter
     (fun p ->
-      Array.iter (fun l -> if not (Slots.is_silent slots ~dir:l.dir_in) then l.bot <- true) p.links)
+      if fc.alive.(p.id) then
+        Array.iter
+          (fun l -> if not (Slots.is_silent slots ~dir:l.dir_in) then l.bot <- true)
+          p.links)
     parties;
   (* Participants set up their live chunk simulation. *)
   let participants =
     Array.to_list parties
     |> List.filter_map (fun p ->
-           if not p.net_correct then None
+           if (not fc.alive.(p.id)) || not p.net_correct then None
            else begin
              let min_len =
                Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
@@ -328,7 +376,7 @@ let simulation_phase net slots step parties ch ~iter ~n_real =
       | _ -> ())
     participants
 
-let rewind_phase net slots step parties ~iter =
+let rewind_phase net slots step parties fc ~iter =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
   let n = Array.length parties in
   for _round = 1 to n do
@@ -339,39 +387,42 @@ let rewind_phase net slots step parties ~iter =
     Slots.clear slots;
     Array.iter
       (fun p ->
-        let min_len =
-          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
-        in
-        Array.iter
-          (fun l ->
-            if
-              Meeting_points.status l.mp <> Meeting_points.Meeting_points
-              && (not l.already_rewound)
-              && Transcript.length l.tr > min_len
-            then begin
-              Slots.set slots ~dir:l.dir_out true;
-              Transcript.truncate l.tr (Transcript.length l.tr - 1);
-              l.already_rewound <- true
-            end)
-          p.links)
+        if fc.alive.(p.id) then begin
+          let min_len =
+            Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+          in
+          Array.iter
+            (fun l ->
+              if
+                Meeting_points.status l.mp <> Meeting_points.Meeting_points
+                && (not l.already_rewound)
+                && Transcript.length l.tr > min_len
+              then begin
+                Slots.set slots ~dir:l.dir_out true;
+                Transcript.truncate l.tr (Transcript.length l.tr - 1);
+                l.already_rewound <- true
+              end)
+            p.links
+        end)
       parties;
     step net slots;
     (* Any symbol received in a rewind round is a rewind request —
        insertions forge them, deletions suppress them (Line 33-38). *)
     Array.iter
       (fun p ->
-        Array.iter
-          (fun l ->
-            if
-              (not (Slots.is_silent slots ~dir:l.dir_in))
-              && Meeting_points.status l.mp <> Meeting_points.Meeting_points
-              && not l.already_rewound
-            then begin
-              if Transcript.length l.tr > 0 then
-                Transcript.truncate l.tr (Transcript.length l.tr - 1);
-              l.already_rewound <- true
-            end)
-          p.links)
+        if fc.alive.(p.id) then
+          Array.iter
+            (fun l ->
+              if
+                (not (Slots.is_silent slots ~dir:l.dir_in))
+                && Meeting_points.status l.mp <> Meeting_points.Meeting_points
+                && not l.already_rewound
+              then begin
+                if Transcript.length l.tr > 0 then
+                  Transcript.truncate l.tr (Transcript.length l.tr - 1);
+                l.already_rewound <- true
+              end)
+            p.links)
       parties
   done
 
@@ -421,10 +472,18 @@ let all_done parties graph ~n_real =
 
 (* ---------- main entry ---------- *)
 
-let run ?(config = Config.default) ~rng params pi adversary =
+exception Abort of Faults.Outcome.abort_reason
+
+let planned_iterations params pi =
+  let ch = Chunking.make pi ~k:params.Params.k in
+  iterations_of params (Chunking.n_real ch)
+
+let run_outcome ?(config = Config.default) ~rng params pi adversary =
   Pi.validate pi;
   let graph = pi.Pi.graph in
   let n = Topology.Graph.n graph and m = Topology.Graph.m graph in
+  (* Configuration validation raises ordinary [Invalid_argument] — only
+     the execution proper is under the never-raise contract. *)
   let inputs =
     match config.Config.inputs with
     | Some i ->
@@ -432,162 +491,278 @@ let run ?(config = Config.default) ~rng params pi adversary =
         i
     | None -> Array.init n (fun _ -> Util.Rng.int rng 65536)
   in
-  let reference = Pi.run_noiseless pi ~inputs in
-  let ch = Chunking.make pi ~k:params.Params.k in
-  let n_real = Chunking.n_real ch in
-  let iterations = iterations_of params n_real in
-  let horizon = n_real + iterations + 2 in
-  let wmax = Chunking.max_transcript_words ch ~horizon in
-  let tree = Topology.Graph.bfs_tree graph in
-  let net = Network.create graph adversary in
-  (* Transport plumbing: one slot buffer and one flag-passing schedule
-     for the whole execution. *)
-  let slots = Network.slots net in
-  let step = if config.Config.legacy_transport then Network.round_via_lists else Network.round_buf in
-  let flag_sched = Flag_passing.compile graph ~tree in
-  let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
-  let max_r = Chunking.max_rounds ch in
-  (* Randomness: CRS or per-link exchange (Algorithm 5). *)
-  let exchange_failures = ref 0 in
-  let seeds_for =
-    match params.Params.seed_mode with
-    | Params.Crs ->
-        let key = Util.Rng.int64 rng in
-        fun ~edge ~lower:_ ->
-          Seeds.make ~stream:(Hashing.Seed_stream.uniform ~key) ~tau:params.Params.tau ~wmax
-            ~slot:edge ~slots:m
-    | Params.Exchange ->
-        Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
-        let outcomes = Randomness_exchange.run net ~rng in
-        Array.iter (fun o -> if not o.Randomness_exchange.ok then incr exchange_failures) outcomes;
-        fun ~edge ~lower ->
-          let o = outcomes.(edge) in
-          let gen = if lower then o.Randomness_exchange.lo_gen else o.Randomness_exchange.hi_gen in
-          Seeds.make ~stream:(Hashing.Seed_stream.biased gen) ~tau:params.Params.tau ~wmax ~slot:0
-            ~slots:1
-  in
-  let parties =
-    Array.init n (fun id ->
-        let neighbors = Topology.Graph.neighbors graph id in
-        let by_peer = Array.make n (-1) in
-        Array.iteri (fun i nbr -> by_peer.(nbr) <- i) neighbors;
-        let links =
-          Array.map
-            (fun peer ->
-              let edge = Topology.Graph.edge_id graph id peer in
-              {
-                peer;
-                edge;
-                dir_out = Topology.Graph.dir_id graph ~src:id ~dst:peer;
-                dir_in = Topology.Graph.dir_id graph ~src:peer ~dst:id;
-                tr = Transcript.create ();
-                mp = Meeting_points.create ();
-                seeds = seeds_for ~edge ~lower:(id < peer);
-                already_rewound = false;
-                bot = false;
-                out_msg = Array.make mp_bits false;
-                in_msg = Array.make mp_bits None;
-                sent_log = Array.make max_r None;
-                recv_log = Array.make max_r None;
-                mp_len = 0;
-                mp_hasher = None;
-              })
-            neighbors
-        in
-        {
-          id;
-          links;
-          by_peer;
-          repl = Replayer.create ch ~party:id ~input:inputs.(id) ~neighbors;
-          status = true;
-          net_correct = true;
-        })
-  in
-  (* ---- adversary spy ---- *)
-  let cur_iter = ref 0 in
-  (match config.Config.spy_hook with
-  | None -> ()
-  | Some hook ->
-      let edge_view e =
-        let u, v = (Topology.Graph.edges graph).(e) in
-        let lo = min u v and hi = max u v in
-        let l_lo = parties.(lo).links.(parties.(lo).by_peer.(hi)) in
-        let l_hi = parties.(hi).links.(parties.(hi).by_peer.(lo)) in
-        assert (l_lo.peer = hi && l_hi.peer = lo);
-        let in_sync =
-          Meeting_points.status l_lo.mp = Meeting_points.Simulate
-          && Meeting_points.status l_hi.mp = Meeting_points.Simulate
-          && Transcript.length l_lo.tr = Transcript.length l_hi.tr
-          && Transcript.equal_prefix l_lo.tr l_hi.tr = Transcript.length l_lo.tr
-        in
-        { tr_lo = l_lo.tr; tr_hi = l_hi.tr; seeds = l_lo.seeds; in_sync }
-      in
-      hook { spy_chunking = ch; current_iteration = (fun () -> !cur_iter); edge_view });
-  (* ---- main loop ---- *)
-  let traces = ref [] in
+  let plan = config.Config.faults in
+  let diag = Faults.Outcome.fresh_diagnosis () in
+  let t0 = Sys.time () in
+  let net_ref = ref None in
   let iterations_run = ref 0 in
-  (try
-     for iter = 0 to iterations - 1 do
-       iterations_run := iter + 1;
-       cur_iter := iter;
-       Log.debug (fun f ->
-           let s = Network.stats net in
-           f "iteration %d: cc=%d corruptions=%d" iter s.Network.cc s.Network.corruptions);
-       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
-       meeting_points_phase net slots step parties ~iter ~tau:params.Params.tau;
-       let statuses = compute_statuses parties in
-       Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Flag;
-       let net_corrects =
-         if params.Params.flag_passing then Flag_passing.run_buf net flag_sched ~slots ~statuses
-         else statuses
-       in
-       Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
-       Log.debug (fun f ->
-           f "iteration %d: statuses=[%s] netCorrect=[%s]" iter
-             (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
-             (String.concat ""
-                (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
-       simulation_phase net slots step parties ch ~iter ~n_real;
-       if params.Params.rewind then rewind_phase net slots step parties ~iter;
-       if config.Config.trace then traces := stats_of net parties graph ~iteration:iter :: !traces;
-       if params.Params.early_stop && all_done parties graph ~n_real then raise Exit
-     done
-   with Exit -> ());
-  (* ---- outputs ---- *)
-  let outputs =
-    Array.map
-      (fun p ->
-        let min_len =
-          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+  let iterations_planned = ref 0 in
+  let body () =
+    let reference = Pi.run_noiseless pi ~inputs in
+    let ch = Chunking.make pi ~k:params.Params.k in
+    let n_real = Chunking.n_real ch in
+    let iterations = iterations_of params n_real in
+    iterations_planned := iterations;
+    let effective_iterations =
+      match config.Config.max_iterations with
+      | None -> iterations
+      | Some c ->
+          if c <= 0 then raise (Abort (Faults.Outcome.Iteration_budget c));
+          min c iterations
+    in
+    let horizon = n_real + iterations + 2 in
+    let wmax = Chunking.max_transcript_words ch ~horizon in
+    let tree = Topology.Graph.bfs_tree graph in
+    let net = Network.create graph adversary in
+    net_ref := Some net;
+    Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
+    (* Transport plumbing: one slot buffer and one flag-passing schedule
+       for the whole execution. *)
+    let slots = Network.slots net in
+    let step =
+      if config.Config.legacy_transport then Network.round_via_lists else Network.round_buf
+    in
+    let flag_sched = Flag_passing.compile graph ~tree in
+    let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
+    let max_r = Chunking.max_rounds ch in
+    (* Randomness: CRS or per-link exchange (Algorithm 5). *)
+    let exchange_failures = ref 0 in
+    let seeds_for =
+      match params.Params.seed_mode with
+      | Params.Crs ->
+          let key = Util.Rng.int64 rng in
+          fun ~edge ~lower:_ ->
+            Seeds.make ~stream:(Hashing.Seed_stream.uniform ~key) ~tau:params.Params.tau ~wmax
+              ~slot:edge ~slots:m
+      | Params.Exchange ->
+          Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
+          let outcomes = Randomness_exchange.run net ~rng in
+          Array.iter
+            (fun o -> if not o.Randomness_exchange.ok then incr exchange_failures)
+            outcomes;
+          fun ~edge ~lower ->
+            let o = outcomes.(edge) in
+            let gen =
+              if lower then o.Randomness_exchange.lo_gen else o.Randomness_exchange.hi_gen
+            in
+            Seeds.make ~stream:(Hashing.Seed_stream.biased gen) ~tau:params.Params.tau ~wmax
+              ~slot:0 ~slots:1
+    in
+    let parties =
+      Array.init n (fun id ->
+          let neighbors = Topology.Graph.neighbors graph id in
+          let by_peer = Array.make n (-1) in
+          Array.iteri (fun i nbr -> by_peer.(nbr) <- i) neighbors;
+          let links =
+            Array.map
+              (fun peer ->
+                let edge = Topology.Graph.edge_id graph id peer in
+                {
+                  peer;
+                  edge;
+                  dir_out = Topology.Graph.dir_id graph ~src:id ~dst:peer;
+                  dir_in = Topology.Graph.dir_id graph ~src:peer ~dst:id;
+                  tr = Transcript.create ();
+                  mp = Meeting_points.create ();
+                  seeds = seeds_for ~edge ~lower:(id < peer);
+                  already_rewound = false;
+                  bot = false;
+                  out_msg = Array.make mp_bits false;
+                  in_msg = Array.make mp_bits None;
+                  sent_log = Array.make max_r None;
+                  recv_log = Array.make max_r None;
+                  mp_len = 0;
+                  mp_hasher = None;
+                })
+              neighbors
+          in
+          {
+            id;
+            links;
+            by_peer;
+            repl = Replayer.create ch ~party:id ~input:inputs.(id) ~neighbors;
+            status = true;
+            net_correct = true;
+          })
+    in
+    (* ---- fault state ---- *)
+    let alive = Array.make n true in
+    let rot_mask =
+      Array.init n (fun id ->
+          if
+            List.exists
+              (function Faults.Plan.Seed_rot { party; _ } -> party = id | _ -> false)
+              (Faults.Plan.specs plan)
+          then
+            1
+            + Faults.Plan.choice plan ~salt:5 ~coord:id
+                ~bound:(max 1 ((1 lsl min params.Params.tau 30) - 1))
+          else 0)
+    in
+    let fc = { plan; diag; alive; rot_mask } in
+    let have_faults = not (Faults.Plan.is_empty plan) in
+    (* ---- adversary spy ---- *)
+    let cur_iter = ref 0 in
+    (match config.Config.spy_hook with
+    | None -> ()
+    | Some hook ->
+        let edge_view e =
+          let u, v = (Topology.Graph.edges graph).(e) in
+          let lo = min u v and hi = max u v in
+          let l_lo = parties.(lo).links.(parties.(lo).by_peer.(hi)) in
+          let l_hi = parties.(hi).links.(parties.(hi).by_peer.(lo)) in
+          assert (l_lo.peer = hi && l_hi.peer = lo);
+          let in_sync =
+            Meeting_points.status l_lo.mp = Meeting_points.Simulate
+            && Meeting_points.status l_hi.mp = Meeting_points.Simulate
+            && Transcript.length l_lo.tr = Transcript.length l_hi.tr
+            && Transcript.equal_prefix l_lo.tr l_hi.tr = Transcript.length l_lo.tr
+          in
+          { tr_lo = l_lo.tr; tr_hi = l_hi.tr; seeds = l_lo.seeds; in_sync }
         in
-        Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
-      parties
+        hook { spy_chunking = ch; current_iteration = (fun () -> !cur_iter); edge_view });
+    (* ---- main loop ---- *)
+    let traces = ref [] in
+    let continue_loop = ref true in
+    let iter = ref 0 in
+    while !continue_loop && !iter < effective_iterations do
+      let it = !iter in
+      (match config.Config.max_wall_s with
+      | Some b when Sys.time () -. t0 > b -> raise (Abort (Faults.Outcome.Wall_budget b))
+      | _ -> ());
+      iterations_run := it + 1;
+      cur_iter := it;
+      Log.debug (fun f ->
+          let s = Network.stats net in
+          f "iteration %d: cc=%d corruptions=%d" it s.Network.cc s.Network.corruptions);
+      (* Party-state faults fire at iteration boundaries: crash windows
+         are re-evaluated, recovering parties rejoin with transcripts
+         truncated to half, and transcript rot flips one stored symbol of
+         a keyed link/chunk choice. *)
+      if have_faults then
+        for id = 0 to n - 1 do
+          let p = parties.(id) in
+          if Faults.Plan.rejoins plan ~party:id ~iteration:it then begin
+            Array.iter (fun l -> Transcript.truncate l.tr (Transcript.length l.tr / 2)) p.links;
+            diag.Faults.Outcome.rejoins <- diag.Faults.Outcome.rejoins + 1;
+            Faults.Outcome.note diag
+              (Printf.sprintf "party %d rejoined at iteration %d with truncated transcripts" id
+                 it)
+          end;
+          let down = Faults.Plan.crashed plan ~party:id ~iteration:it in
+          if down && alive.(id) then
+            Faults.Outcome.note diag (Printf.sprintf "party %d crashed at iteration %d" id it);
+          alive.(id) <- not down;
+          if down then
+            diag.Faults.Outcome.crashed_iterations <- diag.Faults.Outcome.crashed_iterations + 1;
+          if (not down) && Faults.Plan.transcript_rot plan ~party:id ~iteration:it then begin
+            let li =
+              Faults.Plan.choice plan ~salt:2 ~coord:((it * 4096) + id)
+                ~bound:(Array.length p.links)
+            in
+            let l = p.links.(li) in
+            let len = Transcript.length l.tr in
+            if len > 0 then begin
+              let chunk =
+                1 + Faults.Plan.choice plan ~salt:3 ~coord:((it * 4096) + id) ~bound:len
+              in
+              let row = Transcript.events l.tr chunk in
+              if Array.length row > 0 then begin
+                let event =
+                  Faults.Plan.choice plan ~salt:4 ~coord:((it * 4096) + id)
+                    ~bound:(Array.length row)
+                in
+                Transcript.corrupt l.tr ~chunk ~event;
+                diag.Faults.Outcome.transcript_rot <- diag.Faults.Outcome.transcript_rot + 1
+              end
+            end
+          end
+        done;
+      Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
+      meeting_points_phase net slots step parties fc ~iter:it ~tau:params.Params.tau;
+      let statuses = compute_statuses parties ~alive in
+      Network.set_phase net ~iteration:it ~phase:Netsim.Adversary.Flag;
+      let net_corrects =
+        if params.Params.flag_passing then
+          Flag_passing.run_buf ~alive net flag_sched ~slots ~statuses
+        else statuses
+      in
+      Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
+      Log.debug (fun f ->
+          f "iteration %d: statuses=[%s] netCorrect=[%s]" it
+            (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
+            (String.concat ""
+               (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
+      simulation_phase net slots step parties fc ch ~iter:it ~n_real;
+      if params.Params.rewind then rewind_phase net slots step parties fc ~iter:it;
+      if config.Config.trace then traces := stats_of net parties graph ~iteration:it :: !traces;
+      (* Early stop is part of the loop condition, not a control-flow
+         exception: done means every link's common prefix covers Π. *)
+      if params.Params.early_stop && all_done parties graph ~n_real then continue_loop := false;
+      incr iter
+    done;
+    if !continue_loop && effective_iterations < iterations then
+      Faults.Outcome.note diag
+        (Printf.sprintf "iterations capped at %d of %d planned" effective_iterations iterations);
+    (* ---- outputs ---- *)
+    let outputs =
+      Array.map
+        (fun p ->
+          let min_len =
+            Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+          in
+          Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
+        parties
+    in
+    let net_stats = Network.stats net in
+    let cc = net_stats.Network.cc in
+    let cc_pi = Pi.cc pi in
+    {
+      success = outputs = reference;
+      outputs;
+      reference;
+      cc;
+      cc_pi;
+      rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
+      rounds = net_stats.Network.rounds;
+      corruptions = net_stats.Network.corruptions;
+      noise_fraction = net_stats.Network.noise_fraction;
+      iterations_run = !iterations_run;
+      chunks_total = n_real;
+      exchange_failures = !exchange_failures;
+      chunks_rewound =
+        Array.fold_left
+          (fun acc p ->
+            Array.fold_left (fun acc l -> acc + Transcript.chunks_rewound l.tr) acc p.links)
+          0 parties;
+      trace = List.rev !traces;
+    }
   in
-  let net_stats = Network.stats net in
-  let cc = net_stats.Network.cc in
-  let cc_pi = Pi.cc pi in
-  {
-    success = outputs = reference;
-    outputs;
-    reference;
-    cc;
-    cc_pi;
-    rate_blowup = (if cc_pi = 0 then infinity else float_of_int cc /. float_of_int cc_pi);
-    rounds = net_stats.Network.rounds;
-    corruptions = net_stats.Network.corruptions;
-    noise_fraction = net_stats.Network.noise_fraction;
-    iterations_run = !iterations_run;
-    chunks_total = n_real;
-    exchange_failures = !exchange_failures;
-    chunks_rewound =
-      Array.fold_left
-        (fun acc p ->
-          Array.fold_left (fun acc l -> acc + Transcript.chunks_rewound l.tr) acc p.links)
-        0 parties;
-    trace = List.rev !traces;
-  }
+  let fold_net () =
+    diag.Faults.Outcome.iterations_run <- !iterations_run;
+    diag.Faults.Outcome.iterations_planned <- !iterations_planned;
+    diag.Faults.Outcome.wall_s <- Sys.time () -. t0;
+    match !net_ref with
+    | None -> ()
+    | Some net ->
+        let s = Network.stats net in
+        diag.Faults.Outcome.stalled_slots <- s.Network.stalled;
+        diag.Faults.Outcome.injected <- s.Network.injected
+  in
+  match body () with
+  | result ->
+      fold_net ();
+      if Faults.Outcome.clean diag then Faults.Outcome.Completed result
+      else Faults.Outcome.Degraded (result, diag)
+  | exception Abort reason ->
+      fold_net ();
+      Faults.Outcome.Aborted (reason, diag)
+  | exception e ->
+      fold_net ();
+      Faults.Outcome.Aborted (Faults.Outcome.Internal_error (Printexc.to_string e), diag)
 
-(* Deprecated optional-argument entry point, kept so downstream callers
-   keep compiling while they migrate to Config. *)
-let run_legacy ?trace ?inputs ?spy_hook ~rng params pi adversary =
-  run ~config:(Config.make ?trace ?inputs ?spy_hook ()) ~rng params pi adversary
+let run ?(config = Config.default) ~rng params pi adversary =
+  match run_outcome ~config ~rng params pi adversary with
+  | Faults.Outcome.Completed r | Faults.Outcome.Degraded (r, _) -> r
+  | Faults.Outcome.Aborted (reason, _) ->
+      failwith ("Scheme.run: " ^ Faults.Outcome.abort_to_string reason)

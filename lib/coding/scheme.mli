@@ -89,19 +89,64 @@ module Config : sig
             list-based {!Netsim.Network.round} shim instead of the
             slot-buffer transport, reproducing the pre-slot allocation
             profile.  Semantically identical; never faster. *)
+    faults : Faults.Plan.t;
+        (** deterministic fault schedule applied to the execution
+            (crashes, link stalls, noise overload, state rot);
+            {!Faults.Plan.empty} — the default — runs nominally *)
+    max_wall_s : float option;
+        (** watchdog: abort ({!Faults.Outcome.Wall_budget}) once the run
+            has consumed this much processor time.  Wall aborts are
+            timing-dependent — leave [None] (the default) wherever
+            byte-identical reproducibility matters. *)
+    max_iterations : int option;
+        (** watchdog: cap the iteration count below the a-priori planned
+            number; hitting the cap degrades the run (diagnosis note),
+            a non-positive cap aborts it
+            ({!Faults.Outcome.Iteration_budget}) *)
   }
 
   val default : t
-  (** No trace, pseudorandom inputs, no spy, slot transport. *)
+  (** No trace, pseudorandom inputs, no spy, slot transport, no faults,
+      no watchdogs. *)
 
   val make :
     ?trace:bool ->
     ?inputs:int array ->
     ?spy_hook:(spy -> unit) ->
     ?legacy_transport:bool ->
+    ?faults:Faults.Plan.t ->
+    ?max_wall_s:float ->
+    ?max_iterations:int ->
     unit ->
     t
 end
+
+val run_outcome :
+  ?config:Config.t ->
+  rng:Util.Rng.t ->
+  Params.t ->
+  Protocol.Pi.t ->
+  Netsim.Adversary.t ->
+  result Faults.Outcome.t
+(** Simulate Π over the given noisy network, under the configured fault
+    schedule, and report what kind of execution it was:
+
+    - [Completed r] — nominal conditions end to end;
+    - [Degraded (r, d)] — the run finished but fault events fired (or an
+      iteration cap bound); [d] attributes every one of them;
+    - [Aborted (reason, d)] — a watchdog fired or an exception escaped
+      the execution.
+
+    The contract: once configuration validation has passed (invalid
+    inputs still raise [Invalid_argument]), this function never raises —
+    every fault combination lands in one of the three constructors.
+    Same [config], [rng] state, params, Π and adversary ⇒ identical
+    outcome (wall-clock watchdog excepted).
+
+    [rng] drives seed sampling (and default input assignment).  The
+    adversary sees everything the model grants it and nothing more (in
+    particular, oblivious patterns are fixed before any randomness is
+    drawn from the network). *)
 
 val run :
   ?config:Config.t ->
@@ -110,24 +155,15 @@ val run :
   Protocol.Pi.t ->
   Netsim.Adversary.t ->
   result
-(** Simulate Π over the given noisy network.  [rng] drives seed sampling
-    (and default input assignment).  The adversary sees everything the
-    model grants it and nothing more (in particular, oblivious patterns
-    are fixed before any randomness is drawn from the network). *)
-
-val run_legacy :
-  ?trace:bool ->
-  ?inputs:int array ->
-  ?spy_hook:(spy -> unit) ->
-  rng:Util.Rng.t ->
-  Params.t ->
-  Protocol.Pi.t ->
-  Netsim.Adversary.t ->
-  result
-  [@@deprecated "use run with a Config.t (Scheme.Config.make)"]
-(** The historical optional-argument entry point; forwards to {!run}. *)
+(** {!run_outcome} for the nominal world: returns the result of a
+    [Completed] or [Degraded] execution and raises [Failure] on
+    [Aborted] (which cannot happen without watchdogs). *)
 
 val planned_rounds : Params.t -> Protocol.Pi.t -> int
 (** The a-priori fixed round count of the full (non-early-stopped)
     execution — what an oblivious adversary's noise pattern ranges
     over. *)
+
+val planned_iterations : Params.t -> Protocol.Pi.t -> int
+(** The a-priori fixed iteration count of the execution — the base for
+    fault-plan iteration coordinates and [max_iterations] caps. *)

@@ -67,6 +67,25 @@ let truncate t n =
     t.version <- t.version + 1
   end
 
+let corrupt t ~chunk ~event =
+  if chunk < 1 || chunk > t.n then invalid_arg "Transcript.corrupt: chunk out of range";
+  let row = t.chunks.(chunk - 1) in
+  if event < 0 || event >= Array.length row then
+    invalid_arg "Transcript.corrupt: event out of range";
+  (* [copy] shares chunk rows, so replace the row rather than mutate it
+     in place: snapshots taken before the rot keep a pristine record. *)
+  let row = Array.copy row in
+  row.(event) <- (match row.(event) with 2 -> 3 | 3 -> 2 | _ -> 2);
+  t.chunks.(chunk - 1) <- row;
+  (* Rebuild the serialization so hashes really see the rotted state. *)
+  Util.Bitvec.truncate t.bits 0;
+  for i = 0 to t.n - 1 do
+    Util.Bitvec.push_int t.bits ~bits:32 (i + 1);
+    Array.iter (fun s -> Util.Bitvec.push_int t.bits ~bits:2 s) t.chunks.(i);
+    t.cum.(i) <- Util.Bitvec.length t.bits
+  done;
+  t.version <- t.version + 1
+
 let copy t =
   {
     bits = Util.Bitvec.copy t.bits;

@@ -43,6 +43,14 @@ val events : t -> int -> symbol array
 val truncate : t -> int -> unit
 (** Keep the first [n] chunks. *)
 
+val corrupt : t -> chunk:int -> event:int -> unit
+(** Bit-rot injection: silently flip the stored symbol at position
+    [event] of chunk [chunk] (1-based; bits flip 0↔1, a ∗ becomes bit 0)
+    and rebuild the serialization, so subsequent hashes are computed over
+    the rotted record.  Bumps [version].  Rows shared with earlier
+    {!copy} snapshots are left pristine.  Raises [Invalid_argument] when
+    the coordinates are out of range. *)
+
 val serialized : t -> Util.Bitvec.t
 (** The backing bit string (valid up to [serialized_bits t] bits). *)
 

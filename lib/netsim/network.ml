@@ -39,6 +39,19 @@ type stats = {
   cc : int;
   corruptions : int;
   noise_fraction : float;
+  stalled : int;
+  injected : int;
+}
+
+(* Environment faults beyond the adversary's accounted budget — forced
+   link silence, overload noise, budget scaling — injected by the fault
+   engine (lib/faults).  Kept distinct from the adversary so that
+   [corruptions]/[noise_fraction] keep meaning "budgeted model noise"
+   while [stalled]/[injected] book the out-of-model events. *)
+type fault_hooks = {
+  stall : round:int -> dir:int -> bool;
+  extra_addend : round:int -> dir:int -> int;
+  budget_scale : round:int -> float;
 }
 
 type t = {
@@ -47,6 +60,9 @@ type t = {
   mutable round_no : int;
   mutable cc : int;
   mutable corruptions : int;
+  mutable stalled : int;
+  mutable injected : int;
+  mutable faults : fault_hooks option;
   mutable iteration : int;
   mutable phase : Adversary.phase;
   (* Directed link id -> (src, dst). *)
@@ -74,6 +90,9 @@ let create graph adversary =
     round_no = 0;
     cc = 0;
     corruptions = 0;
+    stalled = 0;
+    injected = 0;
+    faults = None;
     iteration = -1;
     phase = Adversary.Idle;
     dir_ends = dir_endpoints graph;
@@ -84,6 +103,7 @@ let create graph adversary =
 let graph t = t.graph
 let slots t = Slots.of_length (Array.length t.addends)
 let link_ends t ~dir = t.dir_ends.(dir)
+let set_fault_hooks t hooks = t.faults <- hooks
 
 let set_phase t ~iteration ~phase =
   t.iteration <- iteration;
@@ -134,7 +154,16 @@ let round_buf t (slots : Slots.t) =
             t.addends.(d) <- ((forced - slots.(d)) mod 3 + 3) mod 3
       done
   | Adversary.Adaptive { budget; strategy } ->
-      let budget_left = max 0 (budget t.cc - t.corruptions) in
+      let scale =
+        match t.faults with
+        | None -> 1.
+        | Some h -> Float.max 1. (h.budget_scale ~round:t.round_no)
+      in
+      let b = budget t.cc in
+      (* Stay in integers when unscaled: budgets like [max_int] do not
+         survive a float round-trip. *)
+      let b = if scale = 1. then b else int_of_float (Float.min (scale *. float_of_int b) 4e18) in
+      let budget_left = max 0 (b - t.corruptions) in
       let ctx =
         Adversary.
           {
@@ -164,6 +193,23 @@ let round_buf t (slots : Slots.t) =
       slots.(d) <- (slots.(d) + a) mod 3
     end
   done;
+  (* Environment faults land after the adversary: overload noise is
+     extra corruption on top of whatever the budgeted pattern did, and a
+     stalled link wins over everything (the slot goes dark). *)
+  (match t.faults with
+  | None -> ()
+  | Some h ->
+      for d = 0 to two_m - 1 do
+        let a = h.extra_addend ~round:t.round_no ~dir:d in
+        if a <> 0 then begin
+          t.injected <- t.injected + 1;
+          slots.(d) <- (slots.(d) + a) mod 3
+        end;
+        if slots.(d) <> 2 && h.stall ~round:t.round_no ~dir:d then begin
+          t.stalled <- t.stalled + 1;
+          slots.(d) <- 2
+        end
+      done);
   t.round_no <- t.round_no + 1
 
 (* Legacy list API: a thin shim over [round_buf] that keeps the original
@@ -221,4 +267,6 @@ let stats t =
     cc = t.cc;
     corruptions = t.corruptions;
     noise_fraction = noise_fraction t;
+    stalled = t.stalled;
+    injected = t.injected;
   }

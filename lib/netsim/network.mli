@@ -58,8 +58,27 @@ end
 type stats = {
   rounds : int;  (** rounds elapsed *)
   cc : int;  (** transmissions sent — the instance's CC *)
-  corruptions : int;  (** corrupted slots *)
+  corruptions : int;  (** corrupted slots (adversary, budgeted) *)
   noise_fraction : float;  (** [corruptions / cc] (0 when nothing sent) *)
+  stalled : int;  (** transmissions suppressed by injected link stalls *)
+  injected : int;  (** overload corruptions injected beyond the budget *)
+}
+
+(** Environment faults beyond the adversary's accounted budget, supplied
+    by the fault engine (lib/faults) through {!set_fault_hooks} and
+    applied inside {!round_buf} {e after} the adversary:
+    - [extra_addend ~round ~dir] returns a Z3 addend (0 = none) applied
+      to the slot and booked under [stats.injected];
+    - [stall ~round ~dir] forces the slot silent (booked under
+      [stats.stalled]);
+    - [budget_scale ~round] multiplies an adaptive adversary's running
+      budget for the round (values ≤ 1 leave it unchanged).
+    Fault events are accounted separately from [corruptions] /
+    [noise_fraction], which keep meaning "budgeted model noise". *)
+type fault_hooks = {
+  stall : round:int -> dir:int -> bool;
+  extra_addend : round:int -> dir:int -> int;
+  budget_scale : round:int -> float;
 }
 
 type t
@@ -72,6 +91,10 @@ val slots : t -> Slots.t
 
 val link_ends : t -> dir:int -> int * int
 (** (src, dst) endpoints of a directed link id. *)
+
+val set_fault_hooks : t -> fault_hooks option -> unit
+(** Install (or clear) the fault engine's hooks.  [None] — the default —
+    keeps {!round_buf} on its zero-overhead path. *)
 
 val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
 (** Label the upcoming rounds for adaptive adversaries and traces.  The

@@ -1,0 +1,430 @@
+(* Tests for the fault-injection engine: keyed plan determinism, the
+   never-raise outcome contract of Scheme.run_outcome under every fault
+   class, the watchdogs, transcript corruption, the pool's retry/timeout
+   policy and the robust calibration wrapper. *)
+
+(* ---------- Plan: keyed determinism and window queries ---------- *)
+
+let test_plan_keyed_determinism () =
+  let specs = [ Faults.Plan.Transcript_rot { party = 1; at_iteration = 4 } ] in
+  let p1 = Faults.Plan.make ~key:"det" specs in
+  let p2 = Faults.Plan.make ~key:"det" specs in
+  let p3 = Faults.Plan.make ~key:"other" specs in
+  for c = 0 to 99 do
+    Alcotest.(check int) "same key, same die"
+      (Faults.Plan.choice p1 ~salt:3 ~coord:c ~bound:1000)
+      (Faults.Plan.choice p2 ~salt:3 ~coord:c ~bound:1000)
+  done;
+  let differs =
+    List.exists
+      (fun c ->
+        Faults.Plan.choice p1 ~salt:3 ~coord:c ~bound:1000
+        <> Faults.Plan.choice p3 ~salt:3 ~coord:c ~bound:1000)
+      (List.init 100 Fun.id)
+  in
+  Alcotest.(check bool) "different key, different schedule" true differs;
+  (* The die stays in range. *)
+  for c = 0 to 99 do
+    let v = Faults.Plan.choice p1 ~salt:7 ~coord:c ~bound:5 in
+    Alcotest.(check bool) "choice in [0, bound)" true (v >= 0 && v < 5)
+  done
+
+let test_plan_crash_windows () =
+  let p =
+    Faults.Plan.make ~key:"w"
+      [ Faults.Plan.Crash { party = 2; at_iteration = 3; recover_at = Some 6 } ]
+  in
+  let crashed i = Faults.Plan.crashed p ~party:2 ~iteration:i in
+  Alcotest.(check bool) "alive before" false (crashed 2);
+  Alcotest.(check bool) "down at start" true (crashed 3);
+  Alcotest.(check bool) "down inside window" true (crashed 5);
+  Alcotest.(check bool) "back up at recovery" false (crashed 6);
+  Alcotest.(check bool) "rejoins exactly at recovery" true (Faults.Plan.rejoins p ~party:2 ~iteration:6);
+  Alcotest.(check bool) "no rejoin before" false (Faults.Plan.rejoins p ~party:2 ~iteration:5);
+  Alcotest.(check bool) "no rejoin after" false (Faults.Plan.rejoins p ~party:2 ~iteration:7);
+  Alcotest.(check bool) "other parties untouched" false (Faults.Plan.crashed p ~party:0 ~iteration:4);
+  (* Crash-stop: no recovery, down forever. *)
+  let stop =
+    Faults.Plan.make ~key:"w"
+      [ Faults.Plan.Crash { party = 0; at_iteration = 1; recover_at = None } ]
+  in
+  Alcotest.(check bool) "crash-stop stays down" true
+    (Faults.Plan.crashed stop ~party:0 ~iteration:1000);
+  Alcotest.(check bool) "crash-stop never rejoins" false
+    (List.exists (fun i -> Faults.Plan.rejoins stop ~party:0 ~iteration:i) (List.init 50 Fun.id))
+
+let test_plan_network_hooks_compilation () =
+  (* Scheme-layer-only plans compile to no network hooks (the transport
+     keeps its zero-overhead path); network-layer specs compile to Some. *)
+  let scheme_only =
+    Faults.Plan.make ~key:"h"
+      [ Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = None } ]
+  in
+  Alcotest.(check bool) "crash plan: no network hooks" true
+    (Faults.Plan.network_hooks scheme_only = None);
+  Alcotest.(check bool) "empty plan: no network hooks" true
+    (Faults.Plan.network_hooks Faults.Plan.empty = None);
+  let stall =
+    Faults.Plan.make ~key:"h" [ Faults.Plan.Link_stall { edge = 0; from_round = 0; rounds = 5 } ]
+  in
+  Alcotest.(check bool) "stall plan: hooks" true (Faults.Plan.network_hooks stall <> None)
+
+(* ---------- Network layer: stalls and overload through the hooks ---------- *)
+
+let g6 = Topology.Graph.cycle 6
+
+let test_network_stall_books_separately () =
+  let plan =
+    Faults.Plan.make ~key:"ns" [ Faults.Plan.Link_stall { edge = 0; from_round = 0; rounds = 10 } ]
+  in
+  let net = Netsim.Network.create g6 Netsim.Adversary.Silent in
+  Netsim.Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
+  for _ = 1 to 10 do
+    ignore (Netsim.Network.round net ~sends:[ (0, 1, true); (1, 0, false) ])
+  done;
+  let s = Netsim.Network.stats net in
+  Alcotest.(check int) "every edge-0 transmission stalled" 20 s.Netsim.Network.stalled;
+  (* Stalls are a fault, not adversary noise: the budget books stay clean. *)
+  Alcotest.(check int) "no adversary corruption booked" 0 (Netsim.Network.corruptions net)
+
+let test_network_overload_injects () =
+  let plan =
+    Faults.Plan.make ~key:"no"
+      [ Faults.Plan.Noise_overload { factor = 10.; from_round = 0; rounds = 200; rate = 0.05 } ]
+  in
+  let net = Netsim.Network.create g6 Netsim.Adversary.Silent in
+  Netsim.Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
+  for _ = 1 to 200 do
+    ignore (Netsim.Network.round net ~sends:[ (0, 1, true); (3, 4, false) ])
+  done;
+  let s = Netsim.Network.stats net in
+  Alcotest.(check bool)
+    (Printf.sprintf "overload injected (%d)" s.Netsim.Network.injected)
+    true
+    (s.Netsim.Network.injected > 0);
+  Alcotest.(check int) "injections are unbudgeted" 0 (Netsim.Network.corruptions net)
+
+(* ---------- Scheme: outcome taxonomy under each fault class ---------- *)
+
+let pi_small = Protocol.Protocols.random_chatter g6 ~rounds:40 ~density:0.5 ~seed:7
+let params_small = Coding.Params.algorithm_1 g6
+
+let run_with ?(seed = 11) ?max_wall_s ?max_iterations ~key specs =
+  let faults = Faults.Plan.make ~key specs in
+  Coding.Scheme.run_outcome
+    ~config:(Coding.Scheme.Config.make ~faults ?max_wall_s ?max_iterations ())
+    ~rng:(Util.Rng.create seed) params_small pi_small Netsim.Adversary.Silent
+
+let diagnosis_exn o =
+  match Faults.Outcome.diagnosis o with
+  | Some d -> d
+  | None -> Alcotest.fail (Printf.sprintf "expected diagnosis, got %s" (Faults.Outcome.label o))
+
+let test_nominal_run_completes () =
+  match run_with ~key:"nominal" [] with
+  | Faults.Outcome.Completed r -> Alcotest.(check bool) "succeeds" true r.Coding.Scheme.success
+  | o -> Alcotest.fail ("expected completed, got " ^ Faults.Outcome.label o)
+
+let test_crash_stop_degrades () =
+  let o =
+    run_with ~key:"crash" [ Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = None } ]
+  in
+  Alcotest.(check string) "degraded" "degraded" (Faults.Outcome.label o);
+  let d = diagnosis_exn o in
+  Alcotest.(check bool) "crashed iterations counted" true
+    (d.Faults.Outcome.crashed_iterations > 0);
+  Alcotest.(check int) "no rejoin" 0 d.Faults.Outcome.rejoins;
+  Alcotest.(check bool) "crash noted" true
+    (List.exists (fun n -> n = "party 0 crashed at iteration 2") d.Faults.Outcome.notes)
+
+let test_crash_recovery_rejoins () =
+  let o =
+    run_with ~key:"recover"
+      [ Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = Some 5 } ]
+  in
+  let d = diagnosis_exn o in
+  Alcotest.(check int) "one rejoin" 1 d.Faults.Outcome.rejoins;
+  Alcotest.(check int) "three iterations down" 3 d.Faults.Outcome.crashed_iterations;
+  Alcotest.(check bool) "run still produced a result" true
+    (Faults.Outcome.result o <> None)
+
+let test_overload_degrades_with_injections () =
+  let o =
+    run_with ~key:"overload"
+      [
+        Faults.Plan.Noise_overload
+          { factor = 8.; from_round = 0; rounds = 1_000_000_000; rate = 0.01 };
+      ]
+  in
+  let d = diagnosis_exn o in
+  Alcotest.(check bool) "injections counted" true (d.Faults.Outcome.injected > 0)
+
+let test_stall_degrades_with_stalled_slots () =
+  let o =
+    run_with ~key:"stall" [ Faults.Plan.Link_stall { edge = 0; from_round = 0; rounds = 2000 } ]
+  in
+  let d = diagnosis_exn o in
+  Alcotest.(check bool) "stalled slots counted" true (d.Faults.Outcome.stalled_slots > 0)
+
+let test_state_rot_degrades () =
+  let o =
+    run_with ~key:"rot"
+      [
+        Faults.Plan.Transcript_rot { party = 1; at_iteration = 2 };
+        Faults.Plan.Seed_rot { party = 2; from_iteration = 1 };
+      ]
+  in
+  let d = diagnosis_exn o in
+  Alcotest.(check bool) "transcript rot applied" true (d.Faults.Outcome.transcript_rot > 0);
+  Alcotest.(check bool) "seed rot applied" true (d.Faults.Outcome.seed_rot > 0)
+
+(* ---------- Watchdogs ---------- *)
+
+let test_wall_watchdog_aborts () =
+  (* A negative budget trips the wall check on the first iteration. *)
+  match run_with ~key:"wall" ~max_wall_s:(-1.) [] with
+  | Faults.Outcome.Aborted (Faults.Outcome.Wall_budget b, d) ->
+      Alcotest.(check (float 0.001)) "budget echoed" (-1.) b;
+      Alcotest.(check bool) "no iteration completed" true (d.Faults.Outcome.iterations_run = 0)
+  | o -> Alcotest.fail ("expected wall abort, got " ^ Faults.Outcome.label o)
+
+let test_iteration_cap_degrades_with_note () =
+  match run_with ~key:"cap" ~max_iterations:1 [] with
+  | Faults.Outcome.Degraded (_, d) ->
+      Alcotest.(check int) "one iteration run" 1 d.Faults.Outcome.iterations_run;
+      Alcotest.(check bool) "planned more" true (d.Faults.Outcome.iterations_planned > 1);
+      Alcotest.(check bool) "cap noted" true
+        (List.exists
+           (fun n ->
+             String.length n >= 18 && String.sub n 0 18 = "iterations capped ")
+           d.Faults.Outcome.notes)
+  | o -> Alcotest.fail ("expected degraded, got " ^ Faults.Outcome.label o)
+
+let test_nonpositive_cap_aborts () =
+  match run_with ~key:"cap0" ~max_iterations:0 [] with
+  | Faults.Outcome.Aborted (Faults.Outcome.Iteration_budget 0, _) -> ()
+  | o -> Alcotest.fail ("expected iteration abort, got " ^ Faults.Outcome.label o)
+
+let test_validation_still_raises () =
+  (* Input validation is a caller bug, not a run fault: it raises before
+     the never-raise region begins. *)
+  Alcotest.check_raises "wrong input count"
+    (Invalid_argument "Scheme.run: wrong input count") (fun () ->
+      ignore
+        (Coding.Scheme.run_outcome
+           ~config:(Coding.Scheme.Config.make ~inputs:[| 1 |] ())
+           ~rng:(Util.Rng.create 1) params_small pi_small Netsim.Adversary.Silent))
+
+(* ---------- Determinism of the full faulted execution ---------- *)
+
+let test_run_outcome_deterministic () =
+  let chaos =
+    [
+      Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = Some 5 };
+      Faults.Plan.Link_stall { edge = 0; from_round = 50; rounds = 100 };
+      Faults.Plan.Noise_overload { factor = 4.; from_round = 0; rounds = 10_000; rate = 0.005 };
+      Faults.Plan.Transcript_rot { party = 1; at_iteration = 3 };
+      Faults.Plan.Seed_rot { party = 2; from_iteration = 2 };
+    ]
+  in
+  let go () = run_with ~key:"chaos" ~seed:13 chaos in
+  let a = go () and b = go () in
+  Alcotest.(check string) "same label" (Faults.Outcome.label a) (Faults.Outcome.label b);
+  (match (Faults.Outcome.result a, Faults.Outcome.result b) with
+  | Some ra, Some rb ->
+      Alcotest.(check bool) "same success" ra.Coding.Scheme.success rb.Coding.Scheme.success;
+      Alcotest.(check int) "same cc" ra.Coding.Scheme.cc rb.Coding.Scheme.cc;
+      Alcotest.(check int) "same corruptions" ra.Coding.Scheme.corruptions
+        rb.Coding.Scheme.corruptions
+  | None, None -> ()
+  | _ -> Alcotest.fail "one run produced a result, the other did not");
+  match (Faults.Outcome.diagnosis a, Faults.Outcome.diagnosis b) with
+  | Some da, Some db ->
+      Alcotest.(check int) "same crashed iters" da.Faults.Outcome.crashed_iterations
+        db.Faults.Outcome.crashed_iterations;
+      Alcotest.(check int) "same stalls" da.Faults.Outcome.stalled_slots
+        db.Faults.Outcome.stalled_slots;
+      Alcotest.(check int) "same injections" da.Faults.Outcome.injected db.Faults.Outcome.injected;
+      Alcotest.(check int) "same transcript rot" da.Faults.Outcome.transcript_rot
+        db.Faults.Outcome.transcript_rot;
+      Alcotest.(check int) "same seed rot" da.Faults.Outcome.seed_rot db.Faults.Outcome.seed_rot
+  | None, None -> ()
+  | _ -> Alcotest.fail "diagnosis presence differs"
+
+(* ---------- Transcript corruption primitive ---------- *)
+
+let test_transcript_corrupt_isolated () =
+  let mk () =
+    let t = Coding.Transcript.create () in
+    for i = 0 to 3 do
+      Coding.Transcript.push_chunk t
+        ~events:(Array.init 5 (fun j -> if (i + j) mod 2 = 0 then 2 else 3))
+    done;
+    t
+  in
+  let original = mk () in
+  let victim = Coding.Transcript.copy original in
+  let v0 = Coding.Transcript.version victim in
+  Coding.Transcript.corrupt victim ~chunk:2 ~event:1;
+  (* The copy's rows are shared: corrupt must not write through. *)
+  Alcotest.(check bool) "original chunk untouched" true
+    (Coding.Transcript.events original 2 = Coding.Transcript.events (mk ()) 2);
+  Alcotest.(check bool) "victim chunk changed" false
+    (Coding.Transcript.events victim 2 = Coding.Transcript.events original 2);
+  Alcotest.(check bool) "version bumped" true (Coding.Transcript.version victim > v0);
+  (* Serialization is rebuilt to match the rotted rows. *)
+  Alcotest.(check int) "serialized length preserved"
+    (Coding.Transcript.serialized_bits original)
+    (Coding.Transcript.serialized_bits victim);
+  Alcotest.(check bool) "serialized content differs" false
+    (Util.Bitvec.equal (Coding.Transcript.serialized original) (Coding.Transcript.serialized victim))
+
+(* ---------- Pool: retry and timeout policy ---------- *)
+
+let test_pool_retry_recovers () =
+  let body ~attempt t = if attempt = 0 && t mod 3 = 0 then failwith "flaky" else (t, attempt) in
+  let r = Runner.Pool.run_retry ~jobs:4 ~attempts:2 ~trials:12 body in
+  Array.iteri
+    (fun t o ->
+      match o with
+      | Runner.Pool.Value (t', a) ->
+          Alcotest.(check int) "trial index" t t';
+          Alcotest.(check int) "retried exactly the flaky ones" (if t mod 3 = 0 then 1 else 0) a
+      | _ -> Alcotest.fail "expected every trial to recover on retry")
+    r
+
+let test_pool_retry_exhausts_to_raised () =
+  let r = Runner.Pool.run_retry ~jobs:2 ~attempts:3 ~trials:4 (fun ~attempt:_ _ -> failwith "always") in
+  Array.iteri
+    (fun t o ->
+      match o with
+      | Runner.Pool.Raised e -> Alcotest.(check int) "failed trial recorded" t e.Runner.Pool.failed_trial
+      | _ -> Alcotest.fail "expected Raised after exhausting attempts")
+    r;
+  Alcotest.(check bool) "attempts < 1 rejected" true
+    (try
+       ignore (Runner.Pool.run_retry ~attempts:0 ~trials:1 (fun ~attempt:_ t -> t));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_retry_rng_streams () =
+  let w rng = Util.Rng.int64 rng in
+  (* Attempt 0 is the plain trial stream — a retrying pool is a drop-in. *)
+  Alcotest.(check int64) "attempt 0 = trial stream"
+    (w (Runner.Pool.trial_rng ~key:"rr" 3))
+    (w (Runner.Pool.retry_rng ~key:"rr" ~trial:3 ~attempt:0));
+  Alcotest.(check bool) "attempt 1 re-keys" true
+    (w (Runner.Pool.retry_rng ~key:"rr" ~trial:3 ~attempt:1)
+    <> w (Runner.Pool.retry_rng ~key:"rr" ~trial:3 ~attempt:0));
+  Alcotest.(check bool) "attempts distinct" true
+    (w (Runner.Pool.retry_rng ~key:"rr" ~trial:3 ~attempt:1)
+    <> w (Runner.Pool.retry_rng ~key:"rr" ~trial:3 ~attempt:2))
+
+let test_pool_timeout_marks () =
+  let busy _ =
+    let x = ref 0 in
+    for i = 1 to 200_000 do
+      x := !x + i
+    done;
+    !x
+  in
+  let r = Runner.Pool.run_retry ~jobs:1 ~timeout_s:1e-9 ~trials:2 (fun ~attempt:_ t -> busy t) in
+  Array.iter
+    (function
+      | Runner.Pool.Timed_out { elapsed_s; _ } ->
+          Alcotest.(check bool) "elapsed measured" true (elapsed_s > 0.)
+      | _ -> Alcotest.fail "expected Timed_out under a 1ns budget")
+    r;
+  (* A generous budget never trips. *)
+  let ok = Runner.Pool.run_retry ~jobs:1 ~timeout_s:3600. ~trials:2 (fun ~attempt:_ t -> busy t) in
+  Array.iter
+    (function Runner.Pool.Value _ -> () | _ -> Alcotest.fail "spurious timeout") ok
+
+let test_pool_fold_retry_matches_run_retry () =
+  let body ~attempt t = if attempt = 0 && t mod 4 = 1 then failwith "flaky" else (t * t) + attempt in
+  let via_run =
+    Array.to_list (Runner.Pool.run_retry ~jobs:3 ~attempts:2 ~trials:20 body)
+    |> List.filter_map (function Runner.Pool.Value v -> Some v | _ -> None)
+  in
+  let via_fold =
+    List.rev
+      (Runner.Pool.fold_retry ~jobs:3 ~batch:4 ~attempts:2 ~trials:20 ~init:[]
+         ~merge:(fun acc _ o ->
+           match o with Runner.Pool.Value v -> v :: acc | _ -> acc)
+         body)
+  in
+  Alcotest.(check (list int)) "fold_retry = run_retry" via_run via_fold
+
+(* ---------- Calibrate: robust bisection ---------- *)
+
+let test_threshold_r_matches_threshold_when_clean () =
+  let g = Topology.Graph.cycle 5 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.5 ~seed:68 in
+  let params = Coding.Params.algorithm_1 g in
+  let plain = Coding.Calibrate.threshold ~trials:2 ~steps:4 ~rng_seed:69 params pi in
+  let v = Coding.Calibrate.threshold_r ~trials:2 ~steps:4 ~rng_seed:69 params pi in
+  Alcotest.(check (float 1e-12)) "attempt-0 streams reproduce threshold" plain
+    v.Coding.Calibrate.threshold;
+  Alcotest.(check int) "nothing retried" 0 v.Coding.Calibrate.retried;
+  Alcotest.(check int) "nothing aborted" 0 v.Coding.Calibrate.aborted;
+  Alcotest.(check bool) "not exhausted" false v.Coding.Calibrate.exhausted;
+  Alcotest.(check bool) "work accounted" true (v.Coding.Calibrate.scheme_runs > 0)
+
+let test_threshold_r_exhaustion_is_clean () =
+  let g = Topology.Graph.cycle 5 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.5 ~seed:68 in
+  let params = Coding.Params.algorithm_1 g in
+  let v = Coding.Calibrate.threshold_r ~trials:2 ~steps:4 ~max_runs:1 ~rng_seed:69 params pi in
+  Alcotest.(check bool) "budget exhaustion reported" true v.Coding.Calibrate.exhausted;
+  Alcotest.(check bool) "run cap respected" true (v.Coding.Calibrate.scheme_runs <= 2)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "keyed determinism" `Quick test_plan_keyed_determinism;
+          Alcotest.test_case "crash windows" `Quick test_plan_crash_windows;
+          Alcotest.test_case "network hooks compilation" `Quick
+            test_plan_network_hooks_compilation;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "stall books separately" `Quick test_network_stall_books_separately;
+          Alcotest.test_case "overload injects unbudgeted" `Quick test_network_overload_injects;
+        ] );
+      ( "scheme outcomes",
+        [
+          Alcotest.test_case "nominal completes" `Quick test_nominal_run_completes;
+          Alcotest.test_case "crash-stop degrades" `Quick test_crash_stop_degrades;
+          Alcotest.test_case "crash-recovery rejoins" `Quick test_crash_recovery_rejoins;
+          Alcotest.test_case "overload degrades" `Quick test_overload_degrades_with_injections;
+          Alcotest.test_case "stall degrades" `Quick test_stall_degrades_with_stalled_slots;
+          Alcotest.test_case "state rot degrades" `Quick test_state_rot_degrades;
+          Alcotest.test_case "deterministic outcome" `Quick test_run_outcome_deterministic;
+        ] );
+      ( "watchdogs",
+        [
+          Alcotest.test_case "wall budget aborts" `Quick test_wall_watchdog_aborts;
+          Alcotest.test_case "iteration cap degrades" `Quick test_iteration_cap_degrades_with_note;
+          Alcotest.test_case "non-positive cap aborts" `Quick test_nonpositive_cap_aborts;
+          Alcotest.test_case "validation raises eagerly" `Quick test_validation_still_raises;
+        ] );
+      ( "transcript rot",
+        [ Alcotest.test_case "corrupt isolated from copies" `Quick test_transcript_corrupt_isolated ] );
+      ( "pool retry",
+        [
+          Alcotest.test_case "retry recovers" `Quick test_pool_retry_recovers;
+          Alcotest.test_case "exhaustion raises outcome" `Quick test_pool_retry_exhausts_to_raised;
+          Alcotest.test_case "retry streams keyed" `Quick test_pool_retry_rng_streams;
+          Alcotest.test_case "timeout marks trials" `Quick test_pool_timeout_marks;
+          Alcotest.test_case "fold_retry matches run_retry" `Quick
+            test_pool_fold_retry_matches_run_retry;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "threshold_r = threshold when clean" `Quick
+            test_threshold_r_matches_threshold_when_clean;
+          Alcotest.test_case "exhaustion verdict" `Quick test_threshold_r_exhaustion_is_clean;
+        ] );
+    ]

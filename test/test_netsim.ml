@@ -284,6 +284,43 @@ let test_noise_fraction () =
   let net = Network.create g4 Adversary.Silent in
   Alcotest.(check (float 0.001)) "zero cc" 0. (Network.noise_fraction net)
 
+let test_adaptive_overspend_clamped () =
+  (* A strategy that asks for a corruption on every directed link every
+     round overspends a constant budget immediately; the network must
+     clamp the spend to exactly the budget, never above. *)
+  let cap = 7 in
+  let adv =
+    Adversary.Adaptive
+      {
+        budget = (fun _ -> cap);
+        strategy =
+          (fun ctx -> List.init (2 * Topology.Graph.m ctx.Adversary.graph) (fun d -> (d, 1)));
+      }
+  in
+  let net = Network.create g4 adv in
+  for _ = 1 to 50 do
+    ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+  done;
+  Alcotest.(check int) "spend clamped to exactly the budget" cap (Network.corruptions net)
+
+let test_compose_rejects_out_of_model () =
+  (* Regression lock: compose is defined only on additive oblivious
+     patterns.  Fixing and adaptive adversaries must keep raising, on
+     either side. *)
+  let a = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:1 in
+  let fixing = Adversary.Oblivious_fixing (fun ~round:_ ~dir:_ -> None) in
+  let adaptive = Adversary.Adaptive { budget = (fun _ -> 0); strategy = (fun _ -> []) } in
+  let rejects name x y =
+    Alcotest.check_raises name
+      (Invalid_argument "Adversary.compose: only additive oblivious patterns compose") (fun () ->
+        ignore (Adversary.compose x y))
+  in
+  rejects "fixing on the left" fixing a;
+  rejects "fixing on the right" a fixing;
+  rejects "adaptive on the left" adaptive a;
+  rejects "adaptive on the right" a adaptive;
+  rejects "both out of model" adaptive fixing
+
 (* ------------------------------------------------------------------ *)
 (* Slot-buffer transport.                                             *)
 (* ------------------------------------------------------------------ *)
@@ -446,10 +483,13 @@ let () =
           Alcotest.test_case "fixing semantics" `Quick test_fixing_semantics;
           Alcotest.test_case "iid fixing cheaper" `Quick test_iid_fixing_cheaper_than_additive;
           Alcotest.test_case "adaptive budget" `Quick test_adaptive_budget_enforced;
+          Alcotest.test_case "adaptive overspend clamped" `Quick test_adaptive_overspend_clamped;
           Alcotest.test_case "adaptive phase view" `Quick test_adaptive_sees_phase;
           Alcotest.test_case "noise fraction" `Quick test_noise_fraction;
           QCheck_alcotest.to_alcotest prop_additive_semantics;
           Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "compose rejects out-of-model" `Quick
+            test_compose_rejects_out_of_model;
         ] );
       ( "slot transport",
         [
