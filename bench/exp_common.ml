@@ -133,6 +133,14 @@ let report ~experiment ~key s =
       [ ("rate_blowup", s.blowup); ("noise_fraction", s.fraction); ("iterations", s.iters) ];
   }
 
+(* Per-experiment footer: run the driver and close with its id and wall
+   time, so a multi-experiment log attributes every table to the
+   experiment that printed it without scrollback archaeology. *)
+let timed id f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Format.printf "@.[%s done in %.1f s]@." id (Unix.gettimeofday () -. t0)
+
 let heading title =
   Format.printf "@.==============================================================================@.";
   Format.printf "%s@." title;

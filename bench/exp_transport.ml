@@ -14,9 +14,8 @@
       besides moving bits).
 
    Results go to stdout and to BENCH_transport.json in the working
-   directory.  This file deliberately exercises the deprecated list
-   API — it *is* the baseline. *)
-[@@@alert "-deprecated"]
+   directory.  The list baseline is [Network.round_via_lists], the
+   benchmark-only survivor of the removed legacy list API. *)
 
 module Network = Netsim.Network
 module Slots = Netsim.Network.Slots
@@ -46,18 +45,25 @@ type scheme_result = {
 let bench_raw_lists name g ~rounds =
   let adv = Netsim.Adversary.iid (Util.Rng.create 42) ~rate:0.01 in
   let net = Network.create g adv in
+  let slots = Network.slots net in
   let edges = Topology.Graph.edges g in
+  let n_edges = Array.length edges in
+  let dir_fwd = Array.init n_edges (fun e -> 2 * e) in
+  let dir_bwd = Array.init n_edges (fun e -> (2 * e) + 1) in
   Gc.full_major ();
   let w0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   for r = 0 to rounds - 1 do
-    let sends = ref [] in
-    Array.iter
-      (fun (u, v) ->
-        sends := (u, v, (r + u) land 1 = 0) :: (v, u, (r + v) land 1 = 0) :: !sends)
-      edges;
-    let delivered = Network.round net ~sends:!sends in
-    ignore (List.length delivered)
+    Slots.clear slots;
+    for e = 0 to n_edges - 1 do
+      let u, v = edges.(e) in
+      Slots.set slots ~dir:dir_fwd.(e) ((r + u) land 1 = 0);
+      Slots.set slots ~dir:dir_bwd.(e) ((r + v) land 1 = 0)
+    done;
+    Network.round_via_lists net slots;
+    let seen = ref 0 in
+    Slots.iter slots (fun ~dir:_ _ -> incr seen);
+    ignore !seen
   done;
   let wall = Unix.gettimeofday () -. t0 in
   let words = Gc.minor_words () -. w0 in

@@ -33,6 +33,7 @@ let experiments =
     ("transport", "slot-buffer vs list transport (BENCH_transport.json)", Exp_transport.run);
     ("runner", "trial-pool scaling, jobs=1 vs jobs=4 (BENCH_runner.json)", Exp_runner.run);
     ("faults", "graceful degradation under crashes/overload (BENCH_faults.json)", Exp_faults.run);
+    ("trace", "observability probes: overhead + determinism (BENCH_trace.json)", Exp_trace.run);
   ]
 
 (* Pull -j N / -jN / --jobs N out of the argument list; the rest are
@@ -76,7 +77,7 @@ let () =
           args
     in
     let t0 = Unix.gettimeofday () in
-    List.iter (fun (_, _, run) -> run ()) selected;
+    List.iter (fun (id, _, run) -> Exp_common.timed id run) selected;
     Format.printf "@.[%d experiment(s) in %.1f s, jobs=%d]@." (List.length selected)
       (Unix.gettimeofday () -. t0)
       !Exp_common.jobs;

@@ -1,0 +1,7 @@
+(* Tiny end-to-end traced run for `dune runtest` (the trace-smoke
+   alias): enabled sink → scheme under a crash fault → timing-free
+   export → re-parse, checking span nesting, counter totals and
+   first-fault attribution.  See Exp_trace.smoke. *)
+let () =
+  Exp_trace.smoke ();
+  exit (Exp_common.exit_code ())

@@ -2,7 +2,7 @@
 
    Examples:
      mic run --topology cycle --parties 8 --scheme a --adversary iid --rate 0.001
-     mic run --topology line --parties 6 --scheme 1 --adversary burst --trace
+     mic run --topology line --parties 6 --scheme 1 --adversary burst --trace trace.json
      mic run --topology cycle --parties 8 --scheme b --adversary hunter
      mic info --topology clique --parties 10 *)
 
@@ -68,8 +68,8 @@ let fault_plan ~crash ~stall ~overload ~rate ~seed t =
       :: !specs;
   Faults.Plan.make ~key:(Printf.sprintf "mic:%d:%d" seed t) !specs
 
-let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed trace
-    trials crash stall overload verbose =
+let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
+    trace_file trials crash stall overload verbose =
   setup_logs verbose;
   let graph = make_topology topology parties seed in
   let pi = make_protocol protocol graph rounds seed in
@@ -101,11 +101,22 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
           (adv, Some hook, Some stats)
     in
     let faults = fault_plan ~crash ~stall ~overload ~rate ~seed t in
+    let sink =
+      match trace_file with None -> Trace.Sink.disabled | Some _ -> Trace.Sink.create ()
+    in
     let outcome =
       Coding.Scheme.run_outcome
-        ~config:(Coding.Scheme.Config.make ~trace ?spy_hook:hook ~faults ())
+        ~config:
+          (Coding.Scheme.Config.make ~trace:(trace_file <> None) ~sink ?spy_hook:hook ~faults ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
+    (match trace_file with
+    | None -> ()
+    | Some f ->
+        let path = if t = 0 then f else Printf.sprintf "%s.%d" f t in
+        Trace.Export.write ~path (Trace.Export.chrome ~timing:true sink);
+        Format.printf "  [trace: %d events (%d dropped) -> %s]@." (Trace.Sink.seq sink)
+          (Trace.Sink.dropped sink) path);
     (match Faults.Outcome.result outcome with
     | Some result ->
         if result.Coding.Scheme.success then incr successes;
@@ -114,7 +125,8 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
           (match stats with
           | Some s -> Printf.sprintf " hidden=%d/%d" s.Coding.Attacks.hits s.Coding.Attacks.attempts
           | None -> "");
-        if trace then Coding.Report.pp_trace Format.std_formatter result.Coding.Scheme.trace
+        if trace_file <> None then
+          Coding.Report.pp_trace Format.std_formatter result.Coding.Scheme.trace
     | None ->
         (match outcome with
         | Faults.Outcome.Aborted (reason, _) ->
@@ -174,7 +186,15 @@ let budget_t =
   Arg.(value & opt int 1000 & info [ "budget-denom" ] ~doc:"Adaptive budget: 1/DENOM of traffic.")
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
-let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print per-iteration global state.")
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of every trial (phase spans, fault/corruption counters, \
+           per-iteration potential) and write it as Chrome trace-event JSON to $(docv) (trial 0; \
+           trial N goes to $(docv).N).  Also prints the per-iteration global state table.")
 let trials_t = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.")
 let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 

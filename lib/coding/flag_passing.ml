@@ -32,10 +32,13 @@ let compile graph ~(tree : Graph.tree) =
   in
   { tree; up_dir; down_dir; by_level }
 
-let run_buf ?alive net sched ~slots ~statuses =
+type probe = { on_missing : node:int -> unit }
+
+let run_buf ?alive ?probe net sched ~slots ~statuses =
   let tree = sched.tree in
   let d = tree.Graph.depth in
   let up v = match alive with None -> true | Some a -> a.(v) in
+  let missing v = match probe with None -> () | Some pr -> pr.on_missing ~node:v in
   let agg = Array.copy statuses in
   (* Upward convergecast: nodes at level d - r speak in round r; a parent
      has heard all its children before its own sending round. *)
@@ -57,7 +60,9 @@ let run_buf ?alive net sched ~slots ~statuses =
           if up p then
             match Netsim.Network.Slots.get slots ~dir:sched.up_dir.(c) with
             | Some bit -> agg.(p) <- agg.(p) && bit
-            | None -> agg.(p) <- false)
+            | None ->
+                missing c;
+                agg.(p) <- false)
       sched.by_level.(sender_level)
   done;
   (* Downward broadcast: level ℓ speaks in round (d - 1) + (ℓ - 1);
@@ -82,7 +87,9 @@ let run_buf ?alive net sched ~slots ~statuses =
             &&
             (match Netsim.Network.Slots.get slots ~dir:sched.down_dir.(v) with
             | Some bit -> bit && statuses.(v)
-            | None -> false))
+            | None ->
+                missing v;
+                false))
       sched.by_level.(ell + 1)
   done;
   net_correct

@@ -23,8 +23,15 @@ type schedule
 
 val compile : Topology.Graph.t -> tree:Topology.Graph.tree -> schedule
 
+type probe = { on_missing : node:int -> unit }
+(** Observability hook: [on_missing ~node] fires once per flag that a
+    listener expected from [node] but read as silence — the
+    conservative-default path where a deletion (or a dead sender) forces
+    a stop verdict. *)
+
 val run_buf :
   ?alive:bool array ->
+  ?probe:probe ->
   Netsim.Network.t ->
   schedule ->
   slots:Netsim.Network.Slots.t ->

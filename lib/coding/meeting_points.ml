@@ -88,12 +88,23 @@ let prepare t hasher ~len =
     ht2 = hasher.h_prefix ~field:1 t.mp2;
   }
 
-let process t hasher ~len msg =
+type probe = { truth : pos:int -> bool option; on_collision : pos:int -> unit }
+
+let process t hasher ?probe ~len msg =
   let matches_position p =
     (* Does either of the peer's candidates verifiably equal my position p
        with an identical prefix? *)
-    (msg.hp1 = hasher.h_int ~field:1 p && msg.ht1 = hasher.h_prefix ~field:0 p)
-    || (msg.hp2 = hasher.h_int ~field:2 p && msg.ht2 = hasher.h_prefix ~field:1 p)
+    let m =
+      (msg.hp1 = hasher.h_int ~field:1 p && msg.ht1 = hasher.h_prefix ~field:0 p)
+      || (msg.hp2 = hasher.h_int ~field:2 p && msg.ht2 = hasher.h_prefix ~field:1 p)
+    in
+    (* A hash vote against differing ground truth is a collision — the
+       event the Θ(1)-size hash regime gambles on being rare.  Only a
+       simulator with both transcripts in hand can see it. *)
+    (match probe with
+    | Some pr when m -> ( match pr.truth ~pos:p with Some false -> pr.on_collision ~pos:p | _ -> ())
+    | _ -> ());
+    m
   in
   let k_agrees = msg.hk = hasher.h_int ~field:0 t.k in
   let decision = ref `Keep in

@@ -57,8 +57,18 @@ val prepare : t -> hasher -> len:int -> message
     a vote counter whenever its position moved), and return the outgoing
     message. *)
 
-val process : t -> hasher -> len:int -> message -> [ `Keep | `Truncate_to of int ]
+(** Ground-truth oracle for hash-collision detection, available only to
+    a simulator holding both endpoints' transcripts.  [truth ~pos]
+    answers whether the two transcripts {e really} agree on their first
+    [pos] chunks ([None] = unknowable, e.g. a transcript is shorter);
+    [on_collision] fires whenever a hash vote succeeded at a position
+    whose ground truth is disagreement — the silent-corruption event the
+    Θ(1)-size hash regime gambles on being rare. *)
+type probe = { truth : pos:int -> bool option; on_collision : pos:int -> unit }
+
+val process : t -> hasher -> ?probe:probe -> len:int -> message -> [ `Keep | `Truncate_to of int ]
 (** Finish the step with the (possibly corrupted) received message.
     Updates votes / counters, decides at scale boundaries, and returns
     the truncation the caller must apply to its transcript.  Also flips
-    [status] to [Simulate] when the full transcripts verifiably agree. *)
+    [status] to [Simulate] when the full transcripts verifiably agree.
+    [probe] (observability only) reports hash collisions. *)

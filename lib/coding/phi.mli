@@ -1,0 +1,19 @@
+(** The potential-function formula of §4.1, on raw per-iteration fields.
+
+    Split out of {!Potential} so that {!Scheme} — which [Potential]
+    consumes through [Scheme.iter_stat], making a direct dependency
+    circular — can evaluate the same proxy φ live for its per-iteration
+    trace gauge.  See [potential.mli] for what the proxy observes and
+    why it is sound. *)
+
+type constants = {
+  c1 : float;  (** weight of the backlog term (paper: C₁ ≥ 2) *)
+  c_mp : float;  (** weight of the per-link divergence (proxy for ϕ_{u,v}) *)
+  c7 : float;  (** weight of the error credit (paper: C₇ large) *)
+}
+
+val default_constants : constants
+
+val eval :
+  constants -> k:int -> m:int -> sum_g:int -> sum_b:int -> b_star:int -> corruptions:int -> float
+(** φ = K/m·ΣG − C_mp·K·ΣB − C₁·K·B* + C₇·K·corruptions. *)

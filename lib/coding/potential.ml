@@ -1,13 +1,12 @@
-type constants = { c1 : float; c_mp : float; c7 : float }
+(* The formula itself lives in Phi (no Scheme dependency) so the scheme
+   can gauge φ live; this module keeps the iter_stat-facing API. *)
+type constants = Phi.constants = { c1 : float; c_mp : float; c7 : float }
 
-let default_constants = { c1 = 2.; c_mp = 2.; c7 = 60. }
+let default_constants = Phi.default_constants
 
 let phi cst ~k ~m st =
-  let fk = float_of_int k in
-  (fk /. float_of_int m *. float_of_int st.Scheme.sum_g)
-  -. (cst.c_mp *. fk *. float_of_int st.Scheme.sum_b)
-  -. (cst.c1 *. fk *. float_of_int st.Scheme.b_star)
-  +. (cst.c7 *. fk *. float_of_int st.Scheme.corruptions)
+  Phi.eval cst ~k ~m ~sum_g:st.Scheme.sum_g ~sum_b:st.Scheme.sum_b ~b_star:st.Scheme.b_star
+    ~corruptions:st.Scheme.corruptions
 
 let increments ?(constants = default_constants) ~k ~m trace =
   let rec go acc = function

@@ -21,11 +21,13 @@
       paper's ϕ_{u,v} has vote-counter terms that tick every iteration;
       the proxy does not see them). *)
 
-type constants = {
+type constants = Phi.constants = {
   c1 : float;  (** weight of the backlog term (paper: C₁ ≥ 2) *)
   c_mp : float;  (** weight of the per-link divergence (proxy for ϕ_{u,v}) *)
   c7 : float;  (** weight of the error credit (paper: C₇ large) *)
 }
+(** Equal to {!Phi.constants} — the formula lives there so {!Scheme} can
+    gauge φ live without a dependency cycle. *)
 
 val default_constants : constants
 

@@ -41,7 +41,8 @@ let fallback_seed received =
     received;
   (!a, !b)
 
-let run net ~rng =
+let run ?(sink = Trace.Sink.disabled) net ~rng =
+  let tr_fail = Trace.Sink.intern sink "exchange.failed" in
   let graph = Netsim.Network.graph net in
   let edges = Topology.Graph.edges graph in
   let m = Array.length edges in
@@ -74,4 +75,6 @@ let run net ~rng =
         | None -> fallback_seed received.(e)
       in
       let hi_gen = Smallbias.Generator.of_seed decoded in
-      { lo_gen; hi_gen; ok = decoded = seeds.(e) })
+      let ok = decoded = seeds.(e) in
+      if not ok then Trace.Sink.count sink ~id:tr_fail ~arg:e 1;
+      { lo_gen; hi_gen; ok })

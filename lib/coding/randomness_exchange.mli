@@ -25,6 +25,8 @@ val payload_bytes : int
 val rounds_needed : unit -> int
 (** Fixed length of the exchange in rounds (the codeword length). *)
 
-val run : Netsim.Network.t -> rng:Util.Rng.t -> link_outcome array
+val run : ?sink:Trace.Sink.t -> Netsim.Network.t -> rng:Util.Rng.t -> link_outcome array
 (** Execute the exchange on every link of the network simultaneously;
-    result is indexed by edge id. *)
+    result is indexed by edge id.  [sink] (default disabled) receives
+    one [exchange.failed] count per link whose endpoints ended up with
+    different seeds ([arg] = edge id). *)

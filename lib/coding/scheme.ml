@@ -56,6 +56,7 @@ type spy = {
 module Config = struct
   type t = {
     trace : bool;
+    sink : Trace.Sink.t;
     inputs : int array option;
     spy_hook : (spy -> unit) option;
     legacy_transport : bool;
@@ -67,6 +68,7 @@ module Config = struct
   let default =
     {
       trace = false;
+      sink = Trace.Sink.disabled;
       inputs = None;
       spy_hook = None;
       legacy_transport = false;
@@ -75,10 +77,74 @@ module Config = struct
       max_iterations = None;
     }
 
-  let make ?(trace = false) ?inputs ?spy_hook ?(legacy_transport = false)
-      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
-    { trace; inputs; spy_hook; legacy_transport; faults; max_wall_s; max_iterations }
+  let make ?(trace = false) ?(sink = Trace.Sink.disabled) ?inputs ?spy_hook
+      ?(legacy_transport = false) ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
+    { trace; sink; inputs; spy_hook; legacy_transport; faults; max_wall_s; max_iterations }
 end
+
+(* Probe ids, interned once per execution.  With the disabled sink every
+   id is 0 and each probe site below reduces to one branch. *)
+type probes = {
+  sink : Trace.Sink.t;
+  sp_iter : int;
+  sp_prepass : int;
+  sp_mp : int;
+  sp_flag : int;
+  sp_sim : int;
+  sp_rewind : int;
+  sp_exchange : int;
+  c_mp_enter : int;
+  c_mp_exit : int;
+  c_mp_trunc : int;
+  c_collision : int;
+  c_flag_missing : int;
+  c_flag_votes : int;
+  c_net_correct : int;
+  c_idle : int;
+  c_rewind_req : int;
+  c_fault_crash : int;
+  c_fault_rejoin : int;
+  c_fault_seed_rot : int;
+  c_fault_tr_rot : int;
+  c_abort : int;
+  c_phi_stall : int;
+  g_rewind_depth : int;
+  g_phi : int;
+  g_gstar : int;
+  g_bstar : int;
+}
+
+let make_probes sink =
+  let i n = Trace.Sink.intern sink n in
+  {
+    sink;
+    sp_iter = i "scheme.iteration";
+    sp_prepass = i "phase.fault_prepass";
+    sp_mp = i "phase.meeting_points";
+    sp_flag = i "phase.flag_passing";
+    sp_sim = i "phase.simulation";
+    sp_rewind = i "phase.rewind";
+    sp_exchange = i "phase.exchange";
+    c_mp_enter = i "mp.enter";
+    c_mp_exit = i "mp.exit";
+    c_mp_trunc = i "mp.truncate";
+    c_collision = i "mp.hash_collision";
+    c_flag_missing = i "flag.missing";
+    c_flag_votes = i "flag.votes";
+    c_net_correct = i "flag.net_correct";
+    c_idle = i "sim.idle_parties";
+    c_rewind_req = i "rewind.requests";
+    c_fault_crash = i "fault.crash";
+    c_fault_rejoin = i "fault.rejoin";
+    c_fault_seed_rot = i "fault.seed_rot";
+    c_fault_tr_rot = i "fault.transcript_rot";
+    c_abort = i "scheme.abort";
+    c_phi_stall = i "phi.stall";
+    g_rewind_depth = i "rewind.depth";
+    g_phi = i "phi";
+    g_gstar = i "progress.g_star";
+    g_bstar = i "progress.b_star";
+  }
 
 type link_state = {
   peer : int;
@@ -186,7 +252,24 @@ type fault_ctx = {
    against the legacy transport), then read deliveries back out of the
    same buffer.  No per-round lists, hashtables or log arrays. *)
 
-let meeting_points_phase net slots step parties fc ~iter ~tau =
+(* Ground truth for the hash-collision probe: compare this endpoint's
+   transcript with the peer's copy of the same link.  [None] when either
+   side is already shorter than the position (the peer may have truncated
+   earlier in this very phase). *)
+let collision_probe parties pr l p ~iter =
+  let peer = parties.(l.peer) in
+  let peer_tr = peer.links.(peer.by_peer.(p.id)).tr in
+  Meeting_points.
+    {
+      truth =
+        (fun ~pos ->
+          if pos <= Transcript.length l.tr && pos <= Transcript.length peer_tr then
+            Some (Transcript.equal_prefix l.tr peer_tr >= pos)
+          else None);
+      on_collision = (fun ~pos -> Trace.Sink.count pr.sink ~id:pr.c_collision ~iter ~arg:pos 1);
+    }
+
+let meeting_points_phase net slots step parties fc pr ~iter ~tau =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
   let mp_rounds = Meeting_points.message_bits ~tau in
   Array.iter
@@ -200,8 +283,10 @@ let meeting_points_phase net slots step parties fc ~iter ~tau =
         Array.iter
           (fun l ->
             l.mp_len <- Transcript.length l.tr;
-            if rot <> None then
+            if rot <> None then begin
               fc.diag.Faults.Outcome.seed_rot <- fc.diag.Faults.Outcome.seed_rot + 1;
+              Trace.Sink.count pr.sink ~id:pr.c_fault_seed_rot ~iter ~arg:p.id 1
+            end;
             let hasher = hasher_for ?rot l ~iter in
             l.mp_hasher <- Some hasher;
             let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
@@ -224,15 +309,21 @@ let meeting_points_phase net slots step parties fc ~iter ~tau =
           Array.iter (fun l -> l.in_msg.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
       parties
   done;
+  let observing = Trace.Sink.is_enabled pr.sink in
   Array.iter
     (fun p ->
       if fc.alive.(p.id) then
         Array.iter
           (fun l ->
             let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
-            match Meeting_points.process l.mp (Option.get l.mp_hasher) ~len:l.mp_len msg with
+            let probe = if observing then Some (collision_probe parties pr l p ~iter) else None in
+            match
+              Meeting_points.process l.mp (Option.get l.mp_hasher) ?probe ~len:l.mp_len msg
+            with
             | `Keep -> ()
-            | `Truncate_to x -> Transcript.truncate l.tr x)
+            | `Truncate_to x ->
+                Trace.Sink.count pr.sink ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
+                Transcript.truncate l.tr x)
           p.links)
     parties
 
@@ -376,10 +467,14 @@ let simulation_phase net slots step parties fc ch ~iter ~n_real =
       | _ -> ())
     participants
 
-let rewind_phase net slots step parties fc ~iter =
+let rewind_phase net slots step parties fc pr ~iter =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
   let n = Array.length parties in
-  for _round = 1 to n do
+  (* Wave shape for the trace: [reqs] counts every chunk rewound (self-
+     initiated or honored request); [depth] is the last round of the
+     phase in which any link still moved. *)
+  let reqs = ref 0 and depth = ref 0 in
+  for round = 1 to n do
     (* Plan sends from the state at round start (Line 27-31); the per-link
        truncation can be applied immediately because each link's decision
        reads only its own length against the party's min, which a
@@ -400,7 +495,9 @@ let rewind_phase net slots step parties fc ~iter =
               then begin
                 Slots.set slots ~dir:l.dir_out true;
                 Transcript.truncate l.tr (Transcript.length l.tr - 1);
-                l.already_rewound <- true
+                l.already_rewound <- true;
+                incr reqs;
+                depth := round
               end)
             p.links
         end)
@@ -420,11 +517,17 @@ let rewind_phase net slots step parties fc ~iter =
               then begin
                 if Transcript.length l.tr > 0 then
                   Transcript.truncate l.tr (Transcript.length l.tr - 1);
-                l.already_rewound <- true
+                l.already_rewound <- true;
+                incr reqs;
+                depth := round
               end)
             p.links)
       parties
-  done
+  done;
+  if Trace.Sink.is_enabled pr.sink && !reqs > 0 then begin
+    Trace.Sink.count pr.sink ~id:pr.c_rewind_req ~iter !reqs;
+    Trace.Sink.gauge pr.sink ~id:pr.g_rewind_depth ~iter (float_of_int !depth)
+  end
 
 (* ---------- global instrumentation (simulator-side only) ---------- *)
 
@@ -516,6 +619,10 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let net = Network.create graph adversary in
     net_ref := Some net;
     Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
+    let pr = make_probes config.Config.sink in
+    let sink = pr.sink in
+    let observing = Trace.Sink.is_enabled sink in
+    Network.set_trace net sink;
     (* Transport plumbing: one slot buffer and one flag-passing schedule
        for the whole execution. *)
     let slots = Network.slots net in
@@ -536,7 +643,9 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
               ~slot:edge ~slots:m
       | Params.Exchange ->
           Network.set_phase net ~iteration:(-1) ~phase:Netsim.Adversary.Exchange;
-          let outcomes = Randomness_exchange.run net ~rng in
+          Trace.Sink.span_begin sink ~id:pr.sp_exchange ~iter:(-1);
+          let outcomes = Randomness_exchange.run ~sink net ~rng in
+          Trace.Sink.span_end sink ~id:pr.sp_exchange ~iter:(-1);
           Array.iter
             (fun o -> if not o.Randomness_exchange.ok then incr exchange_failures)
             outcomes;
@@ -601,8 +710,51 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     in
     let fc = { plan; diag; alive; rot_mask } in
     let have_faults = not (Faults.Plan.is_empty plan) in
+    (* ---- trace scratch ---- *)
+    let total_links = Array.fold_left (fun acc p -> acc + Array.length p.links) 0 parties in
+    (* Per-link meeting-points status snapshot taken before each MP phase,
+       so the enter/exit transition counters come from a diff, not from
+       hooks inside the mechanism. *)
+    let mp_before = Array.make (max 1 total_links) false in
+    let record_mp_status () =
+      let i = ref 0 in
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun l ->
+              mp_before.(!i) <- Meeting_points.status l.mp = Meeting_points.Meeting_points;
+              incr i)
+            p.links)
+        parties
+    in
+    let count_mp_transitions ~iter =
+      let enter = ref 0 and exit_ = ref 0 and i = ref 0 in
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun l ->
+              let now = Meeting_points.status l.mp = Meeting_points.Meeting_points in
+              if now && not mp_before.(!i) then incr enter
+              else if (not now) && mp_before.(!i) then incr exit_;
+              incr i)
+            p.links)
+        parties;
+      if !enter > 0 then Trace.Sink.count sink ~id:pr.c_mp_enter ~iter !enter;
+      if !exit_ > 0 then Trace.Sink.count sink ~id:pr.c_mp_exit ~iter !exit_
+    in
+    let prev_phi = ref Float.nan in
     (* ---- adversary spy ---- *)
     let cur_iter = ref 0 in
+    let flag_probe =
+      if observing then
+        Some
+          Flag_passing.
+            {
+              on_missing =
+                (fun ~node -> Trace.Sink.count sink ~id:pr.c_flag_missing ~iter:!cur_iter ~arg:node 1);
+            }
+      else None
+    in
     (match config.Config.spy_hook with
     | None -> ()
     | Some hook ->
@@ -627,8 +779,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let iter = ref 0 in
     while !continue_loop && !iter < effective_iterations do
       let it = !iter in
+      Trace.Sink.span_begin sink ~id:pr.sp_iter ~iter:it;
       (match config.Config.max_wall_s with
-      | Some b when Sys.time () -. t0 > b -> raise (Abort (Faults.Outcome.Wall_budget b))
+      | Some b when Sys.time () -. t0 > b ->
+          Trace.Sink.count sink ~id:pr.c_abort ~iter:it 1;
+          raise (Abort (Faults.Outcome.Wall_budget b))
       | _ -> ());
       iterations_run := it + 1;
       cur_iter := it;
@@ -639,19 +794,23 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
          are re-evaluated, recovering parties rejoin with transcripts
          truncated to half, and transcript rot flips one stored symbol of
          a keyed link/chunk choice. *)
-      if have_faults then
+      if have_faults then begin
+        Trace.Sink.span_begin sink ~id:pr.sp_prepass ~iter:it;
         for id = 0 to n - 1 do
           let p = parties.(id) in
           if Faults.Plan.rejoins plan ~party:id ~iteration:it then begin
             Array.iter (fun l -> Transcript.truncate l.tr (Transcript.length l.tr / 2)) p.links;
             diag.Faults.Outcome.rejoins <- diag.Faults.Outcome.rejoins + 1;
+            Trace.Sink.count sink ~id:pr.c_fault_rejoin ~iter:it ~arg:id 1;
             Faults.Outcome.note diag
               (Printf.sprintf "party %d rejoined at iteration %d with truncated transcripts" id
                  it)
           end;
           let down = Faults.Plan.crashed plan ~party:id ~iteration:it in
-          if down && alive.(id) then
-            Faults.Outcome.note diag (Printf.sprintf "party %d crashed at iteration %d" id it);
+          if down && alive.(id) then begin
+            Trace.Sink.count sink ~id:pr.c_fault_crash ~iter:it ~arg:id 1;
+            Faults.Outcome.note diag (Printf.sprintf "party %d crashed at iteration %d" id it)
+          end;
           alive.(id) <- not down;
           if down then
             diag.Faults.Outcome.crashed_iterations <- diag.Faults.Outcome.crashed_iterations + 1;
@@ -673,29 +832,73 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
                     ~bound:(Array.length row)
                 in
                 Transcript.corrupt l.tr ~chunk ~event;
+                Trace.Sink.count sink ~id:pr.c_fault_tr_rot ~iter:it ~arg:id 1;
                 diag.Faults.Outcome.transcript_rot <- diag.Faults.Outcome.transcript_rot + 1
               end
             end
           end
         done;
+        Trace.Sink.span_end sink ~id:pr.sp_prepass ~iter:it
+      end;
       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
-      meeting_points_phase net slots step parties fc ~iter:it ~tau:params.Params.tau;
+      if observing then record_mp_status ();
+      Trace.Sink.span_begin sink ~id:pr.sp_mp ~iter:it;
+      meeting_points_phase net slots step parties fc pr ~iter:it ~tau:params.Params.tau;
+      Trace.Sink.span_end sink ~id:pr.sp_mp ~iter:it;
+      if observing then count_mp_transitions ~iter:it;
       let statuses = compute_statuses parties ~alive in
       Network.set_phase net ~iteration:it ~phase:Netsim.Adversary.Flag;
+      Trace.Sink.span_begin sink ~id:pr.sp_flag ~iter:it;
       let net_corrects =
         if params.Params.flag_passing then
-          Flag_passing.run_buf ~alive net flag_sched ~slots ~statuses
+          Flag_passing.run_buf ~alive ?probe:flag_probe net flag_sched ~slots ~statuses
         else statuses
       in
+      Trace.Sink.span_end sink ~id:pr.sp_flag ~iter:it;
+      if observing then begin
+        let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
+        let votes = count_true statuses and ok = count_true net_corrects in
+        Trace.Sink.count sink ~id:pr.c_flag_votes ~iter:it votes;
+        Trace.Sink.count sink ~id:pr.c_net_correct ~iter:it ok;
+        Trace.Sink.count sink ~id:pr.c_idle ~iter:it (n - ok)
+      end;
       Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
       Log.debug (fun f ->
           f "iteration %d: statuses=[%s] netCorrect=[%s]" it
             (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
             (String.concat ""
                (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
+      Trace.Sink.span_begin sink ~id:pr.sp_sim ~iter:it;
       simulation_phase net slots step parties fc ch ~iter:it ~n_real;
-      if params.Params.rewind then rewind_phase net slots step parties fc ~iter:it;
-      if config.Config.trace then traces := stats_of net parties graph ~iteration:it :: !traces;
+      Trace.Sink.span_end sink ~id:pr.sp_sim ~iter:it;
+      if params.Params.rewind then begin
+        Trace.Sink.span_begin sink ~id:pr.sp_rewind ~iter:it;
+        rewind_phase net slots step parties fc pr ~iter:it;
+        Trace.Sink.span_end sink ~id:pr.sp_rewind ~iter:it
+      end;
+      if config.Config.trace || observing then begin
+        let st = stats_of net parties graph ~iteration:it in
+        if config.Config.trace then traces := st :: !traces;
+        if observing then begin
+          (* The live Φ trajectory (proxy of §4.1; see potential.mli) and
+             the per-iteration global progress gauges.  Lemma 4.2 says Φ
+             must rise by K per iteration amortized — a [phi.stall] marks
+             an iteration that fell short. *)
+          let phi =
+            Phi.eval Phi.default_constants ~k:params.Params.k ~m ~sum_g:st.sum_g
+              ~sum_b:st.sum_b ~b_star:st.b_star ~corruptions:st.corruptions
+          in
+          Trace.Sink.gauge sink ~id:pr.g_phi ~iter:it phi;
+          Trace.Sink.gauge sink ~id:pr.g_gstar ~iter:it (float_of_int st.g_star);
+          Trace.Sink.gauge sink ~id:pr.g_bstar ~iter:it (float_of_int st.b_star);
+          if
+            (not (Float.is_nan !prev_phi))
+            && phi -. !prev_phi < float_of_int params.Params.k -. 1e-9
+          then Trace.Sink.count sink ~id:pr.c_phi_stall ~iter:it 1;
+          prev_phi := phi
+        end
+      end;
+      Trace.Sink.span_end sink ~id:pr.sp_iter ~iter:it;
       (* Early stop is part of the loop condition, not a control-flow
          exception: done means every link's common prefix covers Π. *)
       if params.Params.early_stop && all_done parties graph ~n_real then continue_loop := false;

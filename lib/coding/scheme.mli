@@ -79,16 +79,26 @@ type spy = {
 module Config : sig
   type t = {
     trace : bool;  (** collect per-iteration {!iter_stat}s *)
+    sink : Trace.Sink.t;
+        (** structured-trace sink.  {!Trace.Sink.disabled} (the default)
+            keeps every probe at one branch; an enabled sink records
+            per-iteration phase spans, meeting-points transition /
+            truncation / hash-collision counters, flag votes and missing
+            flags, idle parties, rewind-wave size and depth, fault
+            events, network corruption events, and per-iteration Φ /
+            G* / B* gauges (with [phi.stall] marking iterations where Φ
+            rose by less than K).  Independent of [trace]: the sink
+            observes live, [trace] retains {!iter_stat}s in the result. *)
     inputs : int array option;
         (** party inputs; [None] draws a deterministic pseudorandom
             assignment from the run's [rng] *)
     spy_hook : (spy -> unit) option;
         (** hand a non-oblivious adversary its read access (§6) *)
     legacy_transport : bool;
-        (** benchmark-only: drive every phase through the legacy
-            list-based {!Netsim.Network.round} shim instead of the
-            slot-buffer transport, reproducing the pre-slot allocation
-            profile.  Semantically identical; never faster. *)
+        (** benchmark-only: drive every phase through
+            {!Netsim.Network.round_via_lists}, reproducing the pre-slot
+            list transport's allocation profile.  Semantically
+            identical; never faster. *)
     faults : Faults.Plan.t;
         (** deterministic fault schedule applied to the execution
             (crashes, link stalls, noise overload, state rot);
@@ -106,11 +116,12 @@ module Config : sig
   }
 
   val default : t
-  (** No trace, pseudorandom inputs, no spy, slot transport, no faults,
-      no watchdogs. *)
+  (** No trace, disabled sink, pseudorandom inputs, no spy, slot
+      transport, no faults, no watchdogs. *)
 
   val make :
     ?trace:bool ->
+    ?sink:Trace.Sink.t ->
     ?inputs:int array ->
     ?spy_hook:(spy -> unit) ->
     ?legacy_transport:bool ->

@@ -68,7 +68,14 @@ type t = {
   (* Directed link id -> (src, dst). *)
   dir_ends : (int * int) array;
   addends : int array; (* per-round adversary addends, reused *)
-  shim_slots : Slots.t; (* scratch buffer backing the legacy list API *)
+  scratch : Slots.t; (* scratch buffer for silence / round_via_lists *)
+  (* Trace probes.  The sink defaults to the disabled singleton, so the
+     probe sites below cost one branch per corrupted slot and nothing on
+     clean slots. *)
+  mutable trace : Trace.Sink.t;
+  mutable tr_corrupt : int;
+  mutable tr_injected : int;
+  mutable tr_stalled : int;
 }
 
 let dir_endpoints g =
@@ -97,13 +104,23 @@ let create graph adversary =
     phase = Adversary.Idle;
     dir_ends = dir_endpoints graph;
     addends = Array.make two_m 0;
-    shim_slots = Slots.of_length two_m;
+    scratch = Slots.of_length two_m;
+    trace = Trace.Sink.disabled;
+    tr_corrupt = 0;
+    tr_injected = 0;
+    tr_stalled = 0;
   }
 
 let graph t = t.graph
 let slots t = Slots.of_length (Array.length t.addends)
 let link_ends t ~dir = t.dir_ends.(dir)
 let set_fault_hooks t hooks = t.faults <- hooks
+
+let set_trace t sink =
+  t.trace <- sink;
+  t.tr_corrupt <- Trace.Sink.intern sink "net.corrupt";
+  t.tr_injected <- Trace.Sink.intern sink "net.injected";
+  t.tr_stalled <- Trace.Sink.intern sink "net.stalled"
 
 let set_phase t ~iteration ~phase =
   t.iteration <- iteration;
@@ -190,7 +207,8 @@ let round_buf t (slots : Slots.t) =
     let a = t.addends.(d) in
     if a <> 0 then begin
       t.corruptions <- t.corruptions + 1;
-      slots.(d) <- (slots.(d) + a) mod 3
+      slots.(d) <- (slots.(d) + a) mod 3;
+      Trace.Sink.count t.trace ~id:t.tr_corrupt ~iter:t.round_no ~arg:d 1
     end
   done;
   (* Environment faults land after the adversary: overload noise is
@@ -203,62 +221,52 @@ let round_buf t (slots : Slots.t) =
         let a = h.extra_addend ~round:t.round_no ~dir:d in
         if a <> 0 then begin
           t.injected <- t.injected + 1;
-          slots.(d) <- (slots.(d) + a) mod 3
+          slots.(d) <- (slots.(d) + a) mod 3;
+          Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:d 1
         end;
         if slots.(d) <> 2 && h.stall ~round:t.round_no ~dir:d then begin
           t.stalled <- t.stalled + 1;
-          slots.(d) <- 2
+          slots.(d) <- 2;
+          Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:d 1
         end
       done);
   t.round_no <- t.round_no + 1
 
-(* Legacy list API: a thin shim over [round_buf] that keeps the original
-   allocation profile (send-list iteration, dir resolution, delivered-list
-   construction) for callers that still want it. *)
-let round t ~sends =
-  let slots = t.shim_slots in
-  Slots.clear slots;
+(* Benchmark aid: performs [round_buf]'s contract with the allocation
+   profile of the pre-slot-buffer list transport — the send list is
+   reconstructed and resolved entry by entry through [dir_id] into a
+   scratch buffer, the round runs there, and a delivered list is built
+   and written back into the caller's buffer.  Never use it outside
+   measurements. *)
+let round_via_lists t (slots : Slots.t) =
+  let sends = sends_of_slots t slots in
+  let scratch = t.scratch in
+  Slots.clear scratch;
   List.iter
     (fun (src, dst, bit) ->
-      let d = Topology.Graph.dir_id t.graph ~src ~dst in
-      if not (Slots.is_silent slots ~dir:d) then
-        invalid_arg "Network.round: duplicate send on a directed link";
-      Slots.set slots ~dir:d bit)
+      Slots.set scratch ~dir:(Topology.Graph.dir_id t.graph ~src ~dst) bit)
     sends;
-  round_buf t slots;
+  round_buf t scratch;
   let delivered = ref [] in
-  for d = Array.length slots - 1 downto 0 do
-    match decode slots.(d) with
+  for d = Array.length scratch - 1 downto 0 do
+    match decode scratch.(d) with
     | None -> ()
     | Some bit ->
         let src, dst = t.dir_ends.(d) in
         delivered := (src, dst, bit) :: !delivered
   done;
-  !delivered
-
-(* Benchmark aid: performs [round_buf]'s contract through the legacy list
-   API — reconstructs the send list, calls [round], and writes the
-   delivered list back into the buffer.  This reproduces the allocation
-   profile of the pre-slot-buffer transport so the two can be compared in
-   one binary; never use it outside measurements. *)
-let round_via_lists t (slots : Slots.t) =
-  let sends = sends_of_slots t slots in
   Slots.clear slots;
-  let delivered = round t ~sends in
   List.iter
     (fun (src, dst, bit) ->
       Slots.set slots ~dir:(Topology.Graph.dir_id t.graph ~src ~dst) bit)
-    delivered
+    !delivered
 
 let silence t ~rounds =
   for _ = 1 to rounds do
-    Slots.clear t.shim_slots;
-    round_buf t t.shim_slots
+    Slots.clear t.scratch;
+    round_buf t t.scratch
   done
 
-let rounds t = t.round_no
-let cc t = t.cc
-let corruptions t = t.corruptions
 let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc
 
 let stats t =

@@ -9,8 +9,9 @@
     one symbol per directed link.  The allocation-free entry point is
     {!round_buf}: callers write their transmissions into a preallocated
     buffer, the network applies the adversary {e in place}, and callers
-    read what was delivered out of the same buffer.  The historical
-    list-based {!round} survives as a thin compatibility shim.
+    read what was delivered out of the same buffer.  (The historical
+    list-based [round] shim is gone; {!round_via_lists} reproduces its
+    allocation profile for benchmarks.)
 
     The network keeps the two books the paper's accounting needs:
     - [cc]: the number of transmissions the parties actually sent — the
@@ -96,6 +97,14 @@ val set_fault_hooks : t -> fault_hooks option -> unit
 (** Install (or clear) the fault engine's hooks.  [None] — the default —
     keeps {!round_buf} on its zero-overhead path. *)
 
+val set_trace : t -> Trace.Sink.t -> unit
+(** Attach a trace sink.  {!round_buf} then emits one [net.corrupt] /
+    [net.injected] / [net.stalled] count per affected slot, tagged with
+    the round ([iter]) and directed link ([arg]) — adversary corruptions
+    and fault-engine events stay distinguishable per link per round.
+    The default is {!Trace.Sink.disabled}, under which every probe is a
+    single branch on an already-corrupted slot and free otherwise. *)
+
 val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
 (** Label the upcoming rounds for adaptive adversaries and traces.  The
     label leaks no private state: the schedule of phases is public by
@@ -111,21 +120,12 @@ val round_buf : t -> Slots.t -> unit
     and fixing adversaries. *)
 
 val round_via_lists : t -> Slots.t -> unit
-(** Same contract as {!round_buf}, but routed through the legacy list
-    API: the send list is reconstructed, {!round} is called, and the
-    delivered list is written back into the buffer.  This reproduces the
-    allocation profile of the pre-slot-buffer transport so benchmarks
-    can compare both in one binary.  Never use it outside
-    measurements. *)
-
-val round : t -> sends:(int * int * bool) list -> (int * int * bool) list
-  [@@deprecated "use round_buf with a reusable Slots.t; this shim allocates per round"]
-(** [round t ~sends] executes one synchronous round.  [sends] holds
-    (src, dst, bit) transmissions — src and dst must be adjacent and a
-    directed link may appear at most once.  Returns the delivered
-    (src, dst, bit) list (ascending dir order): substituted bits are
-    altered, deleted ones are absent, inserted ones appear though never
-    sent.  Compatibility shim over {!round_buf}. *)
+(** Same contract as {!round_buf}, but with the allocation profile of
+    the pre-slot-buffer list transport: a (src, dst, bit) send list is
+    reconstructed and resolved entry by entry through dir ids, and the
+    delivered symbols travel back through a freshly built list.  Kept so
+    benchmarks can compare both profiles in one binary; never use it
+    outside measurements. *)
 
 val silence : t -> rounds:int -> unit
 (** Let [rounds] rounds pass with no party speaking (insertions may still
@@ -133,12 +133,3 @@ val silence : t -> rounds:int -> unit
 
 val stats : t -> stats
 (** The network's books, in one read. *)
-
-val rounds : t -> int [@@deprecated "use stats"]
-(** Rounds elapsed. *)
-
-val cc : t -> int [@@deprecated "use stats"]
-val corruptions : t -> int [@@deprecated "use stats"]
-
-val noise_fraction : t -> float [@@deprecated "use stats"]
-(** [corruptions / cc] (0 when nothing was sent). *)

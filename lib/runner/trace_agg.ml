@@ -1,0 +1,21 @@
+type t = { tbl : (string, Accum.t) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let add t summary =
+  List.iter
+    (fun (name, v) ->
+      let acc =
+        match Hashtbl.find_opt t.tbl name with
+        | Some a -> a
+        | None ->
+            let a = Accum.create () in
+            Hashtbl.add t.tbl name a;
+            a
+      in
+      Accum.add acc v)
+    (Trace.Summary.metrics summary)
+
+let metrics t =
+  Hashtbl.fold (fun name acc l -> (name, Accum.summary acc) :: l) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

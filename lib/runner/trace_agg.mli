@@ -1,0 +1,19 @@
+(** Cross-trial aggregation of per-trial trace summaries.
+
+    Each trial's {!Trace.Summary.t} is flattened to name-keyed metrics
+    and fed into one {!Accum.t} per name.  Feed order is the aggregation
+    order, so calling {!add} from the pool's fold [merge] (which runs on
+    the main domain in trial order) keeps the result — like everything
+    else in the runner — byte-identical across job counts. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Trace.Summary.t -> unit
+(** Fold one trial's summary in.  Metrics absent from a trial simply do
+    not feed that name's accumulator (its [n] reveals the support). *)
+
+val metrics : t -> (string * Accum.summary) list
+(** Per-metric summaries, sorted by name — the shape [Report.t.metrics]
+    expects. *)

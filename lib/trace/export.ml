@@ -1,0 +1,125 @@
+(* Chrome trace-event JSON and JSONL writers.  Hand-rolled emission (no
+   JSON dependency): event names are the only strings and escaping them
+   is a few lines. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/inf literals; mirror Runner.Report.Json and emit null. *)
+let add_float b v =
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then
+    Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.6f" v)
+
+(* Timestamp: logical seq when [timing] is off, else wall-clock
+   microseconds relative to the first retained event. *)
+let ts_of ~timing ~t0 ev =
+  let seq, ts =
+    match ev with
+    | Sink.Span_begin { seq; ts; _ }
+    | Sink.Span_end { seq; ts; _ }
+    | Sink.Count { seq; ts; _ }
+    | Sink.Gauge { seq; ts; _ } ->
+        (seq, ts)
+  in
+  if timing then Printf.sprintf "%.3f" ((ts -. t0) *. 1e6) else string_of_int seq
+
+let chrome ?(timing = false) sink =
+  let evs = Sink.events sink in
+  let t0 =
+    match evs with
+    | Sink.Span_begin { ts; _ } :: _
+    | Sink.Span_end { ts; _ } :: _
+    | Sink.Count { ts; _ } :: _
+    | Sink.Gauge { ts; _ } :: _ ->
+        ts
+    | [] -> 0.
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit ev =
+    if !first then first := false else Buffer.add_string b ",\n";
+    let ts = ts_of ~timing ~t0 ev in
+    match ev with
+    | Sink.Span_begin { name; iter; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":%s,\"args\":{\"iter\":%d}}"
+             (escape name) ts iter)
+    | Sink.Span_end { name; iter; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":%s,\"args\":{\"iter\":%d}}"
+             (escape name) ts iter)
+    | Sink.Count { name; iter; arg; value; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%s,\"args\":{\"value\":%d,\"iter\":%d,\"arg\":%d}}"
+             (escape name) ts value iter arg)
+    | Sink.Gauge { name; iter; value; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%s,\"args\":{\"value\":"
+             (escape name) ts);
+        add_float b value;
+        Buffer.add_string b (Printf.sprintf ",\"iter\":%d}}" iter)
+  in
+  List.iter emit evs;
+  Buffer.add_string b
+    (Printf.sprintf "],\n\"displayTimeUnit\":\"ms\",\"eventCount\":%d,\"dropped\":%d}\n"
+       (Sink.seq sink) (Sink.dropped sink));
+  Buffer.contents b
+
+let jsonl ?(timing = false) sink =
+  let evs = Sink.events sink in
+  let t0 =
+    match evs with
+    | Sink.Span_begin { ts; _ } :: _
+    | Sink.Span_end { ts; _ } :: _
+    | Sink.Count { ts; _ } :: _
+    | Sink.Gauge { ts; _ } :: _ ->
+        ts
+    | [] -> 0.
+  in
+  let b = Buffer.create 4096 in
+  let wall ev = if timing then Printf.sprintf ",\"ts\":%s" (ts_of ~timing ~t0 ev) else "" in
+  let emit ev =
+    (match ev with
+    | Sink.Span_begin { name; iter; seq; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"seq\":%d,\"kind\":\"span_begin\",\"name\":\"%s\",\"iter\":%d%s}" seq
+             (escape name) iter (wall ev))
+    | Sink.Span_end { name; iter; seq; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"seq\":%d,\"kind\":\"span_end\",\"name\":\"%s\",\"iter\":%d%s}" seq
+             (escape name) iter (wall ev))
+    | Sink.Count { name; iter; arg; value; seq; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"seq\":%d,\"kind\":\"count\",\"name\":\"%s\",\"iter\":%d,\"arg\":%d,\"value\":%d%s}"
+             seq (escape name) iter arg value (wall ev))
+    | Sink.Gauge { name; iter; value; seq; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"seq\":%d,\"kind\":\"gauge\",\"name\":\"%s\",\"iter\":%d,\"value\":" seq
+             (escape name) iter);
+        add_float b value;
+        Buffer.add_string b (Printf.sprintf "%s}" (wall ev)));
+    Buffer.add_char b '\n'
+  in
+  List.iter emit evs;
+  Buffer.contents b
+
+let write ~path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)

@@ -1,0 +1,25 @@
+(** Serialization of a {!Sink} to Chrome trace-event JSON and JSONL.
+
+    Both formats come in two flavours selected by [?timing]:
+
+    - [~timing:false] (the default) omits wall-clock fields and uses the
+      logical sequence number as the timestamp.  This output is a pure
+      function of the emitted events, hence byte-identical across
+      processes, machines, and job counts for a deterministic run — the
+      determinism-check subject of the [trace] bench experiment.
+    - [~timing:true] adds wall-clock timestamps (microseconds relative
+      to the first retained event), suitable for loading into a trace
+      viewer to see real durations. *)
+
+val chrome : ?timing:bool -> Sink.t -> string
+(** Chrome trace-event format (load via [chrome://tracing] or Perfetto):
+    an object with [traceEvents] (ph [B]/[E] for spans, [C] for counters
+    and gauges), [eventCount], and [dropped]. *)
+
+val jsonl : ?timing:bool -> Sink.t -> string
+(** One JSON object per line, one line per retained event, each with
+    [seq], [kind], [name], [iter] and kind-specific fields ([arg],
+    [value]).  Grep-friendly and the easiest form to re-parse. *)
+
+val write : path:string -> string -> unit
+(** Write a serialized trace to [path] (truncating). *)

@@ -1,0 +1,186 @@
+(* Ring-buffer event sink.  See sink.mli for the contract.
+
+   Layout: one parallel-array ring (ints for kind/id/iter/ival/arg,
+   floats for the wall timestamp), plus per-id side tables for counter
+   totals and last-gauge values that are immune to ring wrap-around.
+   [seq] is the lifetime event count; slot [seq mod capacity] is the
+   next write position, so the retained window is always the last
+   [min seq capacity] events. *)
+
+let k_span_begin = 0
+let k_span_end = 1
+let k_count = 2
+let k_gauge = 3
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  kinds : int array;
+  ids : int array;
+  iters : int array;
+  ivals : int array;
+  args : int array;
+  fvals : float array;
+  tss : float array;
+  mutable seq : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n_names : int;
+  mutable totals : int array;
+  mutable glast : float array;
+  mutable gset : bool array;
+}
+
+let create ?(capacity = 32768) () =
+  if capacity < 1 then invalid_arg "Trace.Sink.create: capacity < 1";
+  {
+    enabled = true;
+    capacity;
+    kinds = Array.make capacity 0;
+    ids = Array.make capacity 0;
+    iters = Array.make capacity 0;
+    ivals = Array.make capacity 0;
+    args = Array.make capacity 0;
+    fvals = Array.make capacity 0.;
+    tss = Array.make capacity 0.;
+    seq = 0;
+    by_name = Hashtbl.create 64;
+    names = Array.make 16 "";
+    n_names = 0;
+    totals = Array.make 16 0;
+    glast = Array.make 16 0.;
+    gset = Array.make 16 false;
+  }
+
+let disabled =
+  let empty = [| 0 |] in
+  {
+    enabled = false;
+    capacity = 1;
+    kinds = empty;
+    ids = empty;
+    iters = empty;
+    ivals = empty;
+    args = empty;
+    fvals = [| 0. |];
+    tss = [| 0. |];
+    seq = 0;
+    by_name = Hashtbl.create 1;
+    names = [| "" |];
+    n_names = 0;
+    totals = [| 0 |];
+    glast = [| 0. |];
+    gset = [| false |];
+  }
+
+let is_enabled t = t.enabled
+
+let grow_side t =
+  let cap = Array.length t.names in
+  let cap' = 2 * cap in
+  let names = Array.make cap' "" in
+  Array.blit t.names 0 names 0 cap;
+  t.names <- names;
+  let totals = Array.make cap' 0 in
+  Array.blit t.totals 0 totals 0 cap;
+  t.totals <- totals;
+  let glast = Array.make cap' 0. in
+  Array.blit t.glast 0 glast 0 cap;
+  t.glast <- glast;
+  let gset = Array.make cap' false in
+  Array.blit t.gset 0 gset 0 cap;
+  t.gset <- gset
+
+let intern t name =
+  if not t.enabled then 0
+  else
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None ->
+        let id = t.n_names in
+        if id = Array.length t.names then grow_side t;
+        t.names.(id) <- name;
+        Hashtbl.add t.by_name name id;
+        t.n_names <- id + 1;
+        id
+
+let name t id = if id >= 0 && id < t.n_names then t.names.(id) else ""
+
+(* The hot-path writer: array stores only, no allocation. *)
+let[@inline] push t kind id iter ival arg fval =
+  let s = t.seq mod t.capacity in
+  t.kinds.(s) <- kind;
+  t.ids.(s) <- id;
+  t.iters.(s) <- iter;
+  t.ivals.(s) <- ival;
+  t.args.(s) <- arg;
+  t.fvals.(s) <- fval;
+  t.tss.(s) <- Unix.gettimeofday ();
+  t.seq <- t.seq + 1
+
+let span_begin t ~id ~iter = if t.enabled then push t k_span_begin id iter 0 (-1) 0.
+let span_end t ~id ~iter = if t.enabled then push t k_span_end id iter 0 (-1) 0.
+
+let count t ~id ?(iter = -1) ?(arg = -1) v =
+  if t.enabled then begin
+    t.totals.(id) <- t.totals.(id) + v;
+    push t k_count id iter v arg 0.
+  end
+
+let gauge t ~id ?(iter = -1) v =
+  if t.enabled then begin
+    t.glast.(id) <- v;
+    t.gset.(id) <- true;
+    push t k_gauge id iter 0 (-1) v
+  end
+
+type event =
+  | Span_begin of { name : string; iter : int; seq : int; ts : float }
+  | Span_end of { name : string; iter : int; seq : int; ts : float }
+  | Count of { name : string; iter : int; arg : int; value : int; seq : int; ts : float }
+  | Gauge of { name : string; iter : int; value : float; seq : int; ts : float }
+
+let seq t = t.seq
+let dropped t = max 0 (t.seq - t.capacity)
+
+let events t =
+  let lo = dropped t in
+  List.init (t.seq - lo) (fun i ->
+      let sq = lo + i in
+      let s = sq mod t.capacity in
+      let nm = t.names.(t.ids.(s)) in
+      let iter = t.iters.(s) and ts = t.tss.(s) in
+      match t.kinds.(s) with
+      | 0 -> Span_begin { name = nm; iter; seq = sq; ts }
+      | 1 -> Span_end { name = nm; iter; seq = sq; ts }
+      | 2 -> Count { name = nm; iter; arg = t.args.(s); value = t.ivals.(s); seq = sq; ts }
+      | _ -> Gauge { name = nm; iter; value = t.fvals.(s); seq = sq; ts })
+
+let counter_total t nm =
+  match Hashtbl.find_opt t.by_name nm with Some id -> t.totals.(id) | None -> 0
+
+let by_name_sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let counter_totals t =
+  let acc = ref [] in
+  for id = 0 to t.n_names - 1 do
+    if t.totals.(id) <> 0 then acc := (t.names.(id), t.totals.(id)) :: !acc
+  done;
+  by_name_sorted !acc
+
+let gauge_last t nm =
+  match Hashtbl.find_opt t.by_name nm with
+  | Some id when t.gset.(id) -> Some t.glast.(id)
+  | _ -> None
+
+let gauge_lasts t =
+  let acc = ref [] in
+  for id = 0 to t.n_names - 1 do
+    if t.gset.(id) then acc := (t.names.(id), t.glast.(id)) :: !acc
+  done;
+  by_name_sorted !acc
+
+let reset t =
+  t.seq <- 0;
+  Array.fill t.totals 0 (Array.length t.totals) 0;
+  Array.fill t.gset 0 (Array.length t.gset) false

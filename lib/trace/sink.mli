@@ -1,0 +1,88 @@
+(** The event sink: a preallocated ring-buffer log of spans, counters
+    and gauges.
+
+    Design constraints, in order:
+
+    + {e Zero cost when off.}  Every probe on the {!disabled} sink (the
+      default everywhere) is a single branch on [enabled] — no
+      allocation, no hashing, no writes.  Hot paths keep their probes
+      compiled in permanently and pay only that branch.
+    + {e No allocation when on.}  An enabled sink writes each event into
+      preallocated parallel arrays (a ring: when full, the oldest events
+      are overwritten and counted in {!dropped}).  Event names are
+      interned once at setup time ({!intern}); probes carry integer ids.
+    + {e Determinism.}  Every event field except the wall-clock
+      timestamp is a pure function of the emission sequence, so two runs
+      of the same deterministic program produce byte-identical
+      timing-free exports ({!Export}) at any job count.  Counter totals
+      and last-gauge values are tracked outside the ring and survive
+      drops. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An enabled sink whose ring retains the last [capacity] (default
+    32768) events.  Raises [Invalid_argument] if [capacity < 1]. *)
+
+val disabled : t
+(** The shared no-op sink: every probe returns after one branch, and
+    {!intern} returns a dummy id without allocating. *)
+
+val is_enabled : t -> bool
+
+val intern : t -> string -> int
+(** The id of a name, allocating one on first sight.  Setup-time only;
+    0 on a disabled sink. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern} ([""] for unknown ids). *)
+
+(** {2 Probes}
+
+    All take interned ids and are no-ops on a disabled sink.  [iter]
+    tags the event with the caller's iteration (or round) coordinate and
+    [arg] with a secondary coordinate (link id, party id, position);
+    [-1] — the default — means "not applicable". *)
+
+val span_begin : t -> id:int -> iter:int -> unit
+val span_end : t -> id:int -> iter:int -> unit
+
+val count : t -> id:int -> ?iter:int -> ?arg:int -> int -> unit
+(** Add to a counter (the running total is kept outside the ring). *)
+
+val gauge : t -> id:int -> ?iter:int -> float -> unit
+(** Record an instantaneous value. *)
+
+(** {2 Reading back} *)
+
+type event =
+  | Span_begin of { name : string; iter : int; seq : int; ts : float }
+  | Span_end of { name : string; iter : int; seq : int; ts : float }
+  | Count of { name : string; iter : int; arg : int; value : int; seq : int; ts : float }
+  | Gauge of { name : string; iter : int; value : float; seq : int; ts : float }
+
+val seq : t -> int
+(** Total events emitted over the sink's lifetime (≥ retained). *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val events : t -> event list
+(** The retained events, oldest first.  [seq] numbers are global, so a
+    gap at the front reveals drops. *)
+
+val counter_total : t -> string -> int
+(** Lifetime total of a counter (0 for unknown names); drop-proof. *)
+
+val counter_totals : t -> (string * int) list
+(** All counters with nonzero activity, sorted by name. *)
+
+val gauge_last : t -> string -> float option
+(** Most recent value of a gauge, if it ever fired; drop-proof. *)
+
+val gauge_lasts : t -> (string * float) list
+(** Last value of every gauge that fired, sorted by name. *)
+
+val reset : t -> unit
+(** Forget all events and totals but keep the interning table (ids stay
+    valid), so one sink can serve consecutive trials. *)

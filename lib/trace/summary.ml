@@ -1,0 +1,23 @@
+type t = {
+  events : int;
+  dropped : int;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let of_sink sink =
+  {
+    events = Sink.seq sink;
+    dropped = Sink.dropped sink;
+    counters = Sink.counter_totals sink;
+    gauges = Sink.gauge_lasts sink;
+  }
+
+let metrics t =
+  let m =
+    ("trace.events", float_of_int t.events)
+    :: ("trace.dropped", float_of_int t.dropped)
+    :: List.map (fun (n, v) -> ("ctr." ^ n, float_of_int v)) t.counters
+    @ List.map (fun (n, v) -> ("gauge." ^ n, v)) t.gauges
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) m

@@ -1,0 +1,18 @@
+(** A compact, deterministic digest of one sink — what a Monte Carlo
+    trial hands back to the runner for cross-trial aggregation.  Unlike
+    the ring it is drop-proof: counter totals and last-gauge values are
+    tracked outside the ring. *)
+
+type t = {
+  events : int;  (** lifetime events emitted *)
+  dropped : int;  (** events lost to ring wrap-around *)
+  counters : (string * int) list;  (** lifetime totals, sorted by name *)
+  gauges : (string * float) list;  (** last values, sorted by name *)
+}
+
+val of_sink : Sink.t -> t
+
+val metrics : t -> (string * float) list
+(** The summary flattened to a name-sorted metric list —
+    ["trace.events"], ["trace.dropped"], counters prefixed ["ctr."],
+    gauges prefixed ["gauge."] — ready for per-name accumulation. *)

@@ -396,7 +396,7 @@ let test_flag_all_continue () =
   let nc = Coding.Flag_passing.run net ~tree ~statuses:(Array.make 9 true) in
   Alcotest.(check bool) "all continue" true (Array.for_all (fun b -> b) nc);
   Alcotest.(check int) "rounds consumed" (Coding.Flag_passing.rounds_needed tree)
-    (Netsim.Network.rounds net)
+    (Netsim.Network.stats net).Netsim.Network.rounds
 
 let test_flag_one_stop_stops_everyone () =
   let g = Topology.Graph.line 7 in
@@ -540,7 +540,7 @@ let test_exchange_clean () =
         = Smallbias.Generator.next_word o.Coding.Randomness_exchange.hi_gen))
     out;
   Alcotest.(check int) "fixed round count" (Coding.Randomness_exchange.rounds_needed ())
-    (Netsim.Network.rounds net)
+    (Netsim.Network.stats net).Netsim.Network.rounds
 
 let test_exchange_light_noise_decodes () =
   let g = Topology.Graph.cycle 6 in

@@ -73,6 +73,17 @@ let test_plan_network_hooks_compilation () =
 
 let g6 = Topology.Graph.cycle 6
 
+(* Slot-transport round helper shaped like the old list API; these tests
+   only care about the books, not the deliveries. *)
+let round net ~sends =
+  let slots = Netsim.Network.slots net in
+  Netsim.Network.Slots.clear slots;
+  List.iter
+    (fun (src, dst, bit) ->
+      Netsim.Network.Slots.set slots ~dir:(Topology.Graph.dir_id g6 ~src ~dst) bit)
+    sends;
+  Netsim.Network.round_buf net slots
+
 let test_network_stall_books_separately () =
   let plan =
     Faults.Plan.make ~key:"ns" [ Faults.Plan.Link_stall { edge = 0; from_round = 0; rounds = 10 } ]
@@ -80,12 +91,12 @@ let test_network_stall_books_separately () =
   let net = Netsim.Network.create g6 Netsim.Adversary.Silent in
   Netsim.Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
   for _ = 1 to 10 do
-    ignore (Netsim.Network.round net ~sends:[ (0, 1, true); (1, 0, false) ])
+    (round net ~sends:[ (0, 1, true); (1, 0, false) ])
   done;
   let s = Netsim.Network.stats net in
   Alcotest.(check int) "every edge-0 transmission stalled" 20 s.Netsim.Network.stalled;
   (* Stalls are a fault, not adversary noise: the budget books stay clean. *)
-  Alcotest.(check int) "no adversary corruption booked" 0 (Netsim.Network.corruptions net)
+  Alcotest.(check int) "no adversary corruption booked" 0 (Netsim.Network.stats net).Netsim.Network.corruptions
 
 let test_network_overload_injects () =
   let plan =
@@ -95,14 +106,14 @@ let test_network_overload_injects () =
   let net = Netsim.Network.create g6 Netsim.Adversary.Silent in
   Netsim.Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
   for _ = 1 to 200 do
-    ignore (Netsim.Network.round net ~sends:[ (0, 1, true); (3, 4, false) ])
+    (round net ~sends:[ (0, 1, true); (3, 4, false) ])
   done;
   let s = Netsim.Network.stats net in
   Alcotest.(check bool)
     (Printf.sprintf "overload injected (%d)" s.Netsim.Network.injected)
     true
     (s.Netsim.Network.injected > 0);
-  Alcotest.(check int) "injections are unbudgeted" 0 (Netsim.Network.corruptions net)
+  Alcotest.(check int) "injections are unbudgeted" 0 (Netsim.Network.stats net).Netsim.Network.corruptions
 
 (* ---------- Scheme: outcome taxonomy under each fault class ---------- *)
 

@@ -1,39 +1,56 @@
 (* Tests for the synchronous noisy network: faithful delivery without
    noise, exact insertion/deletion/substitution semantics of the
    additive adversary, and the differential guarantee that the
-   slot-buffer transport (round_buf) is observationally identical to
-   the legacy list-based round.
-
-   This file exercises the deprecated legacy API on purpose — it is the
-   reference the differential tests compare against. *)
-[@@@alert "-deprecated"]
+   slot-buffer transport (round_buf) and the list-era reconstruction
+   (round_via_lists) are observationally identical. *)
 
 open Netsim
 
 let g4 = Topology.Graph.cycle 4
 
+(* List-shaped round helper over the slot transport: most tests here
+   predate the slot API and state their expectations as (src, dst, bit)
+   send/delivery lists. *)
+let delivered_of_slots net slots =
+  let out = ref [] in
+  Network.Slots.iter slots (fun ~dir bit ->
+      let src, dst = Network.link_ends net ~dir in
+      out := (src, dst, bit) :: !out);
+  List.rev !out
+
+let fill_slots g slots sends =
+  Network.Slots.clear slots;
+  List.iter
+    (fun (src, dst, bit) -> Network.Slots.set slots ~dir:(Topology.Graph.dir_id g ~src ~dst) bit)
+    sends
+
+let round ?(g = g4) net ~sends =
+  let slots = Network.slots net in
+  fill_slots g slots sends;
+  Network.round_buf net slots;
+  delivered_of_slots net slots
+
+let cc net = (Network.stats net).Network.cc
+let corruptions net = (Network.stats net).Network.corruptions
+let rounds net = (Network.stats net).Network.rounds
+let noise_fraction net = (Network.stats net).Network.noise_fraction
+
 let test_silent_delivery () =
   let net = Network.create g4 Adversary.Silent in
-  let delivered = Network.round net ~sends:[ (0, 1, true); (2, 1, false) ] in
+  let delivered = round net ~sends:[ (0, 1, true); (2, 1, false) ] in
   Alcotest.(check int) "two delivered" 2 (List.length delivered);
   Alcotest.(check bool) "0->1 true" true (List.mem (0, 1, true) delivered);
   Alcotest.(check bool) "2->1 false" true (List.mem (2, 1, false) delivered);
-  Alcotest.(check int) "cc" 2 (Network.cc net);
-  Alcotest.(check int) "no corruptions" 0 (Network.corruptions net);
-  Alcotest.(check int) "round advanced" 1 (Network.rounds net)
+  Alcotest.(check int) "cc" 2 (cc net);
+  Alcotest.(check int) "no corruptions" 0 (corruptions net);
+  Alcotest.(check int) "round advanced" 1 (rounds net)
 
 let test_empty_round () =
   let net = Network.create g4 Adversary.Silent in
-  Alcotest.(check (list (triple int int bool))) "nothing" [] (Network.round net ~sends:[]);
+  Alcotest.(check (list (triple int int bool))) "nothing" [] (round net ~sends:[]);
   Network.silence net ~rounds:5;
-  Alcotest.(check int) "rounds" 6 (Network.rounds net);
-  Alcotest.(check int) "cc 0" 0 (Network.cc net)
-
-let test_duplicate_send_rejected () =
-  let net = Network.create g4 Adversary.Silent in
-  Alcotest.check_raises "duplicate"
-    (Invalid_argument "Network.round: duplicate send on a directed link") (fun () ->
-      ignore (Network.round net ~sends:[ (0, 1, true); (0, 1, false) ]))
+  Alcotest.(check int) "rounds" 6 (rounds net);
+  Alcotest.(check int) "cc 0" 0 (cc net)
 
 let dir g s d = Topology.Graph.dir_id g ~src:s ~dst:d
 
@@ -41,49 +58,49 @@ let test_substitution () =
   (* Addend 1 on a sent 0 yields 1 (flip). *)
   let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:1 in
   let net = Network.create g4 adv in
-  let delivered = Network.round net ~sends:[ (0, 1, false) ] in
+  let delivered = round net ~sends:[ (0, 1, false) ] in
   Alcotest.(check (list (triple int int bool))) "flipped" [ (0, 1, true) ] delivered;
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+  Alcotest.(check int) "one corruption" 1 (corruptions net)
 
 let test_deletion () =
   (* Addend 2 on a sent 0 (Z3: 0+2=2=∗) deletes it. *)
   let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:2 in
   let net = Network.create g4 adv in
-  let delivered = Network.round net ~sends:[ (0, 1, false) ] in
+  let delivered = round net ~sends:[ (0, 1, false) ] in
   Alcotest.(check (list (triple int int bool))) "deleted" [] delivered;
-  Alcotest.(check int) "cc counts the send" 1 (Network.cc net);
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+  Alcotest.(check int) "cc counts the send" 1 (cc net);
+  Alcotest.(check int) "one corruption" 1 (corruptions net)
 
 let test_deletion_of_one () =
   (* Addend 1 on a sent 1 (Z3: 1+1=2=∗) deletes it. *)
   let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend:1 in
   let net = Network.create g4 adv in
   Alcotest.(check (list (triple int int bool))) "deleted" []
-    (Network.round net ~sends:[ (0, 1, true) ])
+    (round net ~sends:[ (0, 1, true) ])
 
 let test_insertion () =
   (* Addend 1 on a silent slot (Z3: 2+1=0) inserts a 0. *)
   let adv = Adversary.single ~round:0 ~dir:(dir g4 3 2) ~addend:1 in
   let net = Network.create g4 adv in
-  let delivered = Network.round net ~sends:[] in
+  let delivered = round net ~sends:[] in
   Alcotest.(check (list (triple int int bool))) "inserted zero" [ (3, 2, false) ] delivered;
-  Alcotest.(check int) "cc counts no send" 0 (Network.cc net);
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net)
+  Alcotest.(check int) "cc counts no send" 0 (cc net);
+  Alcotest.(check int) "one corruption" 1 (corruptions net)
 
 let test_insertion_of_one () =
   let adv = Adversary.single ~round:0 ~dir:(dir g4 3 2) ~addend:2 in
   let net = Network.create g4 adv in
   Alcotest.(check (list (triple int int bool))) "inserted one" [ (3, 2, true) ]
-    (Network.round net ~sends:[])
+    (round net ~sends:[])
 
 let test_noise_only_at_scheduled_round () =
   let adv = Adversary.single ~round:5 ~dir:(dir g4 0 1) ~addend:1 in
   let net = Network.create g4 adv in
   for _ = 1 to 5 do
-    let d = Network.round net ~sends:[ (0, 1, true) ] in
+    let d = round net ~sends:[ (0, 1, true) ] in
     Alcotest.(check (list (triple int int bool))) "clean before round 5" [ (0, 1, true) ] d
   done;
-  let d = Network.round net ~sends:[ (0, 1, true) ] in
+  let d = round net ~sends:[ (0, 1, true) ] in
   Alcotest.(check (list (triple int int bool))) "deleted at round 5" [] d
 
 let test_iid_rate () =
@@ -92,10 +109,10 @@ let test_iid_rate () =
   let net = Network.create g4 adv in
   let rounds = 2000 in
   for _ = 1 to rounds do
-    ignore (Network.round net ~sends:[ (0, 1, true); (1, 2, false) ])
+    ignore (round net ~sends:[ (0, 1, true); (1, 2, false) ])
   done;
   (* 8 directed links * 2000 rounds = 16000 slots; expect ~1600. *)
-  let c = Network.corruptions net in
+  let c = corruptions net in
   Alcotest.(check bool) (Printf.sprintf "corruption count plausible (%d)" c) true
     (c > 1200 && c < 2000)
 
@@ -108,7 +125,7 @@ let test_iid_oblivious_pure () =
     let net = Network.create g4 adv in
     let log = ref [] in
     for _ = 1 to 50 do
-      log := Network.round net ~sends:[ (0, 1, true) ] :: !log
+      log := round net ~sends:[ (0, 1, true) ] :: !log
     done;
     !log
   in
@@ -119,9 +136,9 @@ let test_sampled_slots_count () =
   let adv = Adversary.sampled_slots rng ~count:25 ~rounds:100 ~dirs:8 in
   let net = Network.create g4 adv in
   for _ = 1 to 100 do
-    ignore (Network.round net ~sends:[])
+    ignore (round net ~sends:[])
   done;
-  Alcotest.(check int) "exactly 25 corruptions" 25 (Network.corruptions net)
+  Alcotest.(check int) "exactly 25 corruptions" 25 (corruptions net)
 
 let test_burst () =
   let rng = Util.Rng.create 8 in
@@ -129,9 +146,9 @@ let test_burst () =
   let adv = Adversary.burst rng ~start_round:10 ~len:5 ~dirs:[ d01 ] in
   let net = Network.create g4 adv in
   for _ = 1 to 30 do
-    ignore (Network.round net ~sends:[])
+    ignore (round net ~sends:[])
   done;
-  Alcotest.(check int) "5 corruptions" 5 (Network.corruptions net)
+  Alcotest.(check int) "5 corruptions" 5 (corruptions net)
 
 let test_fixing_semantics () =
   (* Remark 1: the fixing adversary forces outputs; forcing the honest
@@ -143,23 +160,23 @@ let test_fixing_semantics () =
   (* Force 1 on a sent 0: substitution, one corruption. *)
   let net = Network.create g4 (mk 1) in
   Alcotest.(check (list (triple int int bool))) "forced to 1" [ (0, 1, true) ]
-    (Network.round net ~sends:[ (0, 1, false) ]);
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+    (round net ~sends:[ (0, 1, false) ]);
+  Alcotest.(check int) "one corruption" 1 (corruptions net);
   (* Force ∗ on a sent bit: deletion. *)
   let net = Network.create g4 (mk 2) in
   Alcotest.(check (list (triple int int bool))) "forced silent" []
-    (Network.round net ~sends:[ (0, 1, true) ]);
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+    (round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "one corruption" 1 (corruptions net);
   (* Force 0 on a silent slot: insertion. *)
   let net = Network.create g4 (mk 0) in
   Alcotest.(check (list (triple int int bool))) "inserted 0" [ (0, 1, false) ]
-    (Network.round net ~sends:[]);
-  Alcotest.(check int) "one corruption" 1 (Network.corruptions net);
+    (round net ~sends:[]);
+  Alcotest.(check int) "one corruption" 1 (corruptions net);
   (* Force the honest symbol: free, no corruption. *)
   let net = Network.create g4 (mk 1) in
   Alcotest.(check (list (triple int int bool))) "honest fix" [ (0, 1, true) ]
-    (Network.round net ~sends:[ (0, 1, true) ]);
-  Alcotest.(check int) "no corruption charged" 0 (Network.corruptions net)
+    (round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "no corruption charged" 0 (corruptions net)
 
 let test_iid_fixing_cheaper_than_additive () =
   (* At equal rate the fixing adversary's corruption count is lower:
@@ -167,9 +184,9 @@ let test_iid_fixing_cheaper_than_additive () =
   let run adv =
     let net = Network.create g4 adv in
     for _ = 1 to 1500 do
-      ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+      ignore (round net ~sends:[ (0, 1, true); (2, 3, false) ])
     done;
-    Network.corruptions net
+    corruptions net
   in
   let additive = run (Netsim.Adversary.iid (Util.Rng.create 91) ~rate:0.1) in
   let fixing = run (Netsim.Adversary.iid_fixing (Util.Rng.create 92) ~rate:0.1) in
@@ -195,15 +212,15 @@ let test_adaptive_budget_enforced () =
   in
   let net = Network.create g4 adv in
   for _ = 1 to 200 do
-    ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+    ignore (round net ~sends:[ (0, 1, true); (2, 3, false) ])
   done;
-  Alcotest.(check int) "cc" 400 (Network.cc net);
+  Alcotest.(check int) "cc" 400 (cc net);
   Alcotest.(check bool)
-    (Printf.sprintf "corruptions %d <= 40" (Network.corruptions net))
+    (Printf.sprintf "corruptions %d <= 40" (corruptions net))
     true
-    (Network.corruptions net <= 40);
-  Alcotest.(check bool) "budget actually used" true (Network.corruptions net >= 35);
-  Alcotest.(check bool) "noise fraction <= 0.1" true (Network.noise_fraction net <= 0.1)
+    (corruptions net <= 40);
+  Alcotest.(check bool) "budget actually used" true (corruptions net >= 35);
+  Alcotest.(check bool) "noise fraction <= 0.1" true (noise_fraction net <= 0.1)
 
 let test_adaptive_sees_phase () =
   (* Strategy that only fires in the Simulation phase. *)
@@ -226,9 +243,9 @@ let test_adaptive_sees_phase () =
   in
   let net = Network.create g4 adv in
   Network.set_phase net ~iteration:0 ~phase:Adversary.Flag;
-  let d1 = Network.round net ~sends:[ (0, 1, true) ] in
+  let d1 = round net ~sends:[ (0, 1, true) ] in
   Network.set_phase net ~iteration:0 ~phase:Adversary.Simulation;
-  let d2 = Network.round net ~sends:[ (0, 1, true) ] in
+  let d2 = round net ~sends:[ (0, 1, true) ] in
   Alcotest.(check int) "flag phase untouched" 1 (List.length d1);
   Alcotest.(check int) "simulation phase deleted" 0 (List.length d2)
 
@@ -241,7 +258,7 @@ let prop_additive_semantics =
       let adv = Adversary.single ~round:0 ~dir:(dir g4 0 1) ~addend in
       let net = Network.create g4 adv in
       let sends = match sym with 0 -> [ (0, 1, false) ] | 1 -> [ (0, 1, true) ] | _ -> [] in
-      let delivered = Network.round net ~sends in
+      let delivered = round net ~sends in
       let received =
         match List.find_opt (fun (s, d, _) -> s = 0 && d = 1) delivered with
         | Some (_, _, false) -> 0
@@ -249,7 +266,7 @@ let prop_additive_semantics =
         | None -> 2
       in
       received = (sym + addend) mod 3
-      && Network.corruptions net = (if addend = 0 then 0 else 1))
+      && corruptions net = (if addend = 0 then 0 else 1))
 
 let test_compose () =
   let d01 = dir g4 0 1 in
@@ -258,12 +275,12 @@ let test_compose () =
   let b = Adversary.single ~round:0 ~dir:d01 ~addend:2 in
   let net = Network.create g4 (Adversary.compose a b) in
   Alcotest.(check (list (triple int int bool))) "addends cancel" [ (0, 1, true) ]
-    (Network.round net ~sends:[ (0, 1, true) ]);
-  Alcotest.(check int) "cancellation is free" 0 (Network.corruptions net);
+    (round net ~sends:[ (0, 1, true) ]);
+  Alcotest.(check int) "cancellation is free" 0 (corruptions net);
   (* Identity. *)
   let net = Network.create g4 (Adversary.compose Adversary.Silent a) in
   Alcotest.(check (list (triple int int bool))) "silent identity (flip applies)" []
-    (Network.round net ~sends:[ (0, 1, true) ]);
+    (round net ~sends:[ (0, 1, true) ]);
   (* Genuinely combined: a burst and a single on different slots. *)
   let combined =
     Adversary.compose
@@ -271,9 +288,9 @@ let test_compose () =
       (Adversary.single ~round:1 ~dir:d01 ~addend:1)
   in
   let net = Network.create g4 combined in
-  ignore (Network.round net ~sends:[ (0, 1, false) ]);
-  ignore (Network.round net ~sends:[ (0, 1, false) ]);
-  Alcotest.(check int) "both slots corrupted" 2 (Network.corruptions net);
+  ignore (round net ~sends:[ (0, 1, false) ]);
+  ignore (round net ~sends:[ (0, 1, false) ]);
+  Alcotest.(check int) "both slots corrupted" 2 (corruptions net);
   (* Adaptive composition rejected. *)
   let adaptive = Adversary.Adaptive { budget = (fun _ -> 0); strategy = (fun _ -> []) } in
   Alcotest.check_raises "adaptive rejected"
@@ -282,7 +299,7 @@ let test_compose () =
 
 let test_noise_fraction () =
   let net = Network.create g4 Adversary.Silent in
-  Alcotest.(check (float 0.001)) "zero cc" 0. (Network.noise_fraction net)
+  Alcotest.(check (float 0.001)) "zero cc" 0. (noise_fraction net)
 
 let test_adaptive_overspend_clamped () =
   (* A strategy that asks for a corruption on every directed link every
@@ -299,9 +316,9 @@ let test_adaptive_overspend_clamped () =
   in
   let net = Network.create g4 adv in
   for _ = 1 to 50 do
-    ignore (Network.round net ~sends:[ (0, 1, true); (2, 3, false) ])
+    ignore (round net ~sends:[ (0, 1, true); (2, 3, false) ])
   done;
-  Alcotest.(check int) "spend clamped to exactly the budget" cap (Network.corruptions net)
+  Alcotest.(check int) "spend clamped to exactly the budget" cap (corruptions net)
 
 let test_compose_rejects_out_of_model () =
   (* Regression lock: compose is defined only on additive oblivious
@@ -346,27 +363,21 @@ let test_slots_basics () =
   Network.Slots.clear s;
   Alcotest.(check int) "clear empties" 0 (Network.Slots.count s)
 
-(* Drive one network with the legacy list round and a twin with
-   round_buf on the same (pure, oblivious) adversary value; deliveries
-   and stats must agree round for round. *)
-let delivered_of_slots net slots =
-  let out = ref [] in
-  Network.Slots.iter slots (fun ~dir bit ->
-      let src, dst = Network.link_ends net ~dir in
-      out := (src, dst, bit) :: !out);
-  List.rev !out
-
+(* Drive one network with round_via_lists (the list-era transport's
+   reconstruction) and a twin with round_buf on the same (pure,
+   oblivious) adversary value; deliveries and stats must agree round for
+   round. *)
 let check_differential ~name g adv ~rounds ~sends_at =
   let net_list = Network.create g adv in
   let net_buf = Network.create g adv in
+  let sl = Network.slots net_list in
   let slots = Network.slots net_buf in
   for r = 0 to rounds - 1 do
     let sends = sends_at r in
-    let d_list = Network.round net_list ~sends in
-    Network.Slots.clear slots;
-    List.iter (fun (src, dst, bit) ->
-        Network.Slots.set slots ~dir:(Topology.Graph.dir_id g ~src ~dst) bit)
-      sends;
+    fill_slots g sl sends;
+    Network.round_via_lists net_list sl;
+    let d_list = delivered_of_slots net_list sl in
+    fill_slots g slots sends;
     Network.round_buf net_buf slots;
     let d_buf = delivered_of_slots net_buf slots in
     Alcotest.(check (list (triple int int bool)))
@@ -445,16 +456,34 @@ let test_round_via_lists_matches () =
   Alcotest.(check int) "same corruption count" (Network.stats net_a).Network.corruptions
     (Network.stats net_b).Network.corruptions
 
-let test_round_shim_still_works () =
-  (* The deprecated list shim stays available and consistent with the
-     stats record. *)
+let test_stats_record () =
+  (* The stats record is the one-read view of the network's books. *)
   let net = Network.create g4 Adversary.Silent in
-  let d = Network.round net ~sends:[ (0, 1, true) ] in
-  Alcotest.(check (list (triple int int bool))) "shim delivers" [ (0, 1, true) ] d;
+  let d = round net ~sends:[ (0, 1, true) ] in
+  Alcotest.(check (list (triple int int bool))) "delivers" [ (0, 1, true) ] d;
   let s = Network.stats net in
   Alcotest.(check int) "stats.rounds" 1 s.Network.rounds;
   Alcotest.(check int) "stats.cc" 1 s.Network.cc;
-  Alcotest.(check int) "legacy accessors agree" s.Network.cc (Network.cc net)
+  Alcotest.(check int) "stats.corruptions" 0 s.Network.corruptions
+
+let test_corruption_probe () =
+  (* An attached sink sees one net.corrupt count per corrupted slot,
+     tagged with the round and the directed link. *)
+  let d01 = dir g4 0 1 in
+  let adv = Adversary.single ~round:2 ~dir:d01 ~addend:1 in
+  let net = Network.create g4 adv in
+  let sink = Trace.Sink.create () in
+  Network.set_trace net sink;
+  for _ = 0 to 4 do
+    ignore (round net ~sends:[ (0, 1, false) ])
+  done;
+  Alcotest.(check int) "one net.corrupt" 1 (Trace.Sink.counter_total sink "net.corrupt");
+  (match Trace.Sink.events sink with
+  | [ Trace.Sink.Count { name = "net.corrupt"; iter; arg; value; _ } ] ->
+      Alcotest.(check int) "tagged with the round" 2 iter;
+      Alcotest.(check int) "tagged with the dir" d01 arg;
+      Alcotest.(check int) "unit count" 1 value
+  | _ -> Alcotest.fail "expected exactly one Count event")
 
 let () =
   Alcotest.run "netsim"
@@ -463,7 +492,6 @@ let () =
         [
           Alcotest.test_case "silent delivery" `Quick test_silent_delivery;
           Alcotest.test_case "empty round" `Quick test_empty_round;
-          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_send_rejected;
         ] );
       ( "noise semantics",
         [
@@ -499,6 +527,7 @@ let () =
           Alcotest.test_case "differential: insertion" `Quick test_differential_insertion;
           Alcotest.test_case "differential: random topologies" `Quick test_differential_random;
           Alcotest.test_case "round_via_lists drop-in" `Quick test_round_via_lists_matches;
-          Alcotest.test_case "legacy shim" `Quick test_round_shim_still_works;
+          Alcotest.test_case "stats record" `Quick test_stats_record;
+          Alcotest.test_case "corruption probe" `Quick test_corruption_probe;
         ] );
     ]

@@ -1,0 +1,224 @@
+(* Tests for lib/trace: the ring-buffer sink's bookkeeping (ordering,
+   wrap-around, drop-proof totals, interning), the disabled sink's no-op
+   contract, timing-free export determinism, summary/aggregation, the
+   meeting-points hash-collision probe, and a fully traced scheme run
+   under a crash fault. *)
+
+module Sink = Trace.Sink
+module Export = Trace.Export
+
+let test_sink_basics () =
+  let t = Sink.create () in
+  Alcotest.(check bool) "enabled" true (Sink.is_enabled t);
+  let a = Sink.intern t "alpha" and b = Sink.intern t "beta" in
+  Alcotest.(check int) "interning is stable" a (Sink.intern t "alpha");
+  Alcotest.(check bool) "distinct names, distinct ids" true (a <> b);
+  Alcotest.(check string) "name round-trips" "beta" (Sink.name t b);
+  Sink.span_begin t ~id:a ~iter:0;
+  Sink.count t ~id:b ~iter:0 ~arg:3 2;
+  Sink.count t ~id:b ~iter:1 5;
+  Sink.gauge t ~id:a ~iter:1 (-2.5);
+  Sink.span_end t ~id:a ~iter:1;
+  Alcotest.(check int) "seq counts all events" 5 (Sink.seq t);
+  Alcotest.(check int) "nothing dropped" 0 (Sink.dropped t);
+  Alcotest.(check int) "counter total" 7 (Sink.counter_total t "beta");
+  Alcotest.(check int) "unknown counter is 0" 0 (Sink.counter_total t "gamma");
+  Alcotest.(check (option (float 1e-9))) "gauge last" (Some (-2.5)) (Sink.gauge_last t "alpha");
+  (match Sink.events t with
+  | [
+   Sink.Span_begin { name = bn; _ };
+   Sink.Count { arg = a0; value = v0; _ };
+   Sink.Count { arg = a1; _ };
+   Sink.Gauge { value = gv; _ };
+   Sink.Span_end { seq = es; _ };
+  ] ->
+      Alcotest.(check string) "begin name" "alpha" bn;
+      Alcotest.(check int) "count arg" 3 a0;
+      Alcotest.(check int) "count value" 2 v0;
+      Alcotest.(check int) "default arg" (-1) a1;
+      Alcotest.(check (float 1e-9)) "gauge keeps its sign" (-2.5) gv;
+      Alcotest.(check int) "seq ascends" 4 es
+  | evs -> Alcotest.failf "expected 5 events, got %d" (List.length evs));
+  Sink.reset t;
+  Alcotest.(check int) "reset clears seq" 0 (Sink.seq t);
+  Alcotest.(check int) "reset clears totals" 0 (Sink.counter_total t "beta");
+  Alcotest.(check int) "reset keeps interning" a (Sink.intern t "alpha")
+
+let test_ring_wraps () =
+  let t = Sink.create ~capacity:4 () in
+  let c = Sink.intern t "c" in
+  for i = 1 to 10 do
+    Sink.count t ~id:c ~iter:i 1
+  done;
+  Alcotest.(check int) "seq is lifetime" 10 (Sink.seq t);
+  Alcotest.(check int) "dropped = overflow" 6 (Sink.dropped t);
+  let evs = Sink.events t in
+  Alcotest.(check int) "retains capacity" 4 (List.length evs);
+  (match evs with
+  | Sink.Count { iter; seq; _ } :: _ ->
+      Alcotest.(check int) "oldest retained is #7" 7 iter;
+      Alcotest.(check int) "seq gap reveals drops" 6 seq
+  | _ -> Alcotest.fail "expected counts");
+  Alcotest.(check int) "total survives drops" 10 (Sink.counter_total t "c")
+
+let test_disabled_noop () =
+  let t = Sink.disabled in
+  Alcotest.(check bool) "disabled" false (Sink.is_enabled t);
+  let id = Sink.intern t "anything" in
+  Sink.span_begin t ~id ~iter:0;
+  Sink.count t ~id 5;
+  Sink.gauge t ~id 1.0;
+  Sink.span_end t ~id ~iter:0;
+  Alcotest.(check int) "no events" 0 (Sink.seq t);
+  Alcotest.(check (list (pair string int))) "no totals" [] (Sink.counter_totals t);
+  Alcotest.(check bool) "no retained events" true (Sink.events t = [])
+
+let fill_sample t =
+  let s = Sink.intern t "phase.x" and c = Sink.intern t "hits" and g = Sink.intern t "phi" in
+  Sink.span_begin t ~id:s ~iter:0;
+  Sink.count t ~id:c ~iter:0 ~arg:2 1;
+  Sink.gauge t ~id:g ~iter:0 3.125;
+  Sink.span_end t ~id:s ~iter:0
+
+let test_export_deterministic () =
+  let mk () =
+    let t = Sink.create () in
+    fill_sample t;
+    t
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check string) "jsonl identical" (Export.jsonl ~timing:false a)
+    (Export.jsonl ~timing:false b);
+  Alcotest.(check string) "chrome identical" (Export.chrome ~timing:false a)
+    (Export.chrome ~timing:false b);
+  (* Timing-free output carries no wall-clock field. *)
+  let lines = String.split_on_char '\n' (Export.jsonl ~timing:false a) in
+  List.iter
+    (fun l ->
+      let has_ts =
+        let n = String.length l in
+        let rec go i = i + 5 <= n && (String.sub l i 5 = "\"ts\":" || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "no ts field" false has_ts)
+    lines
+
+let test_summary_and_agg () =
+  let t = Sink.create () in
+  fill_sample t;
+  let s = Trace.Summary.of_sink t in
+  Alcotest.(check int) "events" 4 s.Trace.Summary.events;
+  Alcotest.(check (list (pair string int))) "counters" [ ("hits", 1) ] s.Trace.Summary.counters;
+  let names = List.map fst (Trace.Summary.metrics s) in
+  Alcotest.(check bool) "metric names sorted" true (names = List.sort compare names);
+  Alcotest.(check bool) "has ctr + gauge + meta" true
+    (List.mem "ctr.hits" names && List.mem "gauge.phi" names && List.mem "trace.events" names);
+  let agg = Runner.Trace_agg.create () in
+  Runner.Trace_agg.add agg s;
+  Runner.Trace_agg.add agg s;
+  (match List.assoc_opt "ctr.hits" (Runner.Trace_agg.metrics agg) with
+  | Some a ->
+      Alcotest.(check int) "two samples" 2 a.Runner.Accum.n;
+      Alcotest.(check (float 1e-9)) "mean" 1. a.Runner.Accum.mean
+  | None -> Alcotest.fail "ctr.hits missing from aggregation")
+
+let test_mp_collision_probe () =
+  (* A constant hasher makes every vote succeed, so a ground truth of
+     "the transcripts disagree" must register as a hash collision. *)
+  let module MP = Coding.Meeting_points in
+  let h = { MP.h_int = (fun ~field:_ _ -> 0); h_prefix = (fun ~field:_ _ -> 0) } in
+  let a = MP.create () and b = MP.create () in
+  let msg_a = MP.prepare a h ~len:4 in
+  ignore (MP.prepare b h ~len:6);
+  let collisions = ref 0 in
+  let probe =
+    {
+      MP.truth = (fun ~pos -> if pos > 0 then Some false else None);
+      on_collision = (fun ~pos:_ -> incr collisions);
+    }
+  in
+  ignore (MP.process b h ~probe ~len:6 msg_a);
+  Alcotest.(check bool)
+    (Printf.sprintf "collision observed (%d)" !collisions)
+    true (!collisions >= 1);
+  (* With agreeing ground truth the same votes are silent. *)
+  let a2 = MP.create () and b2 = MP.create () in
+  let msg2 = MP.prepare a2 h ~len:4 in
+  ignore (MP.prepare b2 h ~len:4);
+  let false_alarms = ref 0 in
+  let probe2 =
+    { MP.truth = (fun ~pos:_ -> Some true); on_collision = (fun ~pos:_ -> incr false_alarms) }
+  in
+  ignore (MP.process b2 h ~probe:probe2 ~len:4 msg2);
+  Alcotest.(check int) "no collision on agreement" 0 !false_alarms
+
+(* One traced scheme execution under a crash fault: spans must nest,
+   fault counters must fire, the potential gauge must be live, and the
+   whole trace must replay byte-identically. *)
+let traced_run () =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:40 ~density:0.5 ~seed:3 in
+  let params = Coding.Params.algorithm_1 g in
+  let sink = Sink.create () in
+  let faults =
+    Faults.Plan.make ~key:"test-trace"
+      [ Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = None } ]
+  in
+  let config = Coding.Scheme.Config.make ~sink ~faults () in
+  let outcome =
+    Coding.Scheme.run_outcome ~config ~rng:(Util.Rng.create 5) params pi
+      (Netsim.Adversary.iid (Util.Rng.create 6) ~rate:0.002)
+  in
+  (outcome, sink)
+
+let test_traced_scheme_run () =
+  let outcome, sink = traced_run () in
+  Alcotest.(check bool) "run degraded, not aborted" true
+    (match outcome with Faults.Outcome.Degraded _ -> true | _ -> false);
+  Alcotest.(check int) "no drops at this scale" 0 (Sink.dropped sink);
+  (* Spans nest: every end matches the innermost open begin; a finished
+     run leaves none open. *)
+  let stack = ref [] in
+  List.iter
+    (function
+      | Sink.Span_begin { name; _ } -> stack := name :: !stack
+      | Sink.Span_end { name; _ } -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | _ -> Alcotest.failf "span_end %s without matching begin" name)
+      | _ -> ())
+    (Sink.events sink);
+  Alcotest.(check (list string)) "all spans closed" [] !stack;
+  Alcotest.(check bool) "crash fault counted" true (Sink.counter_total sink "fault.crash" >= 1);
+  Alcotest.(check bool) "iterations spanned" true
+    (List.exists
+       (function Sink.Span_begin { name = "scheme.iteration"; _ } -> true | _ -> false)
+       (Sink.events sink));
+  (match Sink.gauge_last sink "phi" with
+  | Some v -> Alcotest.(check bool) "phi gauge is finite" true (Float.is_finite v)
+  | None -> Alcotest.fail "phi gauge never fired");
+  (* Byte-identical replay of the timing-free export. *)
+  let _, sink2 = traced_run () in
+  Alcotest.(check string) "replay identical" (Export.jsonl ~timing:false sink)
+    (Export.jsonl ~timing:false sink2)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "basics" `Quick test_sink_basics;
+          Alcotest.test_case "ring wrap" `Quick test_ring_wraps;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "deterministic" `Quick test_export_deterministic;
+          Alcotest.test_case "summary + aggregation" `Quick test_summary_and_agg;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "mp collision probe" `Quick test_mp_collision_probe;
+          Alcotest.test_case "traced scheme run" `Quick test_traced_scheme_run;
+        ] );
+    ]

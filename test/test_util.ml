@@ -190,6 +190,33 @@ let test_stats_wilson () =
   let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:0 in
   Alcotest.(check bool) "empty trials" true (lo0 = 0. && hi0 = 1.)
 
+let test_stats_edge_cases () =
+  (* percentile_arr: a singleton is that element at every p, and the
+     empty array is nan at every p, not an exception. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "singleton at %.2f" p) 7.
+        (Stats.percentile_arr p [| 7. |]);
+      Alcotest.(check bool)
+        (Printf.sprintf "empty is nan at %.2f" p)
+        true
+        (Float.is_nan (Stats.percentile_arr p [||])))
+    [ 0.; 0.5; 1.0 ];
+  (* wilson_interval at the degenerate proportions: the interval stays
+     inside [0,1], pins the achieved edge, and keeps real width on the
+     other side (0/20 is not "certainly never"). *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:20 in
+  Alcotest.(check (float 1e-9)) "p=0 pins the lower edge" 0. lo;
+  Alcotest.(check bool) (Printf.sprintf "p=0 upper edge real (%.3f)" hi) true
+    (hi > 0.05 && hi < 0.35);
+  let lo, hi = Stats.wilson_interval ~successes:20 ~trials:20 in
+  Alcotest.(check (float 1e-9)) "p=1 pins the upper edge" 1. hi;
+  Alcotest.(check bool) (Printf.sprintf "p=1 lower edge real (%.3f)" lo) true
+    (lo > 0.65 && lo < 0.95);
+  (* n=0 is vacuous: no evidence, full [0,1]. *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:0 in
+  Alcotest.(check bool) "n=0 vacuous" true (lo = 0. && hi = 1.)
+
 let test_stats_histogram () =
   let h = Stats.histogram ~bins:2 [ 0.; 0.1; 0.9; 1.0 ] in
   Alcotest.(check int) "bins" 2 (Array.length h);
@@ -232,6 +259,7 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentile_arr" `Quick test_stats_percentile_arr;
           Alcotest.test_case "wilson" `Quick test_stats_wilson;
+          Alcotest.test_case "edge cases" `Quick test_stats_edge_cases;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
         ] );
     ]
