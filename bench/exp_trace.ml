@@ -135,6 +135,36 @@ let metrics_json agg =
              ] ))
        (Runner.Trace_agg.metrics agg))
 
+(* ---------- per-phase resource profile ---------- *)
+
+(* A few traced runs on a profiled sink (Gc word deltas recorded at
+   every event): Obsv.Profile folds the span pairs into per-phase
+   wall/alloc rows, aggregated across trials through Trace_agg.  Wall
+   clocks and allocation words are execution artifacts, so — unlike the
+   sweep above — profile metrics are never determinism subjects; they
+   land in BENCH_trace.json as a separate section for the observatory's
+   timed (tolerance-compared) class. *)
+let profile_runs ~trials ~rounds =
+  let g = Topology.Graph.cycle 6 in
+  let pi = Exp_common.workload ~rounds g in
+  let params = Coding.Params.algorithm_1 g in
+  let rate = 1. /. (100. *. float_of_int (Topology.Graph.m g)) in
+  let agg = Runner.Trace_agg.create () in
+  let last_rows = ref [] in
+  for t = 0 to trials - 1 do
+    let sink = Trace.Sink.create ~profile:true () in
+    let config = Coding.Scheme.Config.make ~sink ~faults:(sweep_plan ~key:"trace:profile" t) () in
+    ignore
+      (Coding.Scheme.run_outcome ~config
+         ~rng:(Exp_common.trial_rng "trace:profile" t)
+         params pi
+         (Netsim.Adversary.iid (Exp_common.trial_rng "trace:profile:adv" t) ~rate));
+    let rows = Obsv.Profile.of_sink sink in
+    Runner.Trace_agg.add_metrics agg (Obsv.Profile.metrics rows);
+    last_rows := rows
+  done;
+  (!last_rows, agg)
+
 (* ---------- first-fault attribution ---------- *)
 
 let starts_with ~prefix s =
@@ -229,6 +259,10 @@ let run_with ?(raw_rounds = 200_000) ?(scheme_rounds = 120) ?(trials = 4) ?(swee
   outcomes (Printf.sprintf "jobs=%d" jobs_hi) rowsh;
   Format.printf "  wall jobs=1: %.2fs  wall jobs=%d: %.2fs  deterministic: exports byte-identical@."
     wall1 jobs_hi wallh;
+  Exp_common.subheading
+    (Printf.sprintf "per-phase resource profile (profiled sink, %d trials)" trials);
+  let prof_rows, prof_agg = profile_runs ~trials ~rounds:sweep_rounds in
+  Format.printf "%a" Obsv.Profile.pp prof_rows;
   let degraded_outcome, _, ff = degraded_probe ~rounds:sweep_rounds in
   (match Faults.Outcome.diagnosis degraded_outcome with
   | Some _ -> ()
@@ -269,6 +303,7 @@ let run_with ?(raw_rounds = 200_000) ?(scheme_rounds = 120) ?(trials = 4) ?(swee
              ("deterministic", bool true);
              ("first_fault", ff_json);
              ("trace_metrics", metrics_json agg1);
+             ("profile_metrics", metrics_json prof_agg);
            ]);
       Format.printf "@.[wrote %s]@." path);
   (rows1, agg1, ff)

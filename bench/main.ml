@@ -54,6 +54,11 @@ let parse_jobs args =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  (* `report [DIR]` is a command, not an experiment: it consumes the
+     BENCH_*.json files the experiments above left behind, appends to
+     BENCH_history.jsonl, writes OBSERVATORY.md and exits non-zero on
+     regression. *)
+  (match args with "report" :: rest -> exit (Exp_report.run_cli rest) | _ -> ());
   let jobs_arg, args = parse_jobs args in
   (match jobs_arg with
   | Some n when n >= 1 -> Exp_common.jobs := min n 64
@@ -61,8 +66,11 @@ let () =
       Format.eprintf "-j expects a positive worker count@.";
       exit 2
   | None -> ());
-  if List.mem "--list" args then
-    List.iter (fun (id, descr, _) -> Format.printf "%-6s %s@." id descr) experiments
+  if List.mem "--list" args then begin
+    List.iter (fun (id, descr, _) -> Format.printf "%-6s %s@." id descr) experiments;
+    Format.printf "%-6s %s@." "report"
+      "regression observatory: diff BENCH_*.json vs history, write OBSERVATORY.md"
+  end
   else begin
     let selected =
       if args = [] then experiments

@@ -1,0 +1,5 @@
+(* Tiny regression-observatory gate for `dune runtest` (alias
+   report-smoke): jobs=1 vs jobs=4 exact-section byte-compare, unchanged
+   re-run passes, synthetic exact-metric change fails.  See
+   exp_report.ml. *)
+let () = Exp_report.smoke ()

@@ -68,8 +68,18 @@ let fault_plan ~crash ~stall ~overload ~rate ~seed t =
       :: !specs;
   Faults.Plan.make ~key:(Printf.sprintf "mic:%d:%d" seed t) !specs
 
+(* --trace FILE with one trial writes FILE itself; with several, each
+   trial gets its own numbered file (FILE.<trial>.json for FILE ending
+   in .json) so later trials never clobber earlier ones. *)
+let trace_path f ~trial ~trials =
+  if trials = 1 then f
+  else
+    let ext = match Filename.extension f with "" -> ".json" | e -> e in
+    let base = if Filename.extension f = "" then f else Filename.remove_extension f in
+    Printf.sprintf "%s.%d%s" base trial ext
+
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
-    trace_file trials crash stall overload verbose =
+    trace_file trials crash stall overload postmortem verbose =
   setup_logs verbose;
   let graph = make_topology topology parties seed in
   let pi = make_protocol protocol graph rounds seed in
@@ -78,6 +88,7 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     (Topology.Graph.n graph) (Topology.Graph.m graph) (Topology.Graph.diameter graph)
     params.Coding.Params.name params.Coding.Params.k params.Coding.Params.tau (Protocol.Pi.cc pi);
   let successes = ref 0 in
+  let traces_written = ref [] in
   for t = 0 to trials - 1 do
     let adv_rng = Util.Rng.create (seed + (1000 * t) + 1) in
     let adversary, hook, stats =
@@ -101,22 +112,25 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
           (adv, Some hook, Some stats)
     in
     let faults = fault_plan ~crash ~stall ~overload ~rate ~seed t in
-    let sink =
-      match trace_file with None -> Trace.Sink.disabled | Some _ -> Trace.Sink.create ()
-    in
+    let observing = trace_file <> None || postmortem in
+    let sink = if observing then Trace.Sink.create () else Trace.Sink.disabled in
     let outcome =
       Coding.Scheme.run_outcome
-        ~config:
-          (Coding.Scheme.Config.make ~trace:(trace_file <> None) ~sink ?spy_hook:hook ~faults ())
+        ~config:(Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
     (match trace_file with
     | None -> ()
     | Some f ->
-        let path = if t = 0 then f else Printf.sprintf "%s.%d" f t in
+        let path = trace_path f ~trial:t ~trials in
         Trace.Export.write ~path (Trace.Export.chrome ~timing:true sink);
+        traces_written := path :: !traces_written;
         Format.printf "  [trace: %d events (%d dropped) -> %s]@." (Trace.Sink.seq sink)
           (Trace.Sink.dropped sink) path);
+    if postmortem then begin
+      let pm = Obsv.Postmortem.analyze (Obsv.Timeline.of_sink sink) in
+      Format.printf "%a" Obsv.Postmortem.pp pm
+    end;
     (match Faults.Outcome.result outcome with
     | Some result ->
         if result.Coding.Scheme.success then incr successes;
@@ -136,6 +150,8 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     | Some d -> Format.printf "  diagnosis: %a@." Faults.Outcome.pp_diagnosis d
     | None -> ()
   done;
+  if !traces_written <> [] then
+    Format.printf "traces written: %s@." (String.concat " " (List.rev !traces_written));
   Format.printf "=> %d/%d successes@." !successes trials;
   if !successes < trials then 1 else 0
 
@@ -193,9 +209,20 @@ let trace_t =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Record a structured trace of every trial (phase spans, fault/corruption counters, \
-           per-iteration potential) and write it as Chrome trace-event JSON to $(docv) (trial 0; \
-           trial N goes to $(docv).N).  Also prints the per-iteration global state table.")
+           per-iteration potential) and write it as Chrome trace-event JSON.  A single trial \
+           writes $(docv) itself; with --trials N each trial t writes its own numbered file \
+           (name.t.json for $(docv) of name.json).  Also prints the per-iteration global state \
+           table.")
 let trials_t = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.")
+
+let postmortem_t =
+  Arg.(
+    value & flag
+    & info [ "postmortem" ]
+        ~doc:
+          "Trace each trial (even without --trace) and print a structured diagnosis: first \
+           divergence, blame attribution (adversary noise vs injected fault vs hash collision, \
+           with phase/iteration/party/link), and potential-invariant findings.")
 let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let crash_t =
@@ -214,7 +241,7 @@ let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
     $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
-    $ verbose_t)
+    $ postmortem_t $ verbose_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

@@ -93,6 +93,7 @@ type probes = {
   sp_sim : int;
   sp_rewind : int;
   sp_exchange : int;
+  sp_output : int;
   c_mp_enter : int;
   c_mp_exit : int;
   c_mp_trunc : int;
@@ -125,6 +126,7 @@ let make_probes sink =
     sp_sim = i "phase.simulation";
     sp_rewind = i "phase.rewind";
     sp_exchange = i "phase.exchange";
+    sp_output = i "phase.output";
     c_mp_enter = i "mp.enter";
     c_mp_exit = i "mp.exit";
     c_mp_trunc = i "mp.truncate";
@@ -908,6 +910,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       Faults.Outcome.note diag
         (Printf.sprintf "iterations capped at %d of %d planned" effective_iterations iterations);
     (* ---- outputs ---- *)
+    Trace.Sink.span_begin sink ~id:pr.sp_output ~iter:(-1);
     let outputs =
       Array.map
         (fun p ->
@@ -917,6 +920,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
           Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
         parties
     in
+    Trace.Sink.span_end sink ~id:pr.sp_output ~iter:(-1);
     let net_stats = Network.stats net in
     let cc = net_stats.Network.cc in
     let cc_pi = Pi.cc pi in

@@ -1,0 +1,36 @@
+(** A minimal recursive-descent JSON reader.
+
+    The observability layer re-parses its own artifacts — JSONL trace
+    exports ({!Timeline.of_jsonl}) and the BENCH_*.json files the
+    regression observatory diffs ({!Observatory}) — and nothing in the
+    container provides a JSON library, so this is the ~150-line subset
+    the repo's writers ({!Trace.Export}, [Runner.Report.Json]) emit:
+    the standard scalar/array/object grammar, [\uXXXX] escapes decoded
+    as raw bytes, numbers as OCaml floats, and [null] for the
+    nan/inf-as-null convention of the writers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> t
+(** Parse one JSON document.  Raises [Failure] with a position-carrying
+    message on malformed input or trailing garbage. *)
+
+val parse_opt : string -> t option
+
+(** {2 Accessors} — total; [None]/default on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] for other shapes or missing keys). *)
+
+val to_float : t -> float option
+(** [Num] (also [Bool] as 0/1 — the observatory flattens booleans). *)
+
+val to_string : t -> string option
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] for any other shape. *)

@@ -2,7 +2,7 @@ type t = { tbl : (string, Accum.t) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 32 }
 
-let add t summary =
+let add_metrics t metrics =
   List.iter
     (fun (name, v) ->
       let acc =
@@ -14,7 +14,9 @@ let add t summary =
             a
       in
       Accum.add acc v)
-    (Trace.Summary.metrics summary)
+    metrics
+
+let add t summary = add_metrics t (Trace.Summary.metrics summary)
 
 let metrics t =
   Hashtbl.fold (fun name acc l -> (name, Accum.summary acc) :: l) t.tbl []

@@ -14,6 +14,11 @@ val add : t -> Trace.Summary.t -> unit
 (** Fold one trial's summary in.  Metrics absent from a trial simply do
     not feed that name's accumulator (its [n] reveals the support). *)
 
+val add_metrics : t -> (string * float) list -> unit
+(** Fold an arbitrary name-keyed metric list in — the generalization
+    {!add} is built on.  Used by consumers whose per-trial metrics are
+    not a {!Trace.Summary.t} (e.g. [Obsv.Profile] phase breakdowns). *)
+
 val metrics : t -> (string * Accum.summary) list
 (** Per-metric summaries, sorted by name — the shape [Report.t.metrics]
     expects. *)

@@ -1,6 +1,10 @@
 (* Chrome trace-event JSON and JSONL writers.  Hand-rolled emission (no
    JSON dependency): event names are the only strings and escaping them
-   is a few lines. *)
+   is a few lines.
+
+   Both writers stream straight off the sink's ring via [Sink.iter] —
+   no intermediate event list is materialized (at a full 32k-event ring
+   that list was a measurable serialization cost). *)
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -22,30 +26,24 @@ let add_float b v =
     Buffer.add_string b "null"
   else Buffer.add_string b (Printf.sprintf "%.6f" v)
 
+let deconstruct ev =
+  match ev with
+  | Sink.Span_begin { seq; ts; _ }
+  | Sink.Span_end { seq; ts; _ }
+  | Sink.Count { seq; ts; _ }
+  | Sink.Gauge { seq; ts; _ } ->
+      (seq, ts)
+
 (* Timestamp: logical seq when [timing] is off, else wall-clock
-   microseconds relative to the first retained event. *)
+   microseconds relative to the first retained event (whose own ts is
+   latched on first sight — the stream is oldest-first). *)
 let ts_of ~timing ~t0 ev =
-  let seq, ts =
-    match ev with
-    | Sink.Span_begin { seq; ts; _ }
-    | Sink.Span_end { seq; ts; _ }
-    | Sink.Count { seq; ts; _ }
-    | Sink.Gauge { seq; ts; _ } ->
-        (seq, ts)
-  in
-  if timing then Printf.sprintf "%.3f" ((ts -. t0) *. 1e6) else string_of_int seq
+  let seq, ts = deconstruct ev in
+  if Float.is_nan !t0 then t0 := ts;
+  if timing then Printf.sprintf "%.3f" ((ts -. !t0) *. 1e6) else string_of_int seq
 
 let chrome ?(timing = false) sink =
-  let evs = Sink.events sink in
-  let t0 =
-    match evs with
-    | Sink.Span_begin { ts; _ } :: _
-    | Sink.Span_end { ts; _ } :: _
-    | Sink.Count { ts; _ } :: _
-    | Sink.Gauge { ts; _ } :: _ ->
-        ts
-    | [] -> 0.
-  in
+  let t0 = ref Float.nan in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
@@ -75,23 +73,14 @@ let chrome ?(timing = false) sink =
         add_float b value;
         Buffer.add_string b (Printf.sprintf ",\"iter\":%d}}" iter)
   in
-  List.iter emit evs;
+  Sink.iter sink emit;
   Buffer.add_string b
     (Printf.sprintf "],\n\"displayTimeUnit\":\"ms\",\"eventCount\":%d,\"dropped\":%d}\n"
        (Sink.seq sink) (Sink.dropped sink));
   Buffer.contents b
 
 let jsonl ?(timing = false) sink =
-  let evs = Sink.events sink in
-  let t0 =
-    match evs with
-    | Sink.Span_begin { ts; _ } :: _
-    | Sink.Span_end { ts; _ } :: _
-    | Sink.Count { ts; _ } :: _
-    | Sink.Gauge { ts; _ } :: _ ->
-        ts
-    | [] -> 0.
-  in
+  let t0 = ref Float.nan in
   let b = Buffer.create 4096 in
   let wall ev = if timing then Printf.sprintf ",\"ts\":%s" (ts_of ~timing ~t0 ev) else "" in
   let emit ev =
@@ -117,7 +106,7 @@ let jsonl ?(timing = false) sink =
         Buffer.add_string b (Printf.sprintf "%s}" (wall ev)));
     Buffer.add_char b '\n'
   in
-  List.iter emit evs;
+  Sink.iter sink emit;
   Buffer.contents b
 
 let write ~path s =

@@ -14,6 +14,7 @@ let k_gauge = 3
 
 type t = {
   enabled : bool;
+  profile : bool;
   capacity : int;
   kinds : int array;
   ids : int array;
@@ -22,6 +23,8 @@ type t = {
   args : int array;
   fvals : float array;
   tss : float array;
+  mnr : float array; (* Gc minor words at emission; capacity-sized iff profile *)
+  mjr : float array; (* Gc major words at emission *)
   mutable seq : int;
   by_name : (string, int) Hashtbl.t;
   mutable names : string array;
@@ -31,10 +34,11 @@ type t = {
   mutable gset : bool array;
 }
 
-let create ?(capacity = 32768) () =
+let create ?(capacity = 32768) ?(profile = false) () =
   if capacity < 1 then invalid_arg "Trace.Sink.create: capacity < 1";
   {
     enabled = true;
+    profile;
     capacity;
     kinds = Array.make capacity 0;
     ids = Array.make capacity 0;
@@ -43,6 +47,8 @@ let create ?(capacity = 32768) () =
     args = Array.make capacity 0;
     fvals = Array.make capacity 0.;
     tss = Array.make capacity 0.;
+    mnr = (if profile then Array.make capacity 0. else [| 0. |]);
+    mjr = (if profile then Array.make capacity 0. else [| 0. |]);
     seq = 0;
     by_name = Hashtbl.create 64;
     names = Array.make 16 "";
@@ -56,6 +62,7 @@ let disabled =
   let empty = [| 0 |] in
   {
     enabled = false;
+    profile = false;
     capacity = 1;
     kinds = empty;
     ids = empty;
@@ -64,6 +71,8 @@ let disabled =
     args = empty;
     fvals = [| 0. |];
     tss = [| 0. |];
+    mnr = [| 0. |];
+    mjr = [| 0. |];
     seq = 0;
     by_name = Hashtbl.create 1;
     names = [| "" |];
@@ -74,6 +83,7 @@ let disabled =
   }
 
 let is_enabled t = t.enabled
+let profiled t = t.profile
 
 let grow_side t =
   let cap = Array.length t.names in
@@ -106,7 +116,8 @@ let intern t name =
 
 let name t id = if id >= 0 && id < t.n_names then t.names.(id) else ""
 
-(* The hot-path writer: array stores only, no allocation. *)
+(* The hot-path writer: array stores only, no allocation (the optional
+   profile stores cost one [Gc.counters] call, profiled sinks only). *)
 let[@inline] push t kind id iter ival arg fval =
   let s = t.seq mod t.capacity in
   t.kinds.(s) <- kind;
@@ -116,6 +127,11 @@ let[@inline] push t kind id iter ival arg fval =
   t.args.(s) <- arg;
   t.fvals.(s) <- fval;
   t.tss.(s) <- Unix.gettimeofday ();
+  if t.profile then begin
+    let mn, _, mj = Gc.counters () in
+    t.mnr.(s) <- mn;
+    t.mjr.(s) <- mj
+  end;
   t.seq <- t.seq + 1
 
 let span_begin t ~id ~iter = if t.enabled then push t k_span_begin id iter 0 (-1) 0.
@@ -143,18 +159,30 @@ type event =
 let seq t = t.seq
 let dropped t = max 0 (t.seq - t.capacity)
 
+let event_at t sq =
+  let s = sq mod t.capacity in
+  let nm = t.names.(t.ids.(s)) in
+  let iter = t.iters.(s) and ts = t.tss.(s) in
+  match t.kinds.(s) with
+  | 0 -> Span_begin { name = nm; iter; seq = sq; ts }
+  | 1 -> Span_end { name = nm; iter; seq = sq; ts }
+  | 2 -> Count { name = nm; iter; arg = t.args.(s); value = t.ivals.(s); seq = sq; ts }
+  | _ -> Gauge { name = nm; iter; value = t.fvals.(s); seq = sq; ts }
+
+let iter t f =
+  for sq = dropped t to t.seq - 1 do
+    f (event_at t sq)
+  done
+
 let events t =
   let lo = dropped t in
-  List.init (t.seq - lo) (fun i ->
-      let sq = lo + i in
-      let s = sq mod t.capacity in
-      let nm = t.names.(t.ids.(s)) in
-      let iter = t.iters.(s) and ts = t.tss.(s) in
-      match t.kinds.(s) with
-      | 0 -> Span_begin { name = nm; iter; seq = sq; ts }
-      | 1 -> Span_end { name = nm; iter; seq = sq; ts }
-      | 2 -> Count { name = nm; iter; arg = t.args.(s); value = t.ivals.(s); seq = sq; ts }
-      | _ -> Gauge { name = nm; iter; value = t.fvals.(s); seq = sq; ts })
+  List.init (t.seq - lo) (fun i -> event_at t (lo + i))
+
+let alloc_words t ~seq:sq =
+  if t.profile && sq >= dropped t && sq < t.seq then
+    let s = sq mod t.capacity in
+    Some (t.mnr.(s), t.mjr.(s))
+  else None
 
 let counter_total t nm =
   match Hashtbl.find_opt t.by_name nm with Some id -> t.totals.(id) | None -> 0

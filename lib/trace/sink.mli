@@ -20,15 +20,24 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?profile:bool -> unit -> t
 (** An enabled sink whose ring retains the last [capacity] (default
-    32768) events.  Raises [Invalid_argument] if [capacity < 1]. *)
+    32768) events.  Raises [Invalid_argument] if [capacity < 1].
+
+    With [~profile:true] every event additionally records the domain's
+    cumulative Gc minor/major word counters at emission time (read back
+    via {!alloc_words}), so a post-hoc profiler can turn span pairs into
+    per-phase allocation deltas.  Like wall-clock timestamps, these are
+    execution artifacts: they never appear in timing-free exports. *)
 
 val disabled : t
 (** The shared no-op sink: every probe returns after one branch, and
     {!intern} returns a dummy id without allocating. *)
 
 val is_enabled : t -> bool
+
+val profiled : t -> bool
+(** Whether the sink records Gc counters per event. *)
 
 val intern : t -> string -> int
 (** The id of a name, allocating one on first sight.  Setup-time only;
@@ -70,6 +79,15 @@ val dropped : t -> int
 val events : t -> event list
 (** The retained events, oldest first.  [seq] numbers are global, so a
     gap at the front reveals drops. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Visit the retained events oldest first without materializing the
+    list — same order and contents as {!events}.  Serializers
+    ({!Export}) stream through this. *)
+
+val alloc_words : t -> seq:int -> (float * float) option
+(** [(minor_words, major_words)] recorded when event [seq] was emitted;
+    [None] unless the sink is {!profiled} and [seq] is still retained. *)
 
 val counter_total : t -> string -> int
 (** Lifetime total of a counter (0 for unknown names); drop-proof. *)

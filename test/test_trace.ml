@@ -61,6 +61,55 @@ let test_ring_wraps () =
   | _ -> Alcotest.fail "expected counts");
   Alcotest.(check int) "total survives drops" 10 (Sink.counter_total t "c")
 
+let test_ring_capacity_one () =
+  (* The degenerate ring: every push evicts its predecessor, yet the
+     drop-proof side tables keep exact lifetime totals. *)
+  let t = Sink.create ~capacity:1 () in
+  let c = Sink.intern t "c" and d = Sink.intern t "d" in
+  Sink.count t ~id:c ~iter:0 2;
+  Sink.count t ~id:d ~iter:1 3;
+  Sink.count t ~id:c ~iter:2 4;
+  Alcotest.(check int) "seq is lifetime" 3 (Sink.seq t);
+  Alcotest.(check int) "all but one dropped" 2 (Sink.dropped t);
+  (match Sink.events t with
+  | [ Sink.Count { name = "c"; value = 4; seq = 2; _ } ] -> ()
+  | evs -> Alcotest.failf "expected only the last event, got %d" (List.length evs));
+  Alcotest.(check int) "drop-proof total c" 6 (Sink.counter_total t "c");
+  Alcotest.(check int) "drop-proof total d" 3 (Sink.counter_total t "d")
+
+let test_iter_matches_events () =
+  let t = Sink.create ~capacity:4 () in
+  let c = Sink.intern t "c" and s = Sink.intern t "s" in
+  Sink.span_begin t ~id:s ~iter:0;
+  for i = 1 to 7 do
+    Sink.count t ~id:c ~iter:i 1
+  done;
+  Sink.span_end t ~id:s ~iter:0;
+  let collected = ref [] in
+  Sink.iter t (fun ev -> collected := ev :: !collected);
+  Alcotest.(check bool) "iter visits exactly the retained events, in order" true
+    (List.rev !collected = Sink.events t)
+
+let test_profile_alloc () =
+  let t = Sink.create ~profile:true () in
+  Alcotest.(check bool) "profiled" true (Sink.profiled t);
+  let s = Sink.intern t "phase.x" in
+  Sink.span_begin t ~id:s ~iter:0;
+  (* Small blocks so the allocation lands in the minor heap (a large
+     array would go straight to the major heap); generously many of
+     them, because Gc.counters only sees flushed allocation chunks. *)
+  ignore (Sys.opaque_identity (List.init 100_000 (fun i -> i)));
+  Sink.span_end t ~id:s ~iter:0;
+  (match (Sink.alloc_words t ~seq:0, Sink.alloc_words t ~seq:1) with
+  | Some (mn0, mj0), Some (mn1, mj1) ->
+      Alcotest.(check bool) "minor words advanced past the list" true (mn1 -. mn0 >= 100_000.);
+      Alcotest.(check bool) "major words monotone" true (mj1 >= mj0)
+  | _ -> Alcotest.fail "alloc_words missing on a profiled sink");
+  Alcotest.(check bool) "seq out of range" true (Sink.alloc_words t ~seq:5 = None);
+  let u = Sink.create () in
+  Sink.span_begin u ~id:(Sink.intern u "x") ~iter:0;
+  Alcotest.(check bool) "unprofiled sink has no alloc data" true (Sink.alloc_words u ~seq:0 = None)
+
 let test_disabled_noop () =
   let t = Sink.disabled in
   Alcotest.(check bool) "disabled" false (Sink.is_enabled t);
@@ -209,6 +258,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_sink_basics;
           Alcotest.test_case "ring wrap" `Quick test_ring_wraps;
+          Alcotest.test_case "ring capacity 1" `Quick test_ring_capacity_one;
+          Alcotest.test_case "iter matches events" `Quick test_iter_matches_events;
+          Alcotest.test_case "profile alloc words" `Quick test_profile_alloc;
           Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
         ] );
       ( "export",
