@@ -4,7 +4,7 @@ let rounds_needed (tree : Graph.tree) = 2 * (tree.Graph.depth - 1)
 
 (* The phase's traffic pattern is fixed by the tree, so the directed-link
    indices and per-level sender sets are compiled once per execution and
-   the per-round work touches only preallocated arrays. *)
+   the per-round work touches only the level that speaks. *)
 type schedule = {
   tree : Graph.tree;
   up_dir : int array; (* v -> dir id of v -> parent(v); -1 at the root *)
@@ -34,23 +34,25 @@ let compile graph ~(tree : Graph.tree) =
 
 type probe = { on_missing : node:int -> unit }
 
-let run_buf ?alive ?probe net sched ~slots ~statuses =
+let run_active ?alive ?probe net sched ~active ~statuses =
   let tree = sched.tree in
   let d = tree.Graph.depth in
   let up v = match alive with None -> true | Some a -> a.(v) in
   let missing v = match probe with None -> () | Some pr -> pr.on_missing ~node:v in
   let agg = Array.copy statuses in
   (* Upward convergecast: nodes at level d - r speak in round r; a parent
-     has heard all its children before its own sending round. *)
+     has heard all its children before its own sending round.  Each round
+     costs O(|sender level|), not O(2m) — starting a round is an epoch
+     bump, and only the speaking level writes. *)
   for r = 0 to d - 2 do
     let sender_level = d - r in
-    Netsim.Network.Slots.clear slots;
+    Netsim.Network.Active.begin_round active;
     Array.iter
       (fun v ->
         if v <> tree.Graph.root && up v then
-          Netsim.Network.Slots.set slots ~dir:sched.up_dir.(v) agg.(v))
+          Netsim.Network.Active.send active ~dir:sched.up_dir.(v) agg.(v))
       sched.by_level.(sender_level);
-    Netsim.Network.round_buf net slots;
+    Netsim.Network.commit net active;
     (* A parent expects a flag from each child at the sender level; a
        missing flag reads as stop. *)
     Array.iter
@@ -58,7 +60,7 @@ let run_buf ?alive ?probe net sched ~slots ~statuses =
         if c <> tree.Graph.root then
           let p = tree.Graph.parent.(c) in
           if up p then
-            match Netsim.Network.Slots.get slots ~dir:sched.up_dir.(c) with
+            match Netsim.Network.Active.get active ~dir:sched.up_dir.(c) with
             | Some bit -> agg.(p) <- agg.(p) && bit
             | None ->
                 missing c;
@@ -70,22 +72,22 @@ let run_buf ?alive ?probe net sched ~slots ~statuses =
   let net_correct = Array.make (Array.length statuses) false in
   net_correct.(tree.Graph.root) <- (agg.(tree.Graph.root) && up tree.Graph.root);
   for ell = 1 to d - 1 do
-    Netsim.Network.Slots.clear slots;
+    Netsim.Network.Active.begin_round active;
     Array.iter
       (fun v ->
         if up v then
           Array.iter
-            (fun c -> Netsim.Network.Slots.set slots ~dir:sched.down_dir.(c) net_correct.(v))
+            (fun c -> Netsim.Network.Active.send active ~dir:sched.down_dir.(c) net_correct.(v))
             tree.Graph.children.(v))
       sched.by_level.(ell);
-    Netsim.Network.round_buf net slots;
+    Netsim.Network.commit net active;
     Array.iter
       (fun v ->
         if v <> tree.Graph.root then
           net_correct.(v) <-
             up v
             &&
-            (match Netsim.Network.Slots.get slots ~dir:sched.down_dir.(v) with
+            (match Netsim.Network.Active.get active ~dir:sched.down_dir.(v) with
             | Some bit -> bit && statuses.(v)
             | None ->
                 missing v;
@@ -96,4 +98,4 @@ let run_buf ?alive ?probe net sched ~slots ~statuses =
 
 let run net ~tree ~statuses =
   let sched = compile (Netsim.Network.graph net) ~tree in
-  run_buf net sched ~slots:(Netsim.Network.slots net) ~statuses
+  run_active net sched ~active:(Netsim.Network.active net) ~statuses

@@ -12,8 +12,9 @@
 
     The phase's traffic pattern is fixed by the tree, so callers on the
     hot path {!compile} the schedule (per-level sender sets and directed
-    link indices) once per execution and drive {!run_buf} with a reused
-    slot buffer; {!run} compiles on the fly for one-shot use. *)
+    link indices) once per execution and drive {!run_active} with a
+    reused sparse buffer — each round then costs O(nodes at the speaking
+    level), not O(2m); {!run} compiles on the fly for one-shot use. *)
 
 val rounds_needed : Topology.Graph.tree -> int
 (** 2·(depth − 1): the a-priori fixed length of the phase. *)
@@ -29,18 +30,18 @@ type probe = { on_missing : node:int -> unit }
     conservative-default path where a deletion (or a dead sender) forces
     a stop verdict. *)
 
-val run_buf :
+val run_active :
   ?alive:bool array ->
   ?probe:probe ->
   Netsim.Network.t ->
   schedule ->
-  slots:Netsim.Network.Slots.t ->
+  active:Netsim.Network.Active.t ->
   statuses:bool array ->
   bool array
-(** [run_buf net sched ~slots ~statuses] executes the phase through the
-    slot-buffer transport; [statuses.(u)] is status_u (true = continue).
+(** [run_active net sched ~active ~statuses] executes the phase through
+    the sparse transport; [statuses.(u)] is status_u (true = continue).
     Returns netCorrect per party: with no noise, every entry is
-    [for_all statuses].  [slots] is caller-owned scratch.
+    [for_all statuses].  [active] is caller-owned scratch.
 
     [?alive] (fault injection): crashed parties ([alive.(v) = false])
     neither send nor update state during the phase; their silence reads
@@ -49,4 +50,4 @@ val run_buf :
 
 val run :
   Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array
-(** One-shot convenience over {!compile} + {!run_buf}. *)
+(** One-shot convenience over {!compile} + {!run_active}. *)

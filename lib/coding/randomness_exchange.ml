@@ -53,18 +53,18 @@ let run ?(sink = Trace.Sink.disabled) net ~rng =
   (* One codeword bit per edge per round, always lower -> higher endpoint.
      Only the scheduled direction matters; inserted traffic on the reverse
      direction is ignored by the receiver. *)
-  let slots = Netsim.Network.slots net in
+  let active = Netsim.Network.active net in
   let lo_dir =
     Array.map (fun (u, v) -> Topology.Graph.dir_id graph ~src:(min u v) ~dst:(max u v)) edges
   in
   for r = 0 to nbits - 1 do
-    Netsim.Network.Slots.clear slots;
+    Netsim.Network.Active.begin_round active;
     for e = 0 to m - 1 do
-      Netsim.Network.Slots.set slots ~dir:lo_dir.(e) codewords.(e).(r)
+      Netsim.Network.Active.send active ~dir:lo_dir.(e) codewords.(e).(r)
     done;
-    Netsim.Network.round_buf net slots;
+    Netsim.Network.commit net active;
     for e = 0 to m - 1 do
-      received.(e).(r) <- Netsim.Network.Slots.get slots ~dir:lo_dir.(e)
+      received.(e).(r) <- Netsim.Network.Active.get active ~dir:lo_dir.(e)
     done
   done;
   Array.init m (fun e ->

@@ -1,6 +1,6 @@
 open Protocol
 module Network = Netsim.Network
-module Slots = Netsim.Network.Slots
+module Active = Netsim.Network.Active
 
 let log_src = Logs.Src.create "mic.scheme" ~doc:"Coding-scheme execution"
 
@@ -59,7 +59,6 @@ module Config = struct
     sink : Trace.Sink.t;
     inputs : int array option;
     spy_hook : (spy -> unit) option;
-    legacy_transport : bool;
     faults : Faults.Plan.t;
     max_wall_s : float option;
     max_iterations : int option;
@@ -71,15 +70,14 @@ module Config = struct
       sink = Trace.Sink.disabled;
       inputs = None;
       spy_hook = None;
-      legacy_transport = false;
       faults = Faults.Plan.empty;
       max_wall_s = None;
       max_iterations = None;
     }
 
   let make ?(trace = false) ?(sink = Trace.Sink.disabled) ?inputs ?spy_hook
-      ?(legacy_transport = false) ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
-    { trace; sink; inputs; spy_hook; legacy_transport; faults; max_wall_s; max_iterations }
+      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
+    { trace; sink; inputs; spy_hook; faults; max_wall_s; max_iterations }
 end
 
 (* Probe ids, interned once per execution.  With the disabled sink every
@@ -168,12 +166,17 @@ type link_state = {
 
 type party_state = {
   id : int;
-  links : link_state array;
-  by_peer : int array; (* neighbor id -> index into links; -1 if absent *)
+  links : link_state array; (* in [Graph.neighbors] order *)
   repl : Replayer.t;
   mutable status : bool;
   mutable net_correct : bool;
 }
+
+(* Links are laid out in sorted-adjacency order, so the link to a given
+   neighbor is found by binary search — no per-party O(n) lookup array,
+   which at 10k parties would be O(n²) memory. *)
+let link_to graph p nbr = p.links.(Topology.Graph.neighbor_index graph p.id nbr)
+let transcripts_fn graph p = fun nbr -> (link_to graph p nbr).tr
 
 let iterations_of params n_real =
   (params.Params.iteration_factor * n_real) + params.Params.extra_iterations
@@ -197,8 +200,6 @@ let planned_rounds params pi =
     | Params.Exchange -> Randomness_exchange.rounds_needed ()
   in
   exchange + (iterations_of params (Chunking.n_real ch) * per_iter)
-
-let transcripts_fn p = fun nbr -> p.links.(p.by_peer.(nbr)).tr
 
 (* The hasher memoizes per (field, argument): within one iteration the
    meeting-points step hashes the same prefixes in [prepare] and again in
@@ -248,19 +249,25 @@ type fault_ctx = {
 
 (* ---------- phase executors ----------
 
-   Each drives the network through a caller-owned slot buffer: write the
-   round's transmissions by precomputed dir index, [step] the network
-   (normally Network.round_buf; Network.round_via_lists when benchmarking
-   against the legacy transport), then read deliveries back out of the
-   same buffer.  No per-round lists, hashtables or log arrays. *)
+   Each drives the network through the sparse active-link transport:
+   write the round's transmissions by precomputed dir index into the
+   shared [Active] buffer, [Network.commit], then read deliveries back
+   by iterating the (sparse) delivered set — never by scanning all 2m
+   directions.  [recv_link]/[recv_party] resolve a delivered dir id to
+   the receiving endpoint in O(1). *)
+
+type transport = {
+  active : Active.t; (* the one round buffer of the execution *)
+  recv_link : link_state array; (* dir -> link at the receiving endpoint *)
+  recv_party : int array; (* dir -> receiving party id *)
+}
 
 (* Ground truth for the hash-collision probe: compare this endpoint's
    transcript with the peer's copy of the same link.  [None] when either
    side is already shorter than the position (the peer may have truncated
    earlier in this very phase). *)
-let collision_probe parties pr l p ~iter =
-  let peer = parties.(l.peer) in
-  let peer_tr = peer.links.(peer.by_peer.(p.id)).tr in
+let collision_probe graph parties pr l p ~iter =
+  let peer_tr = (link_to graph parties.(l.peer) p.id).tr in
   Meeting_points.
     {
       truth =
@@ -271,8 +278,9 @@ let collision_probe parties pr l p ~iter =
       on_collision = (fun ~pos -> Trace.Sink.count pr.sink ~id:pr.c_collision ~iter ~arg:pos 1);
     }
 
-let meeting_points_phase net slots step parties fc pr ~iter ~tau =
+let meeting_points_phase net tp parties fc pr ~iter ~tau =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
+  let graph = Network.graph net in
   let mp_rounds = Meeting_points.message_bits ~tau in
   Array.iter
     (fun p ->
@@ -297,19 +305,19 @@ let meeting_points_phase net slots step parties fc pr ~iter ~tau =
           p.links
       end)
     parties;
+  let active = tp.active in
   for t = 0 to mp_rounds - 1 do
-    Slots.clear slots;
+    Active.begin_round active;
     Array.iter
       (fun p ->
         if fc.alive.(p.id) then
-          Array.iter (fun l -> Slots.set slots ~dir:l.dir_out l.out_msg.(t)) p.links)
+          Array.iter (fun l -> Active.send active ~dir:l.dir_out l.out_msg.(t)) p.links)
       parties;
-    step net slots;
-    Array.iter
-      (fun p ->
-        if fc.alive.(p.id) then
-          Array.iter (fun l -> l.in_msg.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
-      parties
+    Network.commit net active;
+    (* [in_msg] was pre-filled with silence; only deliveries are written,
+       so the read side costs O(delivered), not O(2m). *)
+    Active.iter active (fun ~dir bit ->
+        if fc.alive.(tp.recv_party.(dir)) then tp.recv_link.(dir).in_msg.(t) <- Some bit)
   done;
   let observing = Trace.Sink.is_enabled pr.sink in
   Array.iter
@@ -318,7 +326,9 @@ let meeting_points_phase net slots step parties fc pr ~iter ~tau =
         Array.iter
           (fun l ->
             let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
-            let probe = if observing then Some (collision_probe parties pr l p ~iter) else None in
+            let probe =
+              if observing then Some (collision_probe graph parties pr l p ~iter) else None
+            in
             match
               Meeting_points.process l.mp (Option.get l.mp_hasher) ?probe ~len:l.mp_len msg
             with
@@ -342,54 +352,56 @@ let compute_statuses parties ~alive =
       status)
     parties
 
-let simulation_phase net slots step parties fc ch ~iter ~n_real =
+let simulation_phase net tp parties fc ch ~iter ~n_real =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
+  let graph = Network.graph net in
+  let active = tp.active in
   let max_r = Chunking.max_rounds ch in
-  Array.iter
-    (fun p ->
-      Array.iter
-        (fun l ->
-          l.bot <- false;
-          Array.fill l.sent_log 0 max_r None;
-          Array.fill l.recv_log 0 max_r None)
-        p.links)
-    parties;
-  (* ⊥ round: idling parties announce, everyone listens (Line 16/23).
-     Crashed parties announce nothing — their links just go dark. *)
-  Slots.clear slots;
-  Array.iter
-    (fun p ->
-      if fc.alive.(p.id) && not p.net_correct then
-        Array.iter (fun l -> Slots.set slots ~dir:l.dir_out true) p.links)
-    parties;
-  step net slots;
-  Array.iter
-    (fun p ->
-      if fc.alive.(p.id) then
-        Array.iter
-          (fun l -> if not (Slots.is_silent slots ~dir:l.dir_in) then l.bot <- true)
-          p.links)
-    parties;
-  (* Participants set up their live chunk simulation. *)
+  (* Participation — alive with netCorrect up — is known before the
+     phase starts, so only participants' per-link logs are reset and
+     only participants listen: idle parties cost this phase nothing.
+     (Stale logs on idle parties are never read: every read below is
+     behind the participant test, and a party that participates in a
+     later iteration resets first.) *)
+  let is_participant = Array.map (fun p -> fc.alive.(p.id) && p.net_correct) parties in
   let participants =
     Array.to_list parties
     |> List.filter_map (fun p ->
-           if (not fc.alive.(p.id)) || not p.net_correct then None
+           if not is_participant.(p.id) then None
            else begin
+             Array.iter
+               (fun l ->
+                 l.bot <- false;
+                 Array.fill l.sent_log 0 max_r None;
+                 Array.fill l.recv_log 0 max_r None)
+               p.links;
              let min_len =
                Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
              in
              let c = min_len + 1 in
              let machine =
                if c <= n_real then
-                 Some (Replayer.machine_at p.repl ~transcripts:(transcripts_fn p) ~upto:(c - 1))
+                 Some
+                   (Replayer.machine_at p.repl ~transcripts:(transcripts_fn graph p)
+                      ~upto:(c - 1))
                else None
              in
              Some (p, c, machine, Chunking.chunk ch c)
            end)
   in
+  (* ⊥ round: idling parties announce, participants listen (Line 16/23).
+     Crashed parties announce nothing — their links just go dark. *)
+  Active.begin_round active;
+  Array.iter
+    (fun p ->
+      if fc.alive.(p.id) && not p.net_correct then
+        Array.iter (fun l -> Active.send active ~dir:l.dir_out true) p.links)
+    parties;
+  Network.commit net active;
+  Active.iter active (fun ~dir _bit ->
+      if is_participant.(tp.recv_party.(dir)) then tp.recv_link.(dir).bot <- true);
   for t = 0 to max_r - 1 do
-    Slots.clear slots;
+    Active.begin_round active;
     List.iter
       (fun (p, _, machine, sched) ->
         if t < Array.length sched.Chunking.rounds then
@@ -404,19 +416,18 @@ let simulation_phase net slots step parties fc ch ~iter ~n_real =
                       false
                   | None, _ -> false
                 in
-                let l = p.links.(p.by_peer.(slot.Chunking.dst)) in
+                let l = link_to graph p slot.Chunking.dst in
                 if not l.bot then begin
-                  Slots.set slots ~dir:l.dir_out bit;
+                  Active.send active ~dir:l.dir_out bit;
                   l.sent_log.(t) <- Some bit
                 end
               end)
             sched.Chunking.rounds.(t))
       participants;
-    step net slots;
-    List.iter
-      (fun (p, _, _, _) ->
-        Array.iter (fun l -> l.recv_log.(t) <- Slots.get slots ~dir:l.dir_in) p.links)
-      participants;
+    Network.commit net active;
+    Active.iter active (fun ~dir bit ->
+        if is_participant.(tp.recv_party.(dir)) then
+          tp.recv_link.(dir).recv_log.(t) <- Some bit);
     (* Feed the live machines, sends-before-receives per round. *)
     List.iter
       (fun (p, _, machine, sched) ->
@@ -429,7 +440,7 @@ let simulation_phase net slots step parties fc ch ~iter ~n_real =
                   if slot.Chunking.dst = p.id then
                     match slot.Chunking.pi_round with
                     | Some r ->
-                        let l = p.links.(p.by_peer.(slot.Chunking.src)) in
+                        let l = link_to graph p slot.Chunking.src in
                         let bit =
                           if l.bot then false
                           else Option.value ~default:false l.recv_log.(t)
@@ -465,66 +476,93 @@ let simulation_phase net slots step parties fc ch ~iter ~n_real =
         p.links;
       match machine with
       | Some mc when !all_aligned && c <= n_real ->
-          Replayer.store p.repl ~machine:mc ~upto:c ~transcripts:(transcripts_fn p)
+          Replayer.store p.repl ~machine:mc ~upto:c ~transcripts:(transcripts_fn graph p)
       | _ -> ())
     participants
 
-let rewind_phase net slots step parties fc pr ~iter =
+let rewind_phase net tp parties fc pr ~iter =
   Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
+  let active = tp.active in
   let n = Array.length parties in
   (* Wave shape for the trace: [reqs] counts every chunk rewound (self-
      initiated or honored request); [depth] is the last round of the
      phase in which any link still moved. *)
   let reqs = ref 0 and depth = ref 0 in
+  (* Only parties whose per-link state changed since their last
+     evaluation can newly satisfy the send predicate: meeting-points
+     statuses are frozen for the phase, [already_rewound] is monotone,
+     and transcript lengths change only through a party's own
+     truncations.  So the phase keeps a candidate set — initially every
+     live party — re-admitting a party only when it truncates (as sender
+     or as receiver of a request).  Rounds late in the wave cost O(new
+     activity), not O(n · degree). *)
+  let candidate = Array.make n false in
+  let cur = ref [] and nxt = ref [] in
+  let readmit id =
+    if fc.alive.(id) && not candidate.(id) then begin
+      candidate.(id) <- true;
+      nxt := id :: !nxt
+    end
+  in
+  Array.iter
+    (fun p ->
+      if fc.alive.(p.id) then begin
+        candidate.(p.id) <- true;
+        cur := p.id :: !cur
+      end)
+    parties;
   for round = 1 to n do
     (* Plan sends from the state at round start (Line 27-31); the per-link
        truncation can be applied immediately because each link's decision
        reads only its own length against the party's min, which a
        single-chunk truncation of a longer link cannot lower. *)
-    Slots.clear slots;
-    Array.iter
-      (fun p ->
-        if fc.alive.(p.id) then begin
-          let min_len =
-            Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
-          in
-          Array.iter
-            (fun l ->
-              if
-                Meeting_points.status l.mp <> Meeting_points.Meeting_points
-                && (not l.already_rewound)
-                && Transcript.length l.tr > min_len
-              then begin
-                Slots.set slots ~dir:l.dir_out true;
-                Transcript.truncate l.tr (Transcript.length l.tr - 1);
-                l.already_rewound <- true;
-                incr reqs;
-                depth := round
-              end)
-            p.links
-        end)
-      parties;
-    step net slots;
+    Active.begin_round active;
+    List.iter (fun id -> candidate.(id) <- false) !cur;
+    nxt := [];
+    List.iter
+      (fun id ->
+        let p = parties.(id) in
+        let min_len =
+          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+        in
+        let sent = ref false in
+        Array.iter
+          (fun l ->
+            if
+              Meeting_points.status l.mp <> Meeting_points.Meeting_points
+              && (not l.already_rewound)
+              && Transcript.length l.tr > min_len
+            then begin
+              Active.send active ~dir:l.dir_out true;
+              Transcript.truncate l.tr (Transcript.length l.tr - 1);
+              l.already_rewound <- true;
+              incr reqs;
+              depth := round;
+              sent := true
+            end)
+          p.links;
+        if !sent then readmit id)
+      !cur;
+    Network.commit net active;
     (* Any symbol received in a rewind round is a rewind request —
        insertions forge them, deletions suppress them (Line 33-38). *)
-    Array.iter
-      (fun p ->
-        if fc.alive.(p.id) then
-          Array.iter
-            (fun l ->
-              if
-                (not (Slots.is_silent slots ~dir:l.dir_in))
-                && Meeting_points.status l.mp <> Meeting_points.Meeting_points
-                && not l.already_rewound
-              then begin
-                if Transcript.length l.tr > 0 then
-                  Transcript.truncate l.tr (Transcript.length l.tr - 1);
-                l.already_rewound <- true;
-                incr reqs;
-                depth := round
-              end)
-            p.links)
-      parties
+    Active.iter active (fun ~dir _bit ->
+        let id = tp.recv_party.(dir) in
+        if fc.alive.(id) then begin
+          let l = tp.recv_link.(dir) in
+          if
+            Meeting_points.status l.mp <> Meeting_points.Meeting_points
+            && not l.already_rewound
+          then begin
+            if Transcript.length l.tr > 0 then
+              Transcript.truncate l.tr (Transcript.length l.tr - 1);
+            l.already_rewound <- true;
+            incr reqs;
+            depth := round;
+            readmit id
+          end
+        end);
+    cur := !nxt
   done;
   if Trace.Sink.is_enabled pr.sink && !reqs > 0 then begin
     Trace.Sink.count pr.sink ~id:pr.c_rewind_req ~iter !reqs;
@@ -539,8 +577,8 @@ let stats_of net parties graph ~iteration =
   let mp_k_total = ref 0 and sum_b = ref 0 in
   Array.iter
     (fun (u, v) ->
-      let lu = parties.(u).links.(parties.(u).by_peer.(v)) in
-      let lv = parties.(v).links.(parties.(v).by_peer.(u)) in
+      let lu = link_to graph parties.(u) v in
+      let lv = link_to graph parties.(v) u in
       let g = Transcript.equal_prefix lu.tr lv.tr in
       g_star := min !g_star g;
       sum_g := !sum_g + g;
@@ -570,8 +608,8 @@ let stats_of net parties graph ~iteration =
 let all_done parties graph ~n_real =
   Array.for_all
     (fun (u, v) ->
-      let lu = parties.(u).links.(parties.(u).by_peer.(v)) in
-      let lv = parties.(v).links.(parties.(v).by_peer.(u)) in
+      let lu = link_to graph parties.(u) v in
+      let lv = link_to graph parties.(v) u in
       Transcript.equal_prefix lu.tr lv.tr >= n_real)
     (Topology.Graph.edges graph)
 
@@ -625,12 +663,6 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let sink = pr.sink in
     let observing = Trace.Sink.is_enabled sink in
     Network.set_trace net sink;
-    (* Transport plumbing: one slot buffer and one flag-passing schedule
-       for the whole execution. *)
-    let slots = Network.slots net in
-    let step =
-      if config.Config.legacy_transport then Network.round_via_lists else Network.round_buf
-    in
     let flag_sched = Flag_passing.compile graph ~tree in
     let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
     let max_r = Chunking.max_rounds ch in
@@ -662,8 +694,6 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let parties =
       Array.init n (fun id ->
           let neighbors = Topology.Graph.neighbors graph id in
-          let by_peer = Array.make n (-1) in
-          Array.iteri (fun i nbr -> by_peer.(nbr) <- i) neighbors;
           let links =
             Array.map
               (fun peer ->
@@ -690,11 +720,24 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
           {
             id;
             links;
-            by_peer;
             repl = Replayer.create ch ~party:id ~input:inputs.(id) ~neighbors;
             status = true;
             net_correct = true;
           })
+    in
+    (* Transport plumbing: one sparse round buffer for the whole
+       execution, plus the dir -> receiving-endpoint tables that let the
+       delivered set be consumed without scanning all 2m directions. *)
+    let tp =
+      let recv_link =
+        Array.init (2 * m) (fun dir ->
+            let src, dst = Network.link_ends net ~dir in
+            let l = link_to graph parties.(dst) src in
+            assert (l.dir_in = dir);
+            l)
+      in
+      let recv_party = Array.init (2 * m) (fun dir -> snd (Network.link_ends net ~dir)) in
+      { active = Network.active net; recv_link; recv_party }
     in
     (* ---- fault state ---- *)
     let alive = Array.make n true in
@@ -763,8 +806,8 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
         let edge_view e =
           let u, v = (Topology.Graph.edges graph).(e) in
           let lo = min u v and hi = max u v in
-          let l_lo = parties.(lo).links.(parties.(lo).by_peer.(hi)) in
-          let l_hi = parties.(hi).links.(parties.(hi).by_peer.(lo)) in
+          let l_lo = link_to graph parties.(lo) hi in
+          let l_hi = link_to graph parties.(hi) lo in
           assert (l_lo.peer = hi && l_hi.peer = lo);
           let in_sync =
             Meeting_points.status l_lo.mp = Meeting_points.Simulate
@@ -845,7 +888,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
       if observing then record_mp_status ();
       Trace.Sink.span_begin sink ~id:pr.sp_mp ~iter:it;
-      meeting_points_phase net slots step parties fc pr ~iter:it ~tau:params.Params.tau;
+      meeting_points_phase net tp parties fc pr ~iter:it ~tau:params.Params.tau;
       Trace.Sink.span_end sink ~id:pr.sp_mp ~iter:it;
       if observing then count_mp_transitions ~iter:it;
       let statuses = compute_statuses parties ~alive in
@@ -853,7 +896,8 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       Trace.Sink.span_begin sink ~id:pr.sp_flag ~iter:it;
       let net_corrects =
         if params.Params.flag_passing then
-          Flag_passing.run_buf ~alive ?probe:flag_probe net flag_sched ~slots ~statuses
+          Flag_passing.run_active ~alive ?probe:flag_probe net flag_sched ~active:tp.active
+            ~statuses
         else statuses
       in
       Trace.Sink.span_end sink ~id:pr.sp_flag ~iter:it;
@@ -871,11 +915,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             (String.concat ""
                (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
       Trace.Sink.span_begin sink ~id:pr.sp_sim ~iter:it;
-      simulation_phase net slots step parties fc ch ~iter:it ~n_real;
+      simulation_phase net tp parties fc ch ~iter:it ~n_real;
       Trace.Sink.span_end sink ~id:pr.sp_sim ~iter:it;
       if params.Params.rewind then begin
         Trace.Sink.span_begin sink ~id:pr.sp_rewind ~iter:it;
-        rewind_phase net slots step parties fc pr ~iter:it;
+        rewind_phase net tp parties fc pr ~iter:it;
         Trace.Sink.span_end sink ~id:pr.sp_rewind ~iter:it
       end;
       if config.Config.trace || observing then begin
@@ -917,7 +961,8 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
           let min_len =
             Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
           in
-          Replayer.output p.repl ~transcripts:(transcripts_fn p) ~upto:(min n_real min_len))
+          Replayer.output p.repl ~transcripts:(transcripts_fn graph p)
+            ~upto:(min n_real min_len))
         parties
     in
     Trace.Sink.span_end sink ~id:pr.sp_output ~iter:(-1);

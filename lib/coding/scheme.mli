@@ -94,11 +94,6 @@ module Config : sig
             assignment from the run's [rng] *)
     spy_hook : (spy -> unit) option;
         (** hand a non-oblivious adversary its read access (§6) *)
-    legacy_transport : bool;
-        (** benchmark-only: drive every phase through
-            {!Netsim.Network.round_via_lists}, reproducing the pre-slot
-            list transport's allocation profile.  Semantically
-            identical; never faster. *)
     faults : Faults.Plan.t;
         (** deterministic fault schedule applied to the execution
             (crashes, link stalls, noise overload, state rot);
@@ -116,15 +111,14 @@ module Config : sig
   }
 
   val default : t
-  (** No trace, disabled sink, pseudorandom inputs, no spy, slot
-      transport, no faults, no watchdogs. *)
+  (** No trace, disabled sink, pseudorandom inputs, no spy, no faults,
+      no watchdogs. *)
 
   val make :
     ?trace:bool ->
     ?sink:Trace.Sink.t ->
     ?inputs:int array ->
     ?spy_hook:(spy -> unit) ->
-    ?legacy_transport:bool ->
     ?faults:Faults.Plan.t ->
     ?max_wall_s:float ->
     ?max_iterations:int ->

@@ -1,7 +1,9 @@
-(* Slot buffers: the zero-allocation transport representation.  A buffer
-   holds one Z3-encoded symbol per directed link (0, 1 are bits; 2 is
-   silence ∗) and is reused across rounds, so the hot path never builds
-   or destructures (src, dst, bit) lists. *)
+(* Slot buffers: the dense zero-allocation transport representation.  A
+   buffer holds one Z3-encoded symbol per directed link (0, 1 are bits; 2
+   is silence ∗) and is reused across rounds.  Since the sparse
+   active-link API landed this is the differential-testing oracle: every
+   round costs O(2m) regardless of traffic, which is exactly the
+   per-round cost model the sparse path exists to beat. *)
 module Slots = struct
   type t = int array
 
@@ -32,6 +34,116 @@ module Slots = struct
       if t.(dir) <> silent then incr c
     done;
     !c
+end
+
+(* The sparse active-link buffer: per-round cost O(links that carry a
+   symbol), not O(2m).  Each direction owns one word packing its 2-bit
+   Z3 symbol lane next to the epoch that stamped it
+   ([(epoch lsl 2) lor code]), so [begin_round] is O(1) (bump the
+   epoch), membership is O(1) (compare the stamped epoch), a symbol
+   write is a single store with no read-modify-write, and no per-round
+   clearing of the 2m-slot space ever happens.  The [dirs] list records
+   the touched directions for O(active) iteration; it is kept sorted
+   lazily (phase drivers emit in ascending dir order, so the sort almost
+   never runs outside noisy rounds). *)
+module Active = struct
+  type t = {
+    len : int; (* 2m *)
+    word : int array; (* dir -> (epoch lsl 2) lor code; stale iff epoch differs *)
+    dirs : int array; (* touched dirs, first [n_active] entries *)
+    mutable n_active : int;
+    mutable epoch : int;
+    mutable spoken : int; (* touched dirs currently holding a bit *)
+    mutable sorted : bool;
+  }
+
+  let of_length two_m =
+    {
+      len = two_m;
+      word = Array.make (max 1 two_m) 0;
+      dirs = Array.make (max 1 two_m) 0;
+      n_active = 0;
+      epoch = 1;
+      spoken = 0;
+      sorted = true;
+    }
+
+  let create graph = of_length (2 * Topology.Graph.m graph)
+  let length t = t.len
+
+  (* The current Z3 symbol of a direction: silence unless stamped. *)
+  let sym t ~dir =
+    let w = t.word.(dir) in
+    if w lsr 2 = t.epoch then w land 3 else Slots.silent
+
+  let push t dir =
+    if t.sorted && t.n_active > 0 && dir < t.dirs.(t.n_active - 1) then t.sorted <- false;
+    t.dirs.(t.n_active) <- dir;
+    t.n_active <- t.n_active + 1
+
+  let write t ~dir c =
+    let w = t.word.(dir) in
+    let prev = if w lsr 2 = t.epoch then w land 3 else (push t dir; Slots.silent) in
+    if prev = Slots.silent then begin
+      if c <> Slots.silent then t.spoken <- t.spoken + 1
+    end
+    else if c = Slots.silent then t.spoken <- t.spoken - 1;
+    t.word.(dir) <- (t.epoch lsl 2) lor c
+
+  let begin_round t =
+    t.epoch <- t.epoch + 1;
+    t.n_active <- 0;
+    t.spoken <- 0;
+    t.sorted <- true
+
+  (* The hot path — every speaking link goes through here every round,
+     so it must stay competitive with a dense slot store: one word load
+     (membership + previous symbol at once), one word store, and unsafe
+     accesses once [dir] is range-checked. *)
+  let send t ~dir bit =
+    if dir < 0 || dir >= t.len then invalid_arg "Network.Active.send: dir out of range";
+    let w = Array.unsafe_get t.word dir in
+    if w lsr 2 = t.epoch then begin
+      if w land 3 = Slots.silent then t.spoken <- t.spoken + 1
+    end
+    else begin
+      if t.sorted && t.n_active > 0 && dir < Array.unsafe_get t.dirs (t.n_active - 1) then
+        t.sorted <- false;
+      Array.unsafe_set t.dirs t.n_active dir;
+      t.n_active <- t.n_active + 1;
+      t.spoken <- t.spoken + 1
+    end;
+    Array.unsafe_set t.word dir ((t.epoch lsl 2) lor (if bit then 1 else 0))
+
+  let unsend t ~dir =
+    if t.word.(dir) lsr 2 = t.epoch then write t ~dir Slots.silent
+
+  let get t ~dir =
+    match sym t ~dir with 0 -> Some false | 1 -> Some true | _ -> None
+
+  let is_silent t ~dir = sym t ~dir = Slots.silent
+  let count t = t.spoken
+  let touched t = t.n_active
+
+  let sort t =
+    if not t.sorted then begin
+      let sub = Array.sub t.dirs 0 t.n_active in
+      Array.sort compare sub;
+      Array.blit sub 0 t.dirs 0 t.n_active;
+      t.sorted <- true
+    end
+
+  (* Every entry of [dirs] was stamped this epoch and words only change
+     within an epoch, so the per-dir epoch check is not needed here. *)
+  let iter t f =
+    sort t;
+    for i = 0 to t.n_active - 1 do
+      let dir = Array.unsafe_get t.dirs i in
+      match Array.unsafe_get t.word dir land 3 with
+      | 0 -> f ~dir false
+      | 1 -> f ~dir true
+      | _ -> ()
+    done
 end
 
 type stats = {
@@ -67,8 +179,12 @@ type t = {
   mutable phase : Adversary.phase;
   (* Directed link id -> (src, dst). *)
   dir_ends : (int * int) array;
-  addends : int array; (* per-round adversary addends, reused *)
-  scratch : Slots.t; (* scratch buffer for silence / round_via_lists *)
+  addends : int array; (* per-round adversary addends (dense path), reused *)
+  (* Per-round dedup stamps for adaptive corruption requests on the
+     sparse path (the dense path dedups through [addends]). *)
+  adv_stamp : int array;
+  mutable adv_epoch : int;
+  scratch : Active.t; (* scratch buffer for [silence] *)
   (* Trace probes.  The sink defaults to the disabled singleton, so the
      probe sites below cost one branch per corrupted slot and nothing on
      clean slots. *)
@@ -103,16 +219,20 @@ let create graph adversary =
     iteration = -1;
     phase = Adversary.Idle;
     dir_ends = dir_endpoints graph;
-    addends = Array.make two_m 0;
-    scratch = Slots.of_length two_m;
+    addends = Array.make (max 1 two_m) 0;
+    adv_stamp = Array.make (max 1 two_m) 0;
+    adv_epoch = 0;
+    scratch = Active.of_length two_m;
     trace = Trace.Sink.disabled;
     tr_corrupt = 0;
     tr_injected = 0;
     tr_stalled = 0;
   }
 
+let two_m t = Array.length t.dir_ends
 let graph t = t.graph
-let slots t = Slots.of_length (Array.length t.addends)
+let slots t = Slots.of_length (two_m t)
+let active t = Active.of_length (two_m t)
 let link_ends t ~dir = t.dir_ends.(dir)
 let set_fault_hooks t hooks = t.faults <- hooks
 
@@ -130,8 +250,8 @@ let set_phase t ~iteration ~phase =
 let decode = function 0 -> Some false | 1 -> Some true | _ -> None
 
 (* The adaptive strategy interface predates the slot API and consumes a
-   (src, dst, bit) list; rebuild one (ascending dir order) only on that
-   path. *)
+   (src, dst, bit) list in ascending dir order; both transports rebuild
+   one only on that path. *)
 let sends_of_slots t (slots : Slots.t) =
   let acc = ref [] in
   for d = Array.length slots - 1 downto 0 do
@@ -143,8 +263,28 @@ let sends_of_slots t (slots : Slots.t) =
   done;
   !acc
 
+let sends_of_active t (act : Active.t) =
+  let acc = ref [] in
+  Active.iter act (fun ~dir bit ->
+      let src, dst = t.dir_ends.(dir) in
+      acc := (src, dst, bit) :: !acc);
+  List.rev !acc
+
+(* Adaptive budget for this round, shared by both transports. *)
+let adaptive_budget t budget =
+  let scale =
+    match t.faults with
+    | None -> 1.
+    | Some h -> Float.max 1. (h.budget_scale ~round:t.round_no)
+  in
+  let b = budget t.cc in
+  (* Stay in integers when unscaled: budgets like [max_int] do not
+     survive a float round-trip. *)
+  let b = if scale = 1. then b else int_of_float (Float.min (scale *. float_of_int b) 4e18) in
+  max 0 (b - t.corruptions)
+
 let round_buf t (slots : Slots.t) =
-  let two_m = Array.length t.addends in
+  let two_m = two_m t in
   if Array.length slots <> two_m then
     invalid_arg "Network.round_buf: buffer length mismatch";
   for d = 0 to two_m - 1 do
@@ -171,16 +311,7 @@ let round_buf t (slots : Slots.t) =
             t.addends.(d) <- ((forced - slots.(d)) mod 3 + 3) mod 3
       done
   | Adversary.Adaptive { budget; strategy } ->
-      let scale =
-        match t.faults with
-        | None -> 1.
-        | Some h -> Float.max 1. (h.budget_scale ~round:t.round_no)
-      in
-      let b = budget t.cc in
-      (* Stay in integers when unscaled: budgets like [max_int] do not
-         survive a float round-trip. *)
-      let b = if scale = 1. then b else int_of_float (Float.min (scale *. float_of_int b) 4e18) in
-      let budget_left = max 0 (b - t.corruptions) in
+      let budget_left = adaptive_budget t budget in
       let ctx =
         Adversary.
           {
@@ -232,39 +363,96 @@ let round_buf t (slots : Slots.t) =
       done);
   t.round_no <- t.round_no + 1
 
-(* Benchmark aid: performs [round_buf]'s contract with the allocation
-   profile of the pre-slot-buffer list transport — the send list is
-   reconstructed and resolved entry by entry through [dir_id] into a
-   scratch buffer, the round runs there, and a delivered list is built
-   and written back into the caller's buffer.  Never use it outside
-   measurements. *)
-let round_via_lists t (slots : Slots.t) =
-  let sends = sends_of_slots t slots in
-  let scratch = t.scratch in
-  Slots.clear scratch;
-  List.iter
-    (fun (src, dst, bit) ->
-      Slots.set scratch ~dir:(Topology.Graph.dir_id t.graph ~src ~dst) bit)
-    sends;
-  round_buf t scratch;
-  let delivered = ref [] in
-  for d = Array.length scratch - 1 downto 0 do
-    match decode scratch.(d) with
-    | None -> ()
-    | Some bit ->
-        let src, dst = t.dir_ends.(d) in
-        delivered := (src, dst, bit) :: !delivered
-  done;
-  Slots.clear slots;
-  List.iter
-    (fun (src, dst, bit) ->
-      Slots.set slots ~dir:(Topology.Graph.dir_id t.graph ~src ~dst) bit)
-    !delivered
+(* The sparse round.  Observationally identical to [round_buf] — same
+   adversary query order (ascending dir), same corruption application
+   order, same accounting, same trace events — but the Silent-adversary,
+   hook-free path touches only the active links.  Oblivious patterns are
+   a function over all 2m directions (insertions can land anywhere), so
+   evaluating them is inherently O(2m); the same holds for installed
+   fault hooks.  Adaptive adversaries are naturally sparse: the strategy
+   returns the corruption list outright. *)
+let commit t (act : Active.t) =
+  let two_m = two_m t in
+  if Active.length act <> two_m then invalid_arg "Network.commit: buffer length mismatch";
+  t.cc <- t.cc + Active.count act;
+  let corrupt ~dir a =
+    t.corruptions <- t.corruptions + 1;
+    Active.write act ~dir ((Active.sym act ~dir + a) mod 3);
+    Trace.Sink.count t.trace ~id:t.tr_corrupt ~iter:t.round_no ~arg:dir 1
+  in
+  (match t.adversary with
+  | Adversary.Silent -> ()
+  | Adversary.Oblivious pattern ->
+      for d = 0 to two_m - 1 do
+        let a = pattern ~round:t.round_no ~dir:d in
+        assert (a >= 0 && a <= 2);
+        if a <> 0 then corrupt ~dir:d a
+      done
+  | Adversary.Oblivious_fixing pattern ->
+      for d = 0 to two_m - 1 do
+        match pattern ~round:t.round_no ~dir:d with
+        | None -> ()
+        | Some forced ->
+            assert (forced >= 0 && forced <= 2);
+            let a = ((forced - Active.sym act ~dir:d) mod 3 + 3) mod 3 in
+            if a <> 0 then corrupt ~dir:d a
+      done
+  | Adversary.Adaptive { budget; strategy } ->
+      let budget_left = adaptive_budget t budget in
+      let ctx =
+        Adversary.
+          {
+            round = t.round_no;
+            iteration = t.iteration;
+            phase = t.phase;
+            graph = t.graph;
+            cc_sent = t.cc;
+            corruptions = t.corruptions;
+            budget_left;
+            sends = sends_of_active t act;
+          }
+      in
+      (* Accept requests in strategy order (budget + dedup, as the dense
+         path does through [addends]), then apply in ascending dir order
+         so corruption counters and trace events match byte for byte. *)
+      t.adv_epoch <- t.adv_epoch + 1;
+      let left = ref budget_left in
+      let accepted = ref [] in
+      List.iter
+        (fun (d, a) ->
+          if
+            d >= 0 && d < two_m && (a = 1 || a = 2)
+            && t.adv_stamp.(d) <> t.adv_epoch
+            && !left > 0
+          then begin
+            t.adv_stamp.(d) <- t.adv_epoch;
+            accepted := (d, a) :: !accepted;
+            decr left
+          end)
+        (strategy ctx);
+      List.iter (fun (d, a) -> corrupt ~dir:d a) (List.sort compare !accepted));
+  (match t.faults with
+  | None -> ()
+  | Some h ->
+      for d = 0 to two_m - 1 do
+        let a = h.extra_addend ~round:t.round_no ~dir:d in
+        if a <> 0 then begin
+          t.injected <- t.injected + 1;
+          Active.write act ~dir:d ((Active.sym act ~dir:d + a) mod 3);
+          Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:d 1
+        end;
+        if Active.sym act ~dir:d <> 2 && h.stall ~round:t.round_no ~dir:d then begin
+          t.stalled <- t.stalled + 1;
+          Active.write act ~dir:d 2;
+          Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:d 1
+        end
+      done);
+  t.round_no <- t.round_no + 1
 
 let silence t ~rounds =
   for _ = 1 to rounds do
-    Slots.clear t.scratch;
-    round_buf t t.scratch
+    Active.begin_round t.scratch;
+    commit t t.scratch
   done
 
 let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc

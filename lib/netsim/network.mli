@@ -5,13 +5,24 @@
     adversary transforms each of the 2m directed-link slots (including
     silent ones, enabling insertions); the network delivers what survives.
 
-    The transport representation is a reusable {!Slots} buffer holding
-    one symbol per directed link.  The allocation-free entry point is
-    {!round_buf}: callers write their transmissions into a preallocated
-    buffer, the network applies the adversary {e in place}, and callers
-    read what was delivered out of the same buffer.  (The historical
-    list-based [round] shim is gone; {!round_via_lists} reproduces its
-    allocation profile for benchmarks.)
+    Two transport representations share the round semantics:
+
+    - the sparse {!Active} buffer — the primary API.  Parties declare a
+      round with {!Active.begin_round} (O(1): an epoch bump, no clearing
+      of the 2m-slot space), write bits on the links that actually carry
+      a symbol, and hand the buffer to {!commit}.  Per-round cost is
+      O(active links) plus whatever the adversary model inherently
+      requires (oblivious patterns and fault hooks are functions over
+      all 2m directions, so those paths scan; a silent or adaptive
+      adversary keeps the round fully sparse).  This is what lets the
+      simulation scale to thousands of parties whose phase drivers leave
+      most links idle most rounds.
+
+    - the dense {!Slots} buffer with {!round_buf} — one int per directed
+      link, O(2m) every round.  Retained as the differential-testing
+      oracle: {!commit} is observationally identical (same adversary
+      query order, same corruption and trace ordering, same accounting),
+      which the netsim test suite checks byte for byte.
 
     The network keeps the two books the paper's accounting needs:
     - [cc]: the number of transmissions the parties actually sent — the
@@ -20,12 +31,13 @@
       fraction of the instance is [corruptions / cc].
     Both are exposed together through {!stats}. *)
 
-(** A preallocated buffer of 2m directed-link slots, indexed by the
+(** A preallocated dense buffer of 2m directed-link slots, indexed by the
     {!Topology.Graph.dir_id} of the link.  Each slot holds a bit or
     silence (the paper's ∗).  Buffers are reused across rounds: [clear]
     then [set] the transmissions, hand the buffer to {!round_buf}, then
-    [get]/[iter] the delivered symbols — no lists, no per-round
-    allocation. *)
+    [get]/[iter] the delivered symbols.  Every operation on the round
+    path is O(2m) — use {!Active} unless you specifically want the dense
+    oracle. *)
 module Slots : sig
   type t
 
@@ -36,7 +48,7 @@ module Slots : sig
   (** Number of slots (2m). *)
 
   val clear : t -> unit
-  (** Reset every slot to silence. *)
+  (** Reset every slot to silence (O(2m)). *)
 
   val set : t -> dir:int -> bool -> unit
   (** Submit a bit on a directed link (overwrites the slot). *)
@@ -56,6 +68,54 @@ module Slots : sig
   (** Number of non-silent slots. *)
 end
 
+(** The sparse active-link buffer.  Symbols live in bit-packed 2-bit
+    lanes (four per byte); validity is epoch-stamped, so starting a round
+    never touches the 2m-slot space.  Costs: {!begin_round} O(1),
+    {!send}/{!get}/{!is_silent}/{!count} O(1), {!iter} O(active) — plus
+    one sort of the active set if writes arrived out of ascending dir
+    order (phase drivers emit in order, so the sort is idle there).
+
+    A buffer is bound to a buffer length, not a network; reuse one
+    across as many rounds as you like ({!begin_round} invalidates all
+    previous writes).  After {!commit} the same buffer holds the
+    delivered round. *)
+module Active : sig
+  type t
+
+  val create : Topology.Graph.t -> t
+  (** A fresh buffer sized for the graph (2m lanes), in an empty round. *)
+
+  val length : t -> int
+  (** Number of lanes (2m). *)
+
+  val begin_round : t -> unit
+  (** Start a new round: every direction reverts to silence.  O(1). *)
+
+  val send : t -> dir:int -> bool -> unit
+  (** Submit a bit on a directed link (overwrites).  Raises
+      [Invalid_argument] if [dir] is out of range. *)
+
+  val unsend : t -> dir:int -> unit
+  (** Retract this round's symbol on a link, if any. *)
+
+  val get : t -> dir:int -> bool option
+  (** The direction's symbol this round; [None] is silence.  O(1). *)
+
+  val is_silent : t -> dir:int -> bool
+
+  val count : t -> int
+  (** Number of non-silent directions this round.  O(1). *)
+
+  val touched : t -> int
+  (** Number of directions written this round (including ones written
+      and then silenced again) — the buffer's actual working-set size,
+      reported by the scale bench. *)
+
+  val iter : t -> (dir:int -> bool -> unit) -> unit
+  (** Visit every non-silent direction in ascending dir order.
+      O(active), independent of 2m. *)
+end
+
 type stats = {
   rounds : int;  (** rounds elapsed *)
   cc : int;  (** transmissions sent — the instance's CC *)
@@ -67,7 +127,7 @@ type stats = {
 
 (** Environment faults beyond the adversary's accounted budget, supplied
     by the fault engine (lib/faults) through {!set_fault_hooks} and
-    applied inside {!round_buf} {e after} the adversary:
+    applied inside {!commit} / {!round_buf} {e after} the adversary:
     - [extra_addend ~round ~dir] returns a Z3 addend (0 = none) applied
       to the slot and booked under [stats.injected];
     - [stall ~round ~dir] forces the slot silent (booked under
@@ -75,7 +135,9 @@ type stats = {
     - [budget_scale ~round] multiplies an adaptive adversary's running
       budget for the round (values ≤ 1 leave it unchanged).
     Fault events are accounted separately from [corruptions] /
-    [noise_fraction], which keep meaning "budgeted model noise". *)
+    [noise_fraction], which keep meaning "budgeted model noise".  Hooks
+    are queried for every direction, so installing them makes every
+    round O(2m) on both transports. *)
 type fault_hooks = {
   stall : round:int -> dir:int -> bool;
   extra_addend : round:int -> dir:int -> int;
@@ -88,17 +150,20 @@ val create : Topology.Graph.t -> Adversary.t -> t
 val graph : t -> Topology.Graph.t
 
 val slots : t -> Slots.t
-(** A fresh slot buffer sized for this network. *)
+(** A fresh dense slot buffer sized for this network. *)
+
+val active : t -> Active.t
+(** A fresh sparse buffer sized for this network. *)
 
 val link_ends : t -> dir:int -> int * int
 (** (src, dst) endpoints of a directed link id. *)
 
 val set_fault_hooks : t -> fault_hooks option -> unit
 (** Install (or clear) the fault engine's hooks.  [None] — the default —
-    keeps {!round_buf} on its zero-overhead path. *)
+    keeps rounds on the zero-overhead path. *)
 
 val set_trace : t -> Trace.Sink.t -> unit
-(** Attach a trace sink.  {!round_buf} then emits one [net.corrupt] /
+(** Attach a trace sink.  Rounds then emit one [net.corrupt] /
     [net.injected] / [net.stalled] count per affected slot, tagged with
     the round ([iter]) and directed link ([arg]) — adversary corruptions
     and fault-engine events stay distinguishable per link per round.
@@ -110,22 +175,22 @@ val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
     label leaks no private state: the schedule of phases is public by
     construction (each phase has an a-priori fixed number of rounds). *)
 
-val round_buf : t -> Slots.t -> unit
-(** [round_buf t slots] executes one synchronous round in place: on
-    entry [slots] holds the parties' transmissions for the round; on
-    return it holds what the network delivered.  Substituted bits are
-    altered, deleted ones become silence, inserted ones appear in slots
-    that were silent.  Raises [Invalid_argument] if the buffer's length
-    does not match the network.  Allocation-free for silent, oblivious
-    and fixing adversaries. *)
+val commit : t -> Active.t -> unit
+(** [commit t act] executes one synchronous round in place on the sparse
+    buffer: on entry [act] holds the parties' transmissions (everything
+    since its last [begin_round]); on return it holds what the network
+    delivered.  Substituted bits are altered, deleted ones become
+    silence, inserted ones appear on links that were silent.  Raises
+    [Invalid_argument] on buffer length mismatch.  Cost: O(active) under
+    a silent adversary with no fault hooks; O(active + |strategy list|)
+    under an adaptive one; O(2m) when an oblivious pattern or fault
+    hooks must be consulted per direction. *)
 
-val round_via_lists : t -> Slots.t -> unit
-(** Same contract as {!round_buf}, but with the allocation profile of
-    the pre-slot-buffer list transport: a (src, dst, bit) send list is
-    reconstructed and resolved entry by entry through dir ids, and the
-    delivered symbols travel back through a freshly built list.  Kept so
-    benchmarks can compare both profiles in one binary; never use it
-    outside measurements. *)
+val round_buf : t -> Slots.t -> unit
+(** Dense-oracle variant of {!commit} over a {!Slots} buffer — same
+    contract, same observable behaviour (identical corruption order,
+    accounting and trace events), always O(2m).  Kept for differential
+    tests and dense-baseline benchmarks. *)
 
 val silence : t -> rounds:int -> unit
 (** Let [rounds] rounds pass with no party speaking (insertions may still

@@ -24,7 +24,7 @@ let classify name =
   else if
     List.exists
       (fun needle -> lowercase_contains ~needle name)
-      [ "wall"; "per_sec"; "per_trial"; "overhead"; "speedup"; "_ns"; "words"; "alloc"; "prof."; "_s." ]
+      [ "wall"; "per_sec"; "per_trial"; "overhead"; "speedup"; "_ns"; "words"; "alloc"; "prof."; "_s."; "rss"; "heap" ]
     || (let n = String.length name in n >= 2 && String.sub name (n - 2) 2 = "_s")
   then `Timed
   else `Exact

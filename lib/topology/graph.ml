@@ -2,7 +2,12 @@ type t = {
   n : int;
   edges : (int * int) array;
   adj : int array array;
-  ids : (int * int, int) Hashtbl.t;
+  (* adj_eid.(v).(i) is the edge id of {v, adj.(v).(i)} — a CSR-style
+     parallel array, so edge/dir id lookups are an allocation-free binary
+     search over the sorted adjacency instead of a tuple-keyed hashtable
+     probe (the hashtable was the O(1)-but-allocating bottleneck at
+     n = 10k, where scheme setup performs O(m) lookups). *)
+  adj_eid : int array array;
 }
 
 type tree = {
@@ -25,17 +30,33 @@ let max_degree t =
   done;
   !d
 
-let are_adjacent t u v = Hashtbl.mem t.ids (min u v, max u v)
+(* Binary search of [u] in the sorted adjacency of [v]; -1 if absent. *)
+let adj_index t v u =
+  let a = t.adj.(v) in
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = Array.unsafe_get a mid in
+    if x = u then found := mid else if x < u then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let are_adjacent t u v =
+  u >= 0 && u < t.n && v >= 0 && v < t.n && adj_index t u v >= 0
+
+let neighbor_index t v u =
+  match adj_index t v u with -1 -> raise Not_found | i -> i
 
 let edge_id t u v =
-  match Hashtbl.find_opt t.ids (min u v, max u v) with
-  | Some id -> id
-  | None -> raise Not_found
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then raise Not_found;
+  (* Search from the lower-degree endpoint. *)
+  let a, b = if degree t u <= degree t v then (u, v) else (v, u) in
+  match adj_index t a b with -1 -> raise Not_found | i -> t.adj_eid.(a).(i)
 
 let dir_id t ~src ~dst = (2 * edge_id t src dst) + if src < dst then 0 else 1
 
-let bfs_dist t root =
-  let dist = Array.make t.n (-1) in
+let bfs_dist_into t root dist =
+  Array.fill dist 0 t.n (-1);
   dist.(root) <- 0;
   let q = Queue.create () in
   Queue.add root q;
@@ -48,7 +69,11 @@ let bfs_dist t root =
           Queue.add v q
         end)
       t.adj.(u)
-  done;
+  done
+
+let bfs_dist t root =
+  let dist = Array.make t.n (-1) in
+  bfs_dist_into t root dist;
   dist
 
 let create ~n ~edges =
@@ -63,25 +88,71 @@ let create ~n ~edges =
       Hashtbl.add ids key i)
     edges;
   let adj_lists = Array.make n [] in
-  List.iter
-    (fun (u, v) ->
-      adj_lists.(u) <- v :: adj_lists.(u);
-      adj_lists.(v) <- u :: adj_lists.(v))
+  List.iteri
+    (fun i (u, v) ->
+      adj_lists.(u) <- (v, i) :: adj_lists.(u);
+      adj_lists.(v) <- (u, i) :: adj_lists.(v))
     edges;
-  let adj = Array.map (fun l -> Array.of_list (List.sort compare l)) adj_lists in
-  let t = { n; edges = Array.of_list edges; adj; ids } in
+  let sorted = Array.map (fun l -> Array.of_list (List.sort compare l)) adj_lists in
+  let adj = Array.map (Array.map fst) sorted in
+  let adj_eid = Array.map (Array.map snd) sorted in
+  let t = { n; edges = Array.of_list edges; adj; adj_eid } in
   if n > 1 then begin
     let dist = bfs_dist t 0 in
     if Array.exists (fun d -> d < 0) dist then invalid_arg "Graph.create: not connected"
   end;
   t
 
+(* Exact diameter via the iFUB scheme: BFS from a double-sweep midpoint,
+   then sweep its levels top-down, running one eccentricity BFS per node
+   until the remaining levels cannot beat the bound (2·level ≤ best).
+   Worst case is still all-pairs BFS, but on the generators used here
+   (grids, tori, hypercubes, random-regular) it terminates after a
+   handful of BFS passes — the all-pairs version was the O(n·m) wall at
+   n = 10k. *)
 let diameter t =
-  let d = ref 0 in
-  for v = 0 to t.n - 1 do
-    Array.iter (fun x -> d := max !d x) (bfs_dist t v)
-  done;
-  !d
+  if t.n = 1 then 0
+  else begin
+    let dist = Array.make t.n (-1) in
+    let scratch = Array.make t.n (-1) in
+    let farthest d =
+      let v = ref 0 in
+      for u = 1 to t.n - 1 do
+        if d.(u) > d.(!v) then v := u
+      done;
+      !v
+    in
+    let ecc d =
+      let e = ref 0 in
+      Array.iter (fun x -> if x > !e then e := x) d;
+      !e
+    in
+    (* Double sweep: a -> u (farthest) -> w (farthest from u). *)
+    bfs_dist_into t 0 dist;
+    let u = farthest dist in
+    bfs_dist_into t u dist;
+    let w = farthest dist in
+    let lb = ref dist.(w) in
+    (* Midpoint of the u-w path as iFUB root. *)
+    let half = dist.(w) / 2 in
+    bfs_dist_into t w scratch;
+    let root = ref u in
+    for v = 0 to t.n - 1 do
+      if dist.(v) = half && dist.(v) + scratch.(v) = dist.(w) then root := v
+    done;
+    bfs_dist_into t !root dist;
+    (* Nodes by decreasing level from the root. *)
+    let order = Array.init t.n (fun v -> v) in
+    Array.sort (fun a b -> compare dist.(b) dist.(a)) order;
+    let i = ref 0 in
+    while !i < t.n && 2 * dist.(order.(!i)) > !lb do
+      bfs_dist_into t order.(!i) scratch;
+      let e = ecc scratch in
+      if e > !lb then lb := e;
+      incr i
+    done;
+    !lb
+  end
 
 (* --- generators --- *)
 
@@ -141,7 +212,7 @@ let random_connected rng ~n ~extra_edges =
   create ~n ~edges:!edges
 
 let hypercube d =
-  if d < 1 || d > 10 then invalid_arg "Graph.hypercube: dimension in 1..10";
+  if d < 1 || d > 14 then invalid_arg "Graph.hypercube: dimension in 1..14";
   let n = 1 lsl d in
   let edges = ref [] in
   for v = 0 to n - 1 do
@@ -168,31 +239,47 @@ let random_regular rng ~n ~degree =
   if degree < 2 || degree >= n then invalid_arg "Graph.random_regular: degree";
   if n * degree mod 2 <> 0 then invalid_arg "Graph.random_regular: n * degree odd";
   (* Pairing model with bounded retries per attempt; re-attempt until the
-     result is connected. *)
+     result is connected.  The unsaturated-vertex pool is a swap-remove
+     array and the edge count a counter, so one attempt is O(n·degree)
+     expected — the previous List.length / rebuild-the-candidate-list
+     body was O((n·degree)²) and took minutes at n = 10k. *)
   let attempt () =
     let present = Hashtbl.create (n * degree / 2) in
     let deg = Array.make n 0 in
     let edges = ref [] in
+    let n_edges = ref 0 in
+    let target = n * degree / 2 in
+    (* pool.(0 .. pool_len-1) are the vertices with deg < degree;
+       pos.(v) is v's index in pool, -1 once saturated. *)
+    let pool = Array.init n (fun v -> v) in
+    let pos = Array.init n (fun v -> v) in
+    let pool_len = ref n in
+    let saturate v =
+      if deg.(v) >= degree && pos.(v) >= 0 then begin
+        let i = pos.(v) and last = !pool_len - 1 in
+        let w = pool.(last) in
+        pool.(i) <- w;
+        pos.(w) <- i;
+        pos.(v) <- -1;
+        pool_len := last
+      end
+    in
     let stuck = ref 0 in
-    while List.length !edges < n * degree / 2 && !stuck < 200 do
-      let candidates = ref [] in
-      for v = 0 to n - 1 do
-        if deg.(v) < degree then candidates := v :: !candidates
-      done;
-      match !candidates with
-      | [] -> stuck := 200
-      | cs ->
-          let pick () = List.nth cs (Util.Rng.int rng (List.length cs)) in
-          let u = pick () and v = pick () in
-          let key = (min u v, max u v) in
-          if u <> v && not (Hashtbl.mem present key) then begin
-            Hashtbl.replace present key ();
-            deg.(u) <- deg.(u) + 1;
-            deg.(v) <- deg.(v) + 1;
-            edges := (u, v) :: !edges;
-            stuck := 0
-          end
-          else incr stuck
+    while !n_edges < target && !stuck < 200 && !pool_len >= 2 do
+      let u = pool.(Util.Rng.int rng !pool_len) in
+      let v = pool.(Util.Rng.int rng !pool_len) in
+      let key = (min u v, max u v) in
+      if u <> v && not (Hashtbl.mem present key) then begin
+        Hashtbl.replace present key ();
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        edges := (u, v) :: !edges;
+        incr n_edges;
+        saturate u;
+        saturate v;
+        stuck := 0
+      end
+      else incr stuck
     done;
     (* Patch phase: vertices the pairing left behind get wired to random
        non-adjacent vertices, tolerating degree + 1 at the target. *)

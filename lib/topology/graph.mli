@@ -27,7 +27,14 @@ val are_adjacent : t -> int -> int -> bool
 
 val edge_id : t -> int -> int -> int
 (** [edge_id g u v] is the id of edge {u,v}; raises [Not_found] if absent.
-    Symmetric in u and v. *)
+    Symmetric in u and v.  Allocation-free binary search over the sorted
+    adjacency of the lower-degree endpoint (O(log deg)). *)
+
+val neighbor_index : t -> int -> int -> int
+(** [neighbor_index g v u] is the index of [u] inside [neighbors g v]
+    (binary search; raises [Not_found] if the edge is absent) — lets
+    per-party link tables be indexed without an O(n) lookup array per
+    party, which at n = 10k would be O(n²) memory. *)
 
 val dir_id : t -> src:int -> dst:int -> int
 (** Identifier in [0, 2m) of the directed link src→dst:
@@ -35,7 +42,11 @@ val dir_id : t -> src:int -> dst:int -> int
 
 val degree : t -> int -> int
 val max_degree : t -> int
+
 val diameter : t -> int
+(** Exact diameter (iFUB: double-sweep bound plus top-down eccentricity
+    refinement — a handful of BFS passes on the generators here, instead
+    of all-pairs BFS). *)
 
 (** {2 Generators} *)
 
@@ -56,7 +67,7 @@ val random_connected : Util.Rng.t -> n:int -> extra_edges:int -> t
     additional random non-parallel edges. *)
 
 val hypercube : int -> t
-(** The d-dimensional hypercube on 2^d nodes (1 ≤ d ≤ 10). *)
+(** The d-dimensional hypercube on 2^d nodes (1 ≤ d ≤ 14). *)
 
 val torus : rows:int -> cols:int -> t
 (** A 2D torus (grid with wraparound); requires rows, cols ≥ 3. *)
@@ -65,7 +76,8 @@ val random_regular : Util.Rng.t -> n:int -> degree:int -> t
 (** A connected near-d-regular simple graph via random pairing with a
     patch phase; requires [n * degree] even and [2 <= degree < n].  All
     degrees land in [degree − 1, degree + 1]; connectivity is retried
-    until achieved. *)
+    until achieved.  One attempt is O(n·degree) expected (swap-remove
+    unsaturated-vertex pool), so n = 10k builds in milliseconds. *)
 
 (** {2 Spanning trees (for the flag-passing phase)} *)
 

@@ -1,0 +1,29 @@
+let word_bytes = Sys.word_size / 8
+
+let heap_top_kb () = (Gc.stat ()).Gc.top_heap_words * word_bytes / 1024
+
+(* "VmHWM:    123456 kB" somewhere in /proc/self/status.  Parsed by hand
+   to stay dependency-free; any read or parse failure falls back to the
+   GC high-water mark. *)
+let proc_vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let digits = Buffer.create 8 in
+              String.iter
+                (fun c -> if c >= '0' && c <= '9' then Buffer.add_char digits c)
+                line;
+              int_of_string_opt (Buffer.contents digits)
+            else scan ()
+      in
+      let r = try scan () with _ -> None in
+      close_in_noerr ic;
+      r
+
+let peak_rss_kb () =
+  match proc_vmhwm_kb () with Some kb -> kb | None -> heap_top_kb ()

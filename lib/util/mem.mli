@@ -1,0 +1,17 @@
+(** Process-memory probes for the scale benches.
+
+    [peak_rss_kb] reads the peak resident set size (VmHWM) from
+    /proc/self/status where available (Linux); elsewhere it falls back to
+    an estimate from the GC's top heap words, which tracks the OCaml heap
+    but not malloc'd or mapped memory.  Either way the number is only
+    meaningful as a trajectory across runs of the same bench, which is
+    exactly how the observatory consumes it (classified as a timed
+    metric: compared within tolerance, never exactly). *)
+
+val peak_rss_kb : unit -> int
+(** Peak resident set size of the current process, in KiB. *)
+
+val heap_top_kb : unit -> int
+(** The GC's high-water mark ([Gc.stat ()].top_heap_words), in KiB —
+    the portable component of {!peak_rss_kb}'s fallback, exposed so
+    benches can report both. *)

@@ -1,8 +1,9 @@
 (* Tests for the synchronous noisy network: faithful delivery without
    noise, exact insertion/deletion/substitution semantics of the
-   additive adversary, and the differential guarantee that the
-   slot-buffer transport (round_buf) and the list-era reconstruction
-   (round_via_lists) are observationally identical. *)
+   additive adversary, and the differential guarantee that the sparse
+   active-link transport (Active + commit) and the dense slot-buffer
+   oracle (Slots + round_buf) are observationally identical — same
+   deliveries, same books, same trace events. *)
 
 open Netsim
 
@@ -339,7 +340,7 @@ let test_compose_rejects_out_of_model () =
   rejects "both out of model" adaptive fixing
 
 (* ------------------------------------------------------------------ *)
-(* Slot-buffer transport.                                             *)
+(* Transports: dense slot oracle and sparse active-link buffer.       *)
 (* ------------------------------------------------------------------ *)
 
 let test_slots_basics () =
@@ -363,34 +364,145 @@ let test_slots_basics () =
   Network.Slots.clear s;
   Alcotest.(check int) "clear empties" 0 (Network.Slots.count s)
 
-(* Drive one network with round_via_lists (the list-era transport's
-   reconstruction) and a twin with round_buf on the same (pure,
-   oblivious) adversary value; deliveries and stats must agree round for
-   round. *)
-let check_differential ~name g adv ~rounds ~sends_at =
-  let net_list = Network.create g adv in
-  let net_buf = Network.create g adv in
-  let sl = Network.slots net_list in
-  let slots = Network.slots net_buf in
+let test_active_basics () =
+  let a = Network.Active.create g4 in
+  Alcotest.(check int) "2m lanes" (2 * Topology.Graph.m g4) (Network.Active.length a);
+  Alcotest.(check int) "fresh buffer empty" 0 (Network.Active.count a);
+  let d01 = dir g4 0 1 and d21 = dir g4 2 1 and d10 = dir g4 1 0 in
+  (* Write out of ascending order: iter must still visit ascending. *)
+  Network.Active.send a ~dir:d21 false;
+  Network.Active.send a ~dir:d01 true;
+  Alcotest.(check (option bool)) "read back 1" (Some true) (Network.Active.get a ~dir:d01);
+  Alcotest.(check (option bool)) "read back 0" (Some false) (Network.Active.get a ~dir:d21);
+  Alcotest.(check (option bool)) "untouched silent" None (Network.Active.get a ~dir:d10);
+  Alcotest.(check bool) "is_silent false" false (Network.Active.is_silent a ~dir:d01);
+  Alcotest.(check bool) "is_silent true" true (Network.Active.is_silent a ~dir:d10);
+  Alcotest.(check int) "count 2" 2 (Network.Active.count a);
+  let seen = ref [] in
+  Network.Active.iter a (fun ~dir bit -> seen := (dir, bit) :: !seen);
+  Alcotest.(check bool) "iter ascending, non-silent only" true
+    (List.rev !seen = List.sort compare [ (d01, true); (d21, false) ]);
+  Network.Active.send a ~dir:d01 false;
+  Alcotest.(check (option bool)) "overwrite" (Some false) (Network.Active.get a ~dir:d01);
+  Alcotest.(check int) "overwrite keeps count" 2 (Network.Active.count a);
+  Network.Active.unsend a ~dir:d01;
+  Alcotest.(check (option bool)) "unsend silences" None (Network.Active.get a ~dir:d01);
+  Alcotest.(check int) "unsend drops count" 1 (Network.Active.count a);
+  Alcotest.(check int) "touched tracks writes" 2 (Network.Active.touched a);
+  Network.Active.begin_round a;
+  Alcotest.(check int) "begin_round empties" 0 (Network.Active.count a);
+  Alcotest.(check (option bool)) "begin_round silences" None (Network.Active.get a ~dir:d21)
+
+let test_active_epoch_reuse () =
+  (* One buffer across many rounds: each begin_round must fully
+     invalidate the previous round, with no clearing pass to rely on. *)
+  let a = Network.Active.create g4 in
+  let two_m = Network.Active.length a in
+  for r = 0 to 499 do
+    Network.Active.begin_round a;
+    let d = r mod two_m in
+    let bit = r mod 2 = 0 in
+    (* The lane for [d] holds stale bits from earlier epochs; reads must
+       see only this round's write. *)
+    Network.Active.send a ~dir:d bit;
+    Alcotest.(check (option bool))
+      (Printf.sprintf "round %d: own write visible" r)
+      (Some bit) (Network.Active.get a ~dir:d);
+    Alcotest.(check (option bool))
+      (Printf.sprintf "round %d: previous round's dir silent" r)
+      None
+      (Network.Active.get a ~dir:((d + 1) mod two_m));
+    Alcotest.(check int) (Printf.sprintf "round %d: count" r) 1 (Network.Active.count a)
+  done
+
+let test_sparse_empty_round () =
+  (* Committing an empty round still runs the adversary: an insertion
+     lands on a buffer nobody wrote to. *)
+  let adv = Adversary.single ~round:1 ~dir:(dir g4 3 2) ~addend:1 in
+  let net = Network.create g4 adv in
+  let a = Network.active net in
+  Network.Active.begin_round a;
+  Network.commit net a;
+  Alcotest.(check int) "round 0: nothing delivered" 0 (Network.Active.count a);
+  Network.Active.begin_round a;
+  Network.commit net a;
+  Alcotest.(check (option bool)) "round 1: insertion delivered" (Some false)
+    (Network.Active.get a ~dir:(dir g4 3 2));
+  Alcotest.(check int) "cc stays 0" 0 (cc net);
+  Alcotest.(check int) "one corruption" 1 (corruptions net);
+  Alcotest.(check int) "two rounds" 2 (rounds net)
+
+(* List-shaped delivery view of the sparse buffer, mirroring
+   [delivered_of_slots]. *)
+let delivered_of_active net act =
+  let out = ref [] in
+  Network.Active.iter act (fun ~dir bit ->
+      let src, dst = Network.link_ends net ~dir in
+      out := (src, dst, bit) :: !out);
+  List.rev !out
+
+let fill_active g act sends =
+  Network.Active.begin_round act;
+  List.iter
+    (fun (src, dst, bit) ->
+      Network.Active.send act ~dir:(Topology.Graph.dir_id g ~src ~dst) bit)
+    sends
+
+(* Drive one network with the dense oracle (round_buf) and a twin with
+   the sparse transport (commit) on the same (pure) adversary value and
+   identical traffic; deliveries, the books, and the emitted trace
+   events must agree round for round. *)
+let check_differential ?hooks ~name g adv ~rounds ~sends_at =
+  let net_dense = Network.create g adv in
+  let net_sparse = Network.create g adv in
+  let sink_dense = Trace.Sink.create () and sink_sparse = Trace.Sink.create () in
+  Network.set_trace net_dense sink_dense;
+  Network.set_trace net_sparse sink_sparse;
+  (match hooks with
+  | None -> ()
+  | Some h ->
+      Network.set_fault_hooks net_dense (Some h);
+      Network.set_fault_hooks net_sparse (Some h));
+  let slots = Network.slots net_dense in
+  let act = Network.active net_sparse in
   for r = 0 to rounds - 1 do
     let sends = sends_at r in
-    fill_slots g sl sends;
-    Network.round_via_lists net_list sl;
-    let d_list = delivered_of_slots net_list sl in
     fill_slots g slots sends;
-    Network.round_buf net_buf slots;
-    let d_buf = delivered_of_slots net_buf slots in
+    Network.round_buf net_dense slots;
+    let d_dense = delivered_of_slots net_dense slots in
+    fill_active g act sends;
+    Network.commit net_sparse act;
+    let d_sparse = delivered_of_active net_sparse act in
     Alcotest.(check (list (triple int int bool)))
       (Printf.sprintf "%s: delivery, round %d" name r)
-      d_list d_buf
+      d_dense d_sparse
   done;
-  let s_list = Network.stats net_list and s_buf = Network.stats net_buf in
-  Alcotest.(check int) (name ^ ": rounds") s_list.Network.rounds s_buf.Network.rounds;
-  Alcotest.(check int) (name ^ ": cc") s_list.Network.cc s_buf.Network.cc;
-  Alcotest.(check int) (name ^ ": corruptions") s_list.Network.corruptions
-    s_buf.Network.corruptions;
-  Alcotest.(check (float 1e-9)) (name ^ ": noise fraction") s_list.Network.noise_fraction
-    s_buf.Network.noise_fraction
+  let s_dense = Network.stats net_dense and s_sparse = Network.stats net_sparse in
+  Alcotest.(check int) (name ^ ": rounds") s_dense.Network.rounds s_sparse.Network.rounds;
+  Alcotest.(check int) (name ^ ": cc") s_dense.Network.cc s_sparse.Network.cc;
+  Alcotest.(check int) (name ^ ": corruptions") s_dense.Network.corruptions
+    s_sparse.Network.corruptions;
+  Alcotest.(check int) (name ^ ": stalled") s_dense.Network.stalled s_sparse.Network.stalled;
+  Alcotest.(check int) (name ^ ": injected") s_dense.Network.injected
+    s_sparse.Network.injected;
+  Alcotest.(check (float 1e-9)) (name ^ ": noise fraction") s_dense.Network.noise_fraction
+    s_sparse.Network.noise_fraction;
+  (* Event equality modulo the wall-clock stamp: same names, order,
+     rounds, links and values on both transports. *)
+  let norm evs =
+    List.map
+      (function
+        | Trace.Sink.Span_begin { name; iter; seq; _ } -> `Span_begin (name, iter, seq)
+        | Trace.Sink.Span_end { name; iter; seq; _ } -> `Span_end (name, iter, seq)
+        | Trace.Sink.Count { name; iter; arg; value; seq; _ } ->
+            `Count (name, iter, arg, value, seq)
+        | Trace.Sink.Gauge { name; iter; value; seq; _ } -> `Gauge (name, iter, value, seq))
+      evs
+  in
+  Alcotest.(check bool)
+    (name ^ ": identical trace event streams")
+    true
+    (norm (Trace.Sink.events sink_dense) = norm (Trace.Sink.events sink_sparse))
 
 let test_differential_substitution () =
   (* Addend 1 on a sent 0 flips it: pure substitution. *)
@@ -434,27 +546,54 @@ let test_differential_random () =
       ~rounds:40 ~sends_at
   done
 
-let test_round_via_lists_matches () =
-  (* The benchmark baseline transport must also be a drop-in. *)
+let test_differential_fault_hooks () =
+  (* Installed fault hooks (stalls + injected addends) must behave
+     identically on both transports — including the stall-beats-everything
+     ordering and the separate stalled/injected books. *)
+  let hooks =
+    Network.
+      {
+        stall = (fun ~round ~dir -> (round + dir) mod 7 = 0);
+        extra_addend = (fun ~round ~dir -> if ((round * 3) + dir) mod 11 = 0 then 1 else 0);
+        budget_scale = (fun ~round:_ -> 1.);
+      }
+  in
   let adv = Adversary.iid (Util.Rng.create 77) ~rate:0.15 in
-  let net_a = Network.create g4 adv in
-  let net_b = Network.create g4 adv in
-  let sa = Network.slots net_a and sb = Network.slots net_b in
-  for r = 0 to 29 do
-    Network.Slots.clear sa;
-    Network.Slots.clear sb;
-    if r mod 3 <> 0 then begin
-      Network.Slots.set sa ~dir:(dir g4 0 1) (r mod 2 = 0);
-      Network.Slots.set sb ~dir:(dir g4 0 1) (r mod 2 = 0)
-    end;
-    Network.round_buf net_a sa;
-    Network.round_via_lists net_b sb;
-    Alcotest.(check (list (triple int int bool)))
-      (Printf.sprintf "round_via_lists, round %d" r)
-      (delivered_of_slots net_a sa) (delivered_of_slots net_b sb)
-  done;
-  Alcotest.(check int) "same corruption count" (Network.stats net_a).Network.corruptions
-    (Network.stats net_b).Network.corruptions
+  check_differential ~hooks ~name:"fault hooks" g4 adv ~rounds:60 ~sends_at:(fun r ->
+      if r mod 3 = 0 then [] else [ (0, 1, r mod 2 = 0); (2, 3, r mod 5 = 0) ])
+
+let test_differential_adaptive () =
+  (* A (pure) greedy adaptive strategy sees the same ctx on both
+     transports — same ascending send list, same budget — and its
+     corruptions must land identically, budget clamp included. *)
+  let adv =
+    Adversary.Adaptive
+      {
+        budget = (fun cc -> cc / 8);
+        strategy =
+          (fun ctx ->
+            List.map
+              (fun (s, d, _) -> (Topology.Graph.dir_id ctx.Adversary.graph ~src:s ~dst:d, 1))
+              ctx.Adversary.sends);
+      }
+  in
+  check_differential ~name:"adaptive greedy" g4 adv ~rounds:80 ~sends_at:(fun r ->
+      [ (0, 1, r mod 2 = 0); (2, 1, true); (3, 0, r mod 3 = 0) ]);
+  (* Overspending request list in reverse dir order exercises the
+     accept-in-strategy-order, apply-in-dir-order path. *)
+  let adv_rev =
+    Adversary.Adaptive
+      {
+        budget = (fun _ -> 3);
+        strategy =
+          (fun ctx ->
+            List.rev
+              (List.init (2 * Topology.Graph.m ctx.Adversary.graph) (fun d ->
+                   (d, 1 + (d mod 2)))));
+      }
+  in
+  check_differential ~name:"adaptive reversed overspend" g4 adv_rev ~rounds:20
+    ~sends_at:(fun r -> [ (1, 2, r mod 2 = 0) ])
 
 let test_stats_record () =
   (* The stats record is the one-read view of the network's books. *)
@@ -519,14 +658,18 @@ let () =
           Alcotest.test_case "compose rejects out-of-model" `Quick
             test_compose_rejects_out_of_model;
         ] );
-      ( "slot transport",
+      ( "transport",
         [
           Alcotest.test_case "slots basics" `Quick test_slots_basics;
+          Alcotest.test_case "active basics" `Quick test_active_basics;
+          Alcotest.test_case "active epoch reuse" `Quick test_active_epoch_reuse;
+          Alcotest.test_case "sparse empty round" `Quick test_sparse_empty_round;
           Alcotest.test_case "differential: substitution" `Quick test_differential_substitution;
           Alcotest.test_case "differential: deletion" `Quick test_differential_deletion;
           Alcotest.test_case "differential: insertion" `Quick test_differential_insertion;
           Alcotest.test_case "differential: random topologies" `Quick test_differential_random;
-          Alcotest.test_case "round_via_lists drop-in" `Quick test_round_via_lists_matches;
+          Alcotest.test_case "differential: fault hooks" `Quick test_differential_fault_hooks;
+          Alcotest.test_case "differential: adaptive" `Quick test_differential_adaptive;
           Alcotest.test_case "stats record" `Quick test_stats_record;
           Alcotest.test_case "corruption probe" `Quick test_corruption_probe;
         ] );

@@ -190,6 +190,8 @@ let test_observatory_classify_flatten () =
   Alcotest.(check bool) "wall is timed" true (Obs.classify "t.scheme_wall_enabled_s" = `Timed);
   Alcotest.(check bool) "per_sec is timed" true (Obs.classify "t.raw_rounds_per_sec" = `Timed);
   Alcotest.(check bool) "words is timed" true (Obs.classify "t.prof.x.minor_words" = `Timed);
+  Alcotest.(check bool) "rss is timed" true (Obs.classify "t.rows[torus:4096].peak_rss_kb" = `Timed);
+  Alcotest.(check bool) "heap is timed" true (Obs.classify "t.rows[grid:1024].heap_top_kb" = `Timed);
   Alcotest.(check bool) "jobs is ignored" true (Obs.classify "t.jobs" = `Ignored);
   Alcotest.(check bool) "successes is exact" true (Obs.classify "t.successes" = `Exact);
   let j =

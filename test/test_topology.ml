@@ -111,6 +111,43 @@ let test_random_regular () =
     done
   done
 
+(* The scale regime: the pairing loop with swap-remove retry must
+   finish fast at n in the thousands and still produce a near-regular
+   connected graph. *)
+let test_random_regular_large () =
+  let rng = Util.Rng.create 29 in
+  let n = 2000 and degree = 4 in
+  let g = Graph.random_regular rng ~n ~degree in
+  Alcotest.(check int) "n" n (Graph.n g);
+  Alcotest.(check bool) "m close to nd/2"
+    true
+    (Graph.m g > (n * degree / 2) - n / 10 && Graph.m g <= n * degree / 2);
+  (* The patch phase tolerates degree + 1 when wiring leftovers. *)
+  for v = 0 to n - 1 do
+    Alcotest.(check bool) "degree <= d + 1" true (Graph.degree g v <= degree + 1)
+  done;
+  (* Connectivity (and hence a finite diameter) is part of the
+     generator's contract. *)
+  Alcotest.(check bool) "connected: diameter defined" true (Graph.diameter g > 0)
+
+let test_neighbor_index () =
+  let check_graph g =
+    for v = 0 to Graph.n g - 1 do
+      let nbrs = Graph.neighbors g v in
+      Array.iteri
+        (fun i u -> Alcotest.(check int) "index round-trip" i (Graph.neighbor_index g v u))
+        nbrs
+    done
+  in
+  check_graph (Graph.line 7);
+  check_graph (Graph.clique 6);
+  check_graph (Graph.torus ~rows:4 ~cols:4);
+  check_graph (Graph.random_regular (Util.Rng.create 3) ~n:40 ~degree:5);
+  let g = Graph.line 3 in
+  (match Graph.neighbor_index g 0 2 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found for a non-neighbor")
+
 let test_random_regular_invalid () =
   let rng = Util.Rng.create 18 in
   let expect_invalid f =
@@ -194,11 +231,13 @@ let () =
           Alcotest.test_case "hypercube" `Quick test_hypercube;
           Alcotest.test_case "torus" `Quick test_torus;
           Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "random regular large" `Quick test_random_regular_large;
           Alcotest.test_case "random regular invalid" `Quick test_random_regular_invalid;
         ] );
       ( "ids",
         [
           Alcotest.test_case "edge ids" `Quick test_edge_ids;
+          Alcotest.test_case "neighbor index" `Quick test_neighbor_index;
           Alcotest.test_case "dir id range" `Quick test_dir_id_range;
         ] );
       ("validation", [ Alcotest.test_case "invalid graphs" `Quick test_invalid_graphs ]);
