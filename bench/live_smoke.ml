@@ -1,0 +1,1 @@
+let () = Exp_live.smoke ()

@@ -35,6 +35,7 @@ let experiments =
     ("runner", "trial-pool scaling, jobs=1 vs jobs=4 (BENCH_runner.json)", Exp_runner.run);
     ("faults", "graceful degradation under crashes/overload (BENCH_faults.json)", Exp_faults.run);
     ("trace", "observability probes: overhead + determinism (BENCH_trace.json)", Exp_trace.run);
+    ("live", "live backend: shards, barrier overhead, ragged insdel sweep (BENCH_live.json)", Exp_live.run);
   ]
 
 (* Pull -j N / -jN / --jobs N out of the argument list; the rest are

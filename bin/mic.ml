@@ -79,11 +79,19 @@ let trace_path f ~trial ~trials =
     Printf.sprintf "%s.%d%s" base trial ext
 
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
-    trace_file trials crash stall overload postmortem verbose =
+    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose =
   setup_logs verbose;
   let graph = make_topology topology parties seed in
   let pi = make_protocol protocol graph rounds seed in
   let params = scheme_of_string graph scheme_name in
+  let backend =
+    match backend_kind with
+    | `Lockstep -> Coding.Scheme.Lockstep
+    | `Live -> Coding.Scheme.Live (Live.Config.make ?shards ~ragged_d:ragged ())
+  in
+  (match backend with
+  | Coding.Scheme.Live c -> Format.printf "backend: live %a@." Live.Config.pp c
+  | Coding.Scheme.Lockstep -> ());
   Format.printf "network: n=%d m=%d diameter=%d | %s | K=%d tau=%d | CC(Pi)=%d@."
     (Topology.Graph.n graph) (Topology.Graph.m graph) (Topology.Graph.diameter graph)
     params.Coding.Params.name params.Coding.Params.k params.Coding.Params.tau (Protocol.Pi.cc pi);
@@ -116,7 +124,8 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     let sink = if observing then Trace.Sink.create () else Trace.Sink.disabled in
     let outcome =
       Coding.Scheme.run_outcome
-        ~config:(Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ())
+        ~config:
+          (Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ~backend ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
     (match trace_file with
@@ -237,11 +246,40 @@ let overload_t =
     & info [ "overload" ]
         ~doc:"Inject unbudgeted noise at $(docv) times the iid rate (and scale adaptive budgets).")
 
+let backend_conv = Arg.enum [ ("lockstep", `Lockstep); ("live", `Live) ]
+
+let backend_t =
+  Arg.(
+    value & opt backend_conv `Lockstep
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: $(b,lockstep) (serial reference) or $(b,live) (parties sharded \
+           across domains; see --shards / --ragged).  Tracing (--trace / --postmortem) forces \
+           the live backend onto its serial engine so event order stays single-domain.")
+
+let shards_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Worker domains for --backend live (default: the runtime's recommended domain \
+           count).")
+
+let ragged_t =
+  Arg.(
+    value & opt int 0
+    & info [ "ragged" ] ~docv:"D"
+        ~doc:
+          "Ragged-synchrony slack for --backend live: shards may run up to $(docv) rounds \
+           ahead; the induced scheduling jitter surfaces as insertion/deletion noise booked \
+           through the fault accounting.  0 (default) keeps rounds lockstep-equivalent.")
+
 let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
     $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
-    $ postmortem_t $ verbose_t)
+    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

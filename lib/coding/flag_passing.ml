@@ -96,6 +96,87 @@ let run_active ?alive ?probe net sched ~active ~statuses =
   done;
   net_correct
 
+(* The same phase, driven through a live execution engine: each node's
+   agg / netCorrect cell is written only by the shard owning the node,
+   so rounds parallelize without locks.  On the serial engine with one
+   shard this performs exactly the sends and reads of [run_active], in
+   the same order — the differential suite holds the two byte-identical.
+   [probe] callbacks fire on worker shards; pass one only when the
+   engine is serial. *)
+let run_exec ?alive ?probe ?label ex sched ~statuses ~agg ~net_correct =
+  let module Exec = Live.Exec in
+  let tree = sched.tree in
+  let d = tree.Graph.depth in
+  let root = tree.Graph.root in
+  let up v = match alive with None -> true | Some a -> a.(v) in
+  let missing v = match probe with None -> () | Some pr -> pr.on_missing ~node:v in
+  Exec.slice ex (fun w ->
+      let lo, hi = Exec.bounds ex ~shard:w in
+      Array.blit statuses lo agg lo (hi - lo);
+      Array.fill net_correct lo (hi - lo) false);
+  let label = ref label in
+  let take_label () =
+    let l = !label in
+    label := None;
+    l
+  in
+  for r = 0 to d - 2 do
+    let senders = sched.by_level.(d - r) in
+    Exec.round ex ?label:(take_label ())
+      ~write:(fun ~shard buf ->
+        Array.iter
+          (fun v ->
+            if v <> root && Exec.owner ex v = shard && up v then
+              Netsim.Network.Active.send buf ~dir:sched.up_dir.(v) agg.(v))
+          senders)
+      ~read:(fun ~shard master ->
+        Array.iter
+          (fun c ->
+            if c <> root then begin
+              let p = tree.Graph.parent.(c) in
+              if Exec.owner ex p = shard && up p then
+                match Netsim.Network.Active.get master ~dir:sched.up_dir.(c) with
+                | Some bit -> agg.(p) <- agg.(p) && bit
+                | None ->
+                    missing c;
+                    agg.(p) <- false
+            end)
+          senders)
+      ()
+  done;
+  Exec.slice ex (fun w ->
+      if Exec.owner ex root = w then net_correct.(root) <- agg.(root) && up root);
+  for ell = 1 to d - 1 do
+    Exec.round ex ?label:(take_label ())
+      ~write:(fun ~shard buf ->
+        Array.iter
+          (fun v ->
+            if Exec.owner ex v = shard && up v then
+              Array.iter
+                (fun c -> Netsim.Network.Active.send buf ~dir:sched.down_dir.(c) net_correct.(v))
+                tree.Graph.children.(v))
+          sched.by_level.(ell))
+      ~read:(fun ~shard master ->
+        Array.iter
+          (fun v ->
+            if v <> root && Exec.owner ex v = shard then
+              net_correct.(v) <-
+                up v
+                &&
+                match Netsim.Network.Active.get master ~dir:sched.down_dir.(v) with
+                | Some bit -> bit && statuses.(v)
+                | None ->
+                    missing v;
+                    false)
+          sched.by_level.(ell + 1))
+      ()
+  done;
+  (* A label that never found a round to ride (degenerate depth-1 tree):
+     apply it through a slice-free no-traffic round would cost a network
+     round lockstep never ran — instead the caller's next phase label
+     supersedes it, which is also what the reference backend observes. *)
+  ignore (take_label () : (unit -> unit) option)
+
 let run net ~tree ~statuses =
   let sched = compile (Netsim.Network.graph net) ~tree in
   run_active net sched ~active:(Netsim.Network.active net) ~statuses

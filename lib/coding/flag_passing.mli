@@ -48,6 +48,27 @@ val run_active :
     as {e stop} at live parents — the conservative noise semantics — and
     their own netCorrect is pinned false. *)
 
+val run_exec :
+  ?alive:bool array ->
+  ?probe:probe ->
+  ?label:(unit -> unit) ->
+  Live.Exec.t ->
+  schedule ->
+  statuses:bool array ->
+  agg:bool array ->
+  net_correct:bool array ->
+  unit
+(** The phase driven through a live execution engine (lib/live): rounds
+    are issued to the engine, each node's aggregation and netCorrect
+    cells are touched only by the shard owning the node, and the result
+    lands in the caller-preallocated [net_correct] (fully overwritten;
+    [agg] is scratch, also fully overwritten).  On a serial one-shard
+    engine this is byte-identical to {!run_active} — same sends, same
+    reads, same order.  [label] runs once, committer-side, before the
+    first round's network transform (callers pass the phase marking).
+    [probe] fires on worker shards — pass it only when
+    [Live.Exec.is_serial]. *)
+
 val run :
   Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array
 (** One-shot convenience over {!compile} + {!run_active}. *)

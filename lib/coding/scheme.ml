@@ -53,6 +53,8 @@ type spy = {
 
 (* ---------- execution configuration ---------- *)
 
+type backend = Lockstep | Live of Live.Config.t
+
 module Config = struct
   type t = {
     trace : bool;
@@ -62,6 +64,7 @@ module Config = struct
     faults : Faults.Plan.t;
     max_wall_s : float option;
     max_iterations : int option;
+    backend : backend;
   }
 
   let default =
@@ -73,11 +76,12 @@ module Config = struct
       faults = Faults.Plan.empty;
       max_wall_s = None;
       max_iterations = None;
+      backend = Lockstep;
     }
 
   let make ?(trace = false) ?(sink = Trace.Sink.disabled) ?inputs ?spy_hook
-      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations () =
-    { trace; sink; inputs; spy_hook; faults; max_wall_s; max_iterations }
+      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations ?(backend = Lockstep) () =
+    { trace; sink; inputs; spy_hook; faults; max_wall_s; max_iterations; backend }
 end
 
 (* Probe ids, interned once per execution.  With the disabled sink every
@@ -249,18 +253,29 @@ type fault_ctx = {
 
 (* ---------- phase executors ----------
 
-   Each drives the network through the sparse active-link transport:
-   write the round's transmissions by precomputed dir index into the
-   shared [Active] buffer, [Network.commit], then read deliveries back
-   by iterating the (sparse) delivered set — never by scanning all 2m
-   directions.  [recv_link]/[recv_party] resolve a delivered dir id to
-   the receiving endpoint in O(1). *)
+   Each drives the network through a live execution engine (lib/live):
+   a phase is a sequence of [Live.Exec.round]s whose write callback
+   submits the round's transmissions for one shard's parties (by
+   precomputed dir index, into the shard's sparse [Active] buffer) and
+   whose read callback consumes the committed deliveries, plus
+   [slice] jobs for the no-network per-party steps.  Every callback
+   touches only the state of its own shard's parties — that discipline
+   is what lets the same four phase drivers run unmodified on the
+   lockstep (serial, one shard) and live (one domain per shard,
+   optionally ragged) backends.  [recv_link]/[recv_party] resolve a
+   delivered dir id to the receiving endpoint in O(1). *)
 
 type transport = {
-  active : Active.t; (* the one round buffer of the execution *)
   recv_link : link_state array; (* dir -> link at the receiving endpoint *)
   recv_party : int array; (* dir -> receiving party id *)
 }
+
+(* Apply [f] to each party of [shard], in ascending id order. *)
+let iter_shard ex parties shard f =
+  let lo, hi = Live.Exec.bounds ex ~shard in
+  for id = lo to hi - 1 do
+    f parties.(id)
+  done
 
 (* Ground truth for the hash-collision probe: compare this endpoint's
    transcript with the peer's copy of the same link.  [None] when either
@@ -278,295 +293,338 @@ let collision_probe graph parties pr l p ~iter =
       on_collision = (fun ~pos -> Trace.Sink.count pr.sink ~id:pr.c_collision ~iter ~arg:pos 1);
     }
 
-let meeting_points_phase net tp parties fc pr ~iter ~tau =
-  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points;
+let meeting_points_phase ex net _tp parties fc pr ~iter ~tau =
   let graph = Network.graph net in
   let mp_rounds = Meeting_points.message_bits ~tau in
+  (* Seed-rot accounting runs leader-side (the rot decision is a pure
+     keyed function): the diagnosis record and the trace sink are not
+     shard-local, so the prepare slice below must not touch them. *)
   Array.iter
     (fun p ->
-      if fc.alive.(p.id) then begin
-        let rot =
-          if Faults.Plan.seed_rot fc.plan ~party:p.id ~iteration:iter then
-            Some fc.rot_mask.(p.id)
-          else None
-        in
+      if fc.alive.(p.id) && Faults.Plan.seed_rot fc.plan ~party:p.id ~iteration:iter then
         Array.iter
-          (fun l ->
-            l.mp_len <- Transcript.length l.tr;
-            if rot <> None then begin
-              fc.diag.Faults.Outcome.seed_rot <- fc.diag.Faults.Outcome.seed_rot + 1;
-              Trace.Sink.count pr.sink ~id:pr.c_fault_seed_rot ~iter ~arg:p.id 1
-            end;
-            let hasher = hasher_for ?rot l ~iter in
-            l.mp_hasher <- Some hasher;
-            let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
-            Meeting_points.encode_message_into ~tau msg l.out_msg;
-            Array.fill l.in_msg 0 mp_rounds None)
-          p.links
-      end)
+          (fun _l ->
+            fc.diag.Faults.Outcome.seed_rot <- fc.diag.Faults.Outcome.seed_rot + 1;
+            Trace.Sink.count pr.sink ~id:pr.c_fault_seed_rot ~iter ~arg:p.id 1)
+          p.links)
     parties;
-  let active = tp.active in
+  Live.Exec.slice ex (fun w ->
+      iter_shard ex parties w (fun p ->
+          if fc.alive.(p.id) then begin
+            let rot =
+              if Faults.Plan.seed_rot fc.plan ~party:p.id ~iteration:iter then
+                Some fc.rot_mask.(p.id)
+              else None
+            in
+            Array.iter
+              (fun l ->
+                l.mp_len <- Transcript.length l.tr;
+                let hasher = hasher_for ?rot l ~iter in
+                l.mp_hasher <- Some hasher;
+                let msg = Meeting_points.prepare l.mp hasher ~len:l.mp_len in
+                Meeting_points.encode_message_into ~tau msg l.out_msg;
+                Array.fill l.in_msg 0 mp_rounds None)
+              p.links
+          end));
   for t = 0 to mp_rounds - 1 do
-    Active.begin_round active;
-    Array.iter
-      (fun p ->
-        if fc.alive.(p.id) then
-          Array.iter (fun l -> Active.send active ~dir:l.dir_out l.out_msg.(t)) p.links)
-      parties;
-    Network.commit net active;
-    (* [in_msg] was pre-filled with silence; only deliveries are written,
-       so the read side costs O(delivered), not O(2m). *)
-    Active.iter active (fun ~dir bit ->
-        if fc.alive.(tp.recv_party.(dir)) then tp.recv_link.(dir).in_msg.(t) <- Some bit)
+    let label =
+      if t = 0 then
+        Some (fun () -> Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Meeting_points)
+      else None
+    in
+    Live.Exec.round ex ?label
+      ~write:(fun ~shard buf ->
+        iter_shard ex parties shard (fun p ->
+            if fc.alive.(p.id) then
+              Array.iter (fun l -> Active.send buf ~dir:l.dir_out l.out_msg.(t)) p.links))
+      ~read:(fun ~shard master ->
+        (* [in_msg] was pre-filled with silence; each shard polls its
+           own in-directions — the MP phase speaks on every live link,
+           so O(own links) matches O(delivered) here. *)
+        iter_shard ex parties shard (fun p ->
+            if fc.alive.(p.id) then
+              Array.iter
+                (fun l ->
+                  match Active.get master ~dir:l.dir_in with
+                  | Some bit -> l.in_msg.(t) <- Some bit
+                  | None -> ())
+                p.links))
+      ()
   done;
   let observing = Trace.Sink.is_enabled pr.sink in
-  Array.iter
-    (fun p ->
-      if fc.alive.(p.id) then
-        Array.iter
-          (fun l ->
-            let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
-            let probe =
-              if observing then Some (collision_probe graph parties pr l p ~iter) else None
-            in
-            match
-              Meeting_points.process l.mp (Option.get l.mp_hasher) ?probe ~len:l.mp_len msg
-            with
-            | `Keep -> ()
-            | `Truncate_to x ->
-                Trace.Sink.count pr.sink ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
-                Transcript.truncate l.tr x)
-          p.links)
-    parties
+  Live.Exec.slice ex (fun w ->
+      iter_shard ex parties w (fun p ->
+          if fc.alive.(p.id) then
+            Array.iter
+              (fun l ->
+                let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
+                let probe =
+                  (* Reads the peer's transcript — only the serial engine
+                     observes (tracing forces it), so this stays safe. *)
+                  if observing then Some (collision_probe graph parties pr l p ~iter) else None
+                in
+                match
+                  Meeting_points.process l.mp (Option.get l.mp_hasher) ?probe ~len:l.mp_len msg
+                with
+                | `Keep -> ()
+                | `Truncate_to x ->
+                    Trace.Sink.count pr.sink ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
+                    Transcript.truncate l.tr x)
+              p.links))
 
-let compute_statuses parties ~alive =
-  Array.map
-    (fun p ->
-      let in_mp =
-        Array.exists (fun l -> Meeting_points.status l.mp = Meeting_points.Meeting_points) p.links
-      in
-      let len0 = Transcript.length p.links.(0).tr in
-      let equal_lens = Array.for_all (fun l -> Transcript.length l.tr = len0) p.links in
-      let status = alive.(p.id) && (not in_mp) && equal_lens in
-      p.status <- status;
-      status)
-    parties
+let compute_statuses ex parties ~alive ~statuses =
+  Live.Exec.slice ex (fun w ->
+      iter_shard ex parties w (fun p ->
+          let in_mp =
+            Array.exists
+              (fun l -> Meeting_points.status l.mp = Meeting_points.Meeting_points)
+              p.links
+          in
+          let len0 = Transcript.length p.links.(0).tr in
+          let equal_lens = Array.for_all (fun l -> Transcript.length l.tr = len0) p.links in
+          let status = alive.(p.id) && (not in_mp) && equal_lens in
+          p.status <- status;
+          statuses.(p.id) <- status))
 
-let simulation_phase net tp parties fc ch ~iter ~n_real =
-  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation;
+let simulation_phase ex net tp parties fc ch ~iter ~n_real =
   let graph = Network.graph net in
-  let active = tp.active in
+  let nshards = Live.Exec.shards ex in
   let max_r = Chunking.max_rounds ch in
   (* Participation — alive with netCorrect up — is known before the
      phase starts, so only participants' per-link logs are reset and
      only participants listen: idle parties cost this phase nothing.
      (Stale logs on idle parties are never read: every read below is
      behind the participant test, and a party that participates in a
-     later iteration resets first.) *)
-  let is_participant = Array.map (fun p -> fc.alive.(p.id) && p.net_correct) parties in
-  let participants =
-    Array.to_list parties
-    |> List.filter_map (fun p ->
-           if not is_participant.(p.id) then None
-           else begin
-             Array.iter
-               (fun l ->
-                 l.bot <- false;
-                 Array.fill l.sent_log 0 max_r None;
-                 Array.fill l.recv_log 0 max_r None)
-               p.links;
-             let min_len =
-               Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
-             in
-             let c = min_len + 1 in
-             let machine =
-               if c <= n_real then
-                 Some
-                   (Replayer.machine_at p.repl ~transcripts:(transcripts_fn graph p)
-                      ~upto:(c - 1))
-               else None
-             in
-             Some (p, c, machine, Chunking.chunk ch c)
-           end)
-  in
+     later iteration resets first.)  The per-shard participant lists
+     are built by the owning shard — machine reconstruction reads only
+     the party's own transcripts. *)
+  let is_participant = Array.make (Array.length parties) false in
+  let participants = Array.make nshards [] in
+  Live.Exec.slice ex (fun w ->
+      let acc = ref [] in
+      iter_shard ex parties w (fun p ->
+          is_participant.(p.id) <- fc.alive.(p.id) && p.net_correct;
+          if is_participant.(p.id) then begin
+            Array.iter
+              (fun l ->
+                l.bot <- false;
+                Array.fill l.sent_log 0 max_r None;
+                Array.fill l.recv_log 0 max_r None)
+              p.links;
+            let min_len =
+              Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+            in
+            let c = min_len + 1 in
+            let machine =
+              if c <= n_real then
+                Some
+                  (Replayer.machine_at p.repl ~transcripts:(transcripts_fn graph p)
+                     ~upto:(c - 1))
+              else None
+            in
+            acc := (p, c, machine, Chunking.chunk ch c) :: !acc
+          end);
+      participants.(w) <- List.rev !acc);
   (* ⊥ round: idling parties announce, participants listen (Line 16/23).
      Crashed parties announce nothing — their links just go dark. *)
-  Active.begin_round active;
-  Array.iter
-    (fun p ->
-      if fc.alive.(p.id) && not p.net_correct then
-        Array.iter (fun l -> Active.send active ~dir:l.dir_out true) p.links)
-    parties;
-  Network.commit net active;
-  Active.iter active (fun ~dir _bit ->
-      if is_participant.(tp.recv_party.(dir)) then tp.recv_link.(dir).bot <- true);
+  Live.Exec.round ex
+    ~label:(fun () -> Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Simulation)
+    ~write:(fun ~shard buf ->
+      iter_shard ex parties shard (fun p ->
+          if fc.alive.(p.id) && not p.net_correct then
+            Array.iter (fun l -> Active.send buf ~dir:l.dir_out true) p.links))
+    ~read:(fun ~shard master ->
+      Active.iter master (fun ~dir _bit ->
+          let id = tp.recv_party.(dir) in
+          if Live.Exec.owner ex id = shard && is_participant.(id) then
+            tp.recv_link.(dir).bot <- true))
+    ();
   for t = 0 to max_r - 1 do
-    Active.begin_round active;
-    List.iter
-      (fun (p, _, machine, sched) ->
-        if t < Array.length sched.Chunking.rounds then
-          List.iter
-            (fun slot ->
-              if slot.Chunking.src = p.id then begin
-                let bit =
-                  match (slot.Chunking.pi_round, machine) with
-                  | Some r, Some mc -> mc.Pi.send ~round:r ~dst:slot.Chunking.dst
-                  | Some r, None ->
-                      ignore r;
-                      false
-                  | None, _ -> false
-                in
-                let l = link_to graph p slot.Chunking.dst in
-                if not l.bot then begin
-                  Active.send active ~dir:l.dir_out bit;
-                  l.sent_log.(t) <- Some bit
-                end
-              end)
-            sched.Chunking.rounds.(t))
-      participants;
-    Network.commit net active;
-    Active.iter active (fun ~dir bit ->
-        if is_participant.(tp.recv_party.(dir)) then
-          tp.recv_link.(dir).recv_log.(t) <- Some bit);
-    (* Feed the live machines, sends-before-receives per round. *)
-    List.iter
-      (fun (p, _, machine, sched) ->
-        match machine with
-        | None -> ()
-        | Some mc ->
+    Live.Exec.round ex
+      ~write:(fun ~shard buf ->
+        List.iter
+          (fun (p, _, machine, sched) ->
             if t < Array.length sched.Chunking.rounds then
               List.iter
                 (fun slot ->
-                  if slot.Chunking.dst = p.id then
-                    match slot.Chunking.pi_round with
-                    | Some r ->
-                        let l = link_to graph p slot.Chunking.src in
-                        let bit =
-                          if l.bot then false
-                          else Option.value ~default:false l.recv_log.(t)
-                        in
-                        mc.Pi.recv ~round:r ~src:slot.Chunking.src bit
-                    | None -> ())
+                  if slot.Chunking.src = p.id then begin
+                    let bit =
+                      match (slot.Chunking.pi_round, machine) with
+                      | Some r, Some mc -> mc.Pi.send ~round:r ~dst:slot.Chunking.dst
+                      | Some r, None ->
+                          ignore r;
+                          false
+                      | None, _ -> false
+                    in
+                    let l = link_to graph p slot.Chunking.dst in
+                    if not l.bot then begin
+                      Active.send buf ~dir:l.dir_out bit;
+                      l.sent_log.(t) <- Some bit
+                    end
+                  end)
                 sched.Chunking.rounds.(t))
-      participants
+          participants.(shard))
+      ~read:(fun ~shard master ->
+        Active.iter master (fun ~dir bit ->
+            let id = tp.recv_party.(dir) in
+            if Live.Exec.owner ex id = shard && is_participant.(id) then
+              tp.recv_link.(dir).recv_log.(t) <- Some bit);
+        (* Feed the live machines, sends-before-receives per round. *)
+        List.iter
+          (fun (p, _, machine, sched) ->
+            match machine with
+            | None -> ()
+            | Some mc ->
+                if t < Array.length sched.Chunking.rounds then
+                  List.iter
+                    (fun slot ->
+                      if slot.Chunking.dst = p.id then
+                        match slot.Chunking.pi_round with
+                        | Some r ->
+                            let l = link_to graph p slot.Chunking.src in
+                            let bit =
+                              if l.bot then false
+                              else Option.value ~default:false l.recv_log.(t)
+                            in
+                            mc.Pi.recv ~round:r ~src:slot.Chunking.src bit
+                        | None -> ())
+                    sched.Chunking.rounds.(t))
+          participants.(shard))
+      ()
   done;
   (* Record the observed chunk on every non-⊥ link (Tu,v grows by one
      chunk, laid out by the schedule of the chunk the *link* expects). *)
-  List.iter
-    (fun (p, c, machine, _) ->
-      let all_aligned = ref true in
-      Array.iter
-        (fun l ->
-          if l.bot then all_aligned := false
-          else begin
-            let e = Transcript.length l.tr + 1 in
-            if e <> c then all_aligned := false;
-            let chunk_slots = Chunking.link_slots ch ~chunk_index:e ~edge:l.edge in
-            let events =
-              Array.map
-                (fun (roff, src, _) ->
-                  let log = if src = p.id then l.sent_log else l.recv_log in
-                  match if roff < Array.length log then log.(roff) else None with
-                  | Some b -> Transcript.sym_bit b
-                  | None -> Transcript.sym_star)
-                chunk_slots
-            in
-            Transcript.push_chunk l.tr ~events
-          end)
-        p.links;
-      match machine with
-      | Some mc when !all_aligned && c <= n_real ->
-          Replayer.store p.repl ~machine:mc ~upto:c ~transcripts:(transcripts_fn graph p)
-      | _ -> ())
-    participants
+  Live.Exec.slice ex (fun w ->
+      List.iter
+        (fun (p, c, machine, _) ->
+          let all_aligned = ref true in
+          Array.iter
+            (fun l ->
+              if l.bot then all_aligned := false
+              else begin
+                let e = Transcript.length l.tr + 1 in
+                if e <> c then all_aligned := false;
+                let chunk_slots = Chunking.link_slots ch ~chunk_index:e ~edge:l.edge in
+                let events =
+                  Array.map
+                    (fun (roff, src, _) ->
+                      let log = if src = p.id then l.sent_log else l.recv_log in
+                      match if roff < Array.length log then log.(roff) else None with
+                      | Some b -> Transcript.sym_bit b
+                      | None -> Transcript.sym_star)
+                    chunk_slots
+                in
+                Transcript.push_chunk l.tr ~events
+              end)
+            p.links;
+          match machine with
+          | Some mc when !all_aligned && c <= n_real ->
+              Replayer.store p.repl ~machine:mc ~upto:c ~transcripts:(transcripts_fn graph p)
+          | _ -> ())
+        participants.(w))
 
-let rewind_phase net tp parties fc pr ~iter =
-  Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind;
-  let active = tp.active in
+let rewind_phase ex net tp parties fc pr ~iter =
   let n = Array.length parties in
+  let nshards = Live.Exec.shards ex in
   (* Wave shape for the trace: [reqs] counts every chunk rewound (self-
      initiated or honored request); [depth] is the last round of the
-     phase in which any link still moved. *)
-  let reqs = ref 0 and depth = ref 0 in
+     phase in which any link still moved.  Per-shard cells, summed /
+     maxed at the end (the emit is observing-gated, and observing
+     forces the serial engine — the leader reads them quiesced). *)
+  let reqs = Array.make nshards 0 and depth = Array.make nshards 0 in
   (* Only parties whose per-link state changed since their last
      evaluation can newly satisfy the send predicate: meeting-points
      statuses are frozen for the phase, [already_rewound] is monotone,
      and transcript lengths change only through a party's own
-     truncations.  So the phase keeps a candidate set — initially every
-     live party — re-admitting a party only when it truncates (as sender
-     or as receiver of a request).  Rounds late in the wave cost O(new
-     activity), not O(n · degree). *)
+     truncations.  So the phase keeps per-shard candidate sets —
+     initially every live party — re-admitting a party only when it
+     truncates (as sender or as receiver of a request; both touch only
+     the owner's cells).  Rounds late in the wave cost O(new activity),
+     not O(n · degree). *)
   let candidate = Array.make n false in
-  let cur = ref [] and nxt = ref [] in
-  let readmit id =
+  let cur = Array.make nshards [] and nxt = Array.make nshards [] in
+  let readmit w id =
     if fc.alive.(id) && not candidate.(id) then begin
       candidate.(id) <- true;
-      nxt := id :: !nxt
+      nxt.(w) <- id :: nxt.(w)
     end
   in
-  Array.iter
-    (fun p ->
-      if fc.alive.(p.id) then begin
-        candidate.(p.id) <- true;
-        cur := p.id :: !cur
-      end)
-    parties;
+  Live.Exec.slice ex (fun w ->
+      let acc = ref [] in
+      iter_shard ex parties w (fun p ->
+          if fc.alive.(p.id) then begin
+            candidate.(p.id) <- true;
+            acc := p.id :: !acc
+          end);
+      cur.(w) <- List.rev !acc);
   for round = 1 to n do
-    (* Plan sends from the state at round start (Line 27-31); the per-link
-       truncation can be applied immediately because each link's decision
-       reads only its own length against the party's min, which a
-       single-chunk truncation of a longer link cannot lower. *)
-    Active.begin_round active;
-    List.iter (fun id -> candidate.(id) <- false) !cur;
-    nxt := [];
-    List.iter
-      (fun id ->
-        let p = parties.(id) in
-        let min_len =
-          Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
-        in
-        let sent = ref false in
-        Array.iter
-          (fun l ->
-            if
-              Meeting_points.status l.mp <> Meeting_points.Meeting_points
-              && (not l.already_rewound)
-              && Transcript.length l.tr > min_len
-            then begin
-              Active.send active ~dir:l.dir_out true;
-              Transcript.truncate l.tr (Transcript.length l.tr - 1);
-              l.already_rewound <- true;
-              incr reqs;
-              depth := round;
-              sent := true
-            end)
-          p.links;
-        if !sent then readmit id)
-      !cur;
-    Network.commit net active;
-    (* Any symbol received in a rewind round is a rewind request —
-       insertions forge them, deletions suppress them (Line 33-38). *)
-    Active.iter active (fun ~dir _bit ->
-        let id = tp.recv_party.(dir) in
-        if fc.alive.(id) then begin
-          let l = tp.recv_link.(dir) in
-          if
-            Meeting_points.status l.mp <> Meeting_points.Meeting_points
-            && not l.already_rewound
-          then begin
-            if Transcript.length l.tr > 0 then
-              Transcript.truncate l.tr (Transcript.length l.tr - 1);
-            l.already_rewound <- true;
-            incr reqs;
-            depth := round;
-            readmit id
-          end
-        end);
-    cur := !nxt
+    let label =
+      if round = 1 then
+        Some (fun () -> Network.set_phase net ~iteration:iter ~phase:Netsim.Adversary.Rewind)
+      else None
+    in
+    Live.Exec.round ex ?label
+      ~write:(fun ~shard buf ->
+        (* Plan sends from the state at round start (Line 27-31); the
+           per-link truncation can be applied immediately because each
+           link's decision reads only its own length against the party's
+           min, which a single-chunk truncation of a longer link cannot
+           lower. *)
+        List.iter (fun id -> candidate.(id) <- false) cur.(shard);
+        nxt.(shard) <- [];
+        List.iter
+          (fun id ->
+            let p = parties.(id) in
+            let min_len =
+              Array.fold_left (fun acc l -> min acc (Transcript.length l.tr)) max_int p.links
+            in
+            let sent = ref false in
+            Array.iter
+              (fun l ->
+                if
+                  Meeting_points.status l.mp <> Meeting_points.Meeting_points
+                  && (not l.already_rewound)
+                  && Transcript.length l.tr > min_len
+                then begin
+                  Active.send buf ~dir:l.dir_out true;
+                  Transcript.truncate l.tr (Transcript.length l.tr - 1);
+                  l.already_rewound <- true;
+                  reqs.(shard) <- reqs.(shard) + 1;
+                  depth.(shard) <- round;
+                  sent := true
+                end)
+              p.links;
+            if !sent then readmit shard id)
+          cur.(shard))
+      ~read:(fun ~shard master ->
+        (* Any symbol received in a rewind round is a rewind request —
+           insertions forge them, deletions suppress them (Line 33-38). *)
+        Active.iter master (fun ~dir _bit ->
+            let id = tp.recv_party.(dir) in
+            if Live.Exec.owner ex id = shard && fc.alive.(id) then begin
+              let l = tp.recv_link.(dir) in
+              if
+                Meeting_points.status l.mp <> Meeting_points.Meeting_points
+                && not l.already_rewound
+              then begin
+                if Transcript.length l.tr > 0 then
+                  Transcript.truncate l.tr (Transcript.length l.tr - 1);
+                l.already_rewound <- true;
+                reqs.(shard) <- reqs.(shard) + 1;
+                depth.(shard) <- round;
+                readmit shard id
+              end
+            end);
+        cur.(shard) <- nxt.(shard))
+      ()
   done;
-  if Trace.Sink.is_enabled pr.sink && !reqs > 0 then begin
-    Trace.Sink.count pr.sink ~id:pr.c_rewind_req ~iter !reqs;
-    Trace.Sink.gauge pr.sink ~id:pr.g_rewind_depth ~iter (float_of_int !depth)
+  if Trace.Sink.is_enabled pr.sink then begin
+    let total = Array.fold_left ( + ) 0 reqs in
+    if total > 0 then begin
+      Trace.Sink.count pr.sink ~id:pr.c_rewind_req ~iter total;
+      Trace.Sink.gauge pr.sink ~id:pr.g_rewind_depth ~iter
+        (float_of_int (Array.fold_left max 0 depth))
+    end
   end
 
 (* ---------- global instrumentation (simulator-side only) ---------- *)
@@ -725,9 +783,8 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             net_correct = true;
           })
     in
-    (* Transport plumbing: one sparse round buffer for the whole
-       execution, plus the dir -> receiving-endpoint tables that let the
-       delivered set be consumed without scanning all 2m directions. *)
+    (* Transport plumbing: the dir -> receiving-endpoint tables that let
+       the delivered set be consumed without scanning all 2m directions. *)
     let tp =
       let recv_link =
         Array.init (2 * m) (fun dir ->
@@ -737,8 +794,28 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             l)
       in
       let recv_party = Array.init (2 * m) (fun dir -> snd (Network.link_ends net ~dir)) in
-      { active = Network.active net; recv_link; recv_party }
+      { recv_link; recv_party }
     in
+    (* ---- execution engine ----
+       The lockstep backend is the live engine pinned serial with one
+       shard and d = 0 — exactly the historical round loop.  Observing
+       (an enabled trace sink) and the adversary spy force the serial
+       engine even on the live backend: both need a single-domain event
+       order (probes fire inside worker callbacks; the spy reads party
+       state between rounds). *)
+    let live_cfg =
+      match config.Config.backend with
+      | Lockstep -> Live.Config.default
+      | Live c -> c
+    in
+    let serial =
+      (match config.Config.backend with Lockstep -> true | Live _ -> false)
+      || observing
+      || Option.is_some config.Config.spy_hook
+    in
+    let weights = Array.init n (fun id -> Topology.Graph.degree graph id) in
+    let ex = Live.Exec.create ~net ~config:live_cfg ~serial ~weights () in
+    Fun.protect ~finally:(fun () -> Live.Exec.shutdown ex) @@ fun () ->
     (* ---- fault state ---- *)
     let alive = Array.make n true in
     let rot_mask =
@@ -822,6 +899,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let traces = ref [] in
     let continue_loop = ref true in
     let iter = ref 0 in
+    (* Per-iteration scratch, written shard-locally by the phase
+       executors (each cell touched only by the party's owner). *)
+    let statuses = Array.make n false in
+    let flag_agg = Array.make n false in
+    let net_corrects = Array.make n false in
     while !continue_loop && !iter < effective_iterations do
       let it = !iter in
       Trace.Sink.span_begin sink ~id:pr.sp_iter ~iter:it;
@@ -888,40 +970,50 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
       if observing then record_mp_status ();
       Trace.Sink.span_begin sink ~id:pr.sp_mp ~iter:it;
-      meeting_points_phase net tp parties fc pr ~iter:it ~tau:params.Params.tau;
+      meeting_points_phase ex net tp parties fc pr ~iter:it ~tau:params.Params.tau;
       Trace.Sink.span_end sink ~id:pr.sp_mp ~iter:it;
       if observing then count_mp_transitions ~iter:it;
-      let statuses = compute_statuses parties ~alive in
-      Network.set_phase net ~iteration:it ~phase:Netsim.Adversary.Flag;
+      compute_statuses ex parties ~alive ~statuses;
       Trace.Sink.span_begin sink ~id:pr.sp_flag ~iter:it;
-      let net_corrects =
-        if params.Params.flag_passing then
-          Flag_passing.run_active ~alive ?probe:flag_probe net flag_sched ~active:tp.active
-            ~statuses
-        else statuses
-      in
+      if params.Params.flag_passing then
+        Flag_passing.run_exec ~alive ?probe:flag_probe
+          ~label:(fun () -> Network.set_phase net ~iteration:it ~phase:Netsim.Adversary.Flag)
+          ex flag_sched ~statuses ~agg:flag_agg ~net_correct:net_corrects
+      else
+        Live.Exec.slice ex (fun w ->
+            let lo, hi = Live.Exec.bounds ex ~shard:w in
+            Array.blit statuses lo net_corrects lo (hi - lo));
       Trace.Sink.span_end sink ~id:pr.sp_flag ~iter:it;
       if observing then begin
+        (* Observing forces the serial engine, so the leader reads the
+           freshly-written scratch quiesced. *)
         let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
         let votes = count_true statuses and ok = count_true net_corrects in
         Trace.Sink.count sink ~id:pr.c_flag_votes ~iter:it votes;
         Trace.Sink.count sink ~id:pr.c_net_correct ~iter:it ok;
         Trace.Sink.count sink ~id:pr.c_idle ~iter:it (n - ok)
       end;
-      Array.iteri (fun i p -> p.net_correct <- net_corrects.(i)) parties;
-      Log.debug (fun f ->
-          f "iteration %d: statuses=[%s] netCorrect=[%s]" it
-            (String.concat "" (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
-            (String.concat ""
-               (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
+      Live.Exec.slice ex (fun w ->
+          iter_shard ex parties w (fun p -> p.net_correct <- net_corrects.(p.id)));
+      if Live.Exec.is_serial ex then
+        Log.debug (fun f ->
+            f "iteration %d: statuses=[%s] netCorrect=[%s]" it
+              (String.concat ""
+                 (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
+              (String.concat ""
+                 (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
       Trace.Sink.span_begin sink ~id:pr.sp_sim ~iter:it;
-      simulation_phase net tp parties fc ch ~iter:it ~n_real;
+      simulation_phase ex net tp parties fc ch ~iter:it ~n_real;
       Trace.Sink.span_end sink ~id:pr.sp_sim ~iter:it;
       if params.Params.rewind then begin
         Trace.Sink.span_begin sink ~id:pr.sp_rewind ~iter:it;
-        rewind_phase net tp parties fc pr ~iter:it;
+        rewind_phase ex net tp parties fc pr ~iter:it;
         Trace.Sink.span_end sink ~id:pr.sp_rewind ~iter:it
       end;
+      (* Quiesce before the leader-side reads below (global stats, early
+         stop, next iteration's prepass) — also folds any ragged drop
+         tally into the network stats so per-iteration snapshots see it. *)
+      Live.Exec.join ex;
       if config.Config.trace || observing then begin
         let st = stats_of net parties graph ~iteration:it in
         if config.Config.trace then traces := st :: !traces;

@@ -76,6 +76,19 @@ type spy = {
     Everything optional about an execution lives in one record, so the
     entry point does not grow a new optional argument per feature. *)
 
+type backend =
+  | Lockstep
+      (** the reference backend: the live engine pinned serial, one
+          shard, d = 0 — the historical single-domain round loop *)
+  | Live of Live.Config.t
+      (** the concurrent backend (lib/live): parties sharded across
+          domains, rounds committed through a per-round epoch barrier,
+          optionally ragged ([ragged_d] > 0 books scheduling jitter as
+          insertions/deletions through the network's fault accounting).
+          An enabled trace sink or a spy hook forces the serial engine
+          (single-domain event order); with d = 0 the two backends are
+          differentially tested byte-identical. *)
+
 module Config : sig
   type t = {
     trace : bool;  (** collect per-iteration {!iter_stat}s *)
@@ -108,11 +121,14 @@ module Config : sig
             number; hitting the cap degrades the run (diagnosis note),
             a non-positive cap aborts it
             ({!Faults.Outcome.Iteration_budget}) *)
+    backend : backend;
+        (** execution backend; {!Lockstep} (the default) is the serial
+            reference, [Live _] runs the concurrent engine *)
   }
 
   val default : t
   (** No trace, disabled sink, pseudorandom inputs, no spy, no faults,
-      no watchdogs. *)
+      no watchdogs, lockstep backend. *)
 
   val make :
     ?trace:bool ->
@@ -122,6 +138,7 @@ module Config : sig
     ?faults:Faults.Plan.t ->
     ?max_wall_s:float ->
     ?max_iterations:int ->
+    ?backend:backend ->
     unit ->
     t
 end

@@ -1,0 +1,54 @@
+(* A sense-reversing barrier over OCaml 5 Atomics — no mutex, no
+   condition variable on the hot path.  Arrivers decrement [count];
+   the last one refills it and flips [sense], releasing the rest.
+   Waiters spin on [sense] with [Domain.cpu_relax] for a bounded burst
+   and then back off to short sleeps, so a 2-domain barrier stays
+   usable even on a single hardware thread.
+
+   Re-entry is safe: a non-last arriver can only return (and thus
+   arrive again) after observing the flipped sense, at which point the
+   last arriver has already refilled [count] for the next episode; the
+   last arriver itself reads the post-flip sense when it next waits. *)
+
+type t = { parties : int; count : int Atomic.t; sense : bool Atomic.t }
+
+let create parties =
+  if parties < 1 then invalid_arg "Live.Barrier.create: parties must be >= 1";
+  { parties; count = Atomic.make parties; sense = Atomic.make false }
+
+let parties t = t.parties
+
+(* Spin until [cond] holds or [giveup] fires; shared with the commit
+   window waits in Exec.  [cpu_relax] bursts keep latency low when a
+   core is available; the sleep ladder keeps oversubscribed runs (more
+   domains than cores) from starving the domain that must make
+   progress. *)
+let spin_until ?giveup cond =
+  let relax_burst = 4096 in
+  let rec go sleep_s =
+    if cond () then true
+    else if (match giveup with Some g -> g () | None -> false) then false
+    else begin
+      let i = ref 0 in
+      while (not (cond ())) && !i < relax_burst do
+        Domain.cpu_relax ();
+        incr i
+      done;
+      if cond () then true
+      else begin
+        Unix.sleepf sleep_s;
+        go (Float.min (sleep_s *. 2.) 1e-3)
+      end
+    end
+  in
+  go 2e-5
+
+let await ?giveup t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.count (-1) = 1 then begin
+    (* Last arriver: refill for the next episode, then release. *)
+    Atomic.set t.count t.parties;
+    Atomic.set t.sense my_sense;
+    true
+  end
+  else spin_until ?giveup (fun () -> Atomic.get t.sense = my_sense)

@@ -1,0 +1,25 @@
+(** A sense-reversing barrier over Atomics: the per-round epoch barrier
+    of the live backend.  No mutex on the hot path; waiters spin with
+    [Domain.cpu_relax] then back off to microsleeps. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier for [parties] participants.
+    Raises [Invalid_argument] if [parties < 1]. *)
+
+val parties : t -> int
+
+val await : ?giveup:(unit -> bool) -> t -> bool
+(** Arrive and wait until all [parties] participants have arrived.
+    Returns [true] on release ([true] also for the releasing last
+    arriver).  If [giveup] is given it is polled while waiting; when it
+    fires the wait aborts and [await] returns [false] — used to drain
+    the barrier when a peer domain has been poisoned by an exception.
+    The barrier is reusable (sense-reversing). *)
+
+val spin_until : ?giveup:(unit -> bool) -> (unit -> bool) -> bool
+(** [spin_until cond] busy-waits (bounded [cpu_relax] bursts, then a
+    sleep ladder) until [cond ()] holds, returning [true]; or until
+    [giveup ()] fires, returning [false].  Shared by the commit-window
+    waits of {!Exec}. *)

@@ -1,0 +1,80 @@
+(** The live execution engine: runs a phase driver's per-round
+    write/read callbacks either inline (serial engine — with d = 0 this
+    {e is} the historical lockstep loop) or across one domain per shard
+    with a d-deep ragged commit window (parallel engine).  See
+    DESIGN.md §3h for the protocol and the d=0 ≡ lockstep argument. *)
+
+type t
+
+val create :
+  net:Netsim.Network.t ->
+  config:Config.t ->
+  ?serial:bool ->
+  weights:int array ->
+  unit ->
+  t
+(** Build an engine over [net] for [Array.length weights] parties,
+    sharded by {!Shard.partition}.  The serial engine is chosen when
+    [serial] is passed true (callers force it when they need a
+    single-domain event order, e.g. tracing), when
+    [config.force_serial], or when the effective shard count is 1;
+    otherwise one worker domain per shard is spawned immediately.
+    Every [t] must be released with {!shutdown}. *)
+
+val shards : t -> int
+(** Effective shard count. *)
+
+val bounds : t -> shard:int -> int * int
+(** Half-open party-id range owned by a shard. *)
+
+val owner : t -> int -> int
+(** Shard owning a party id. *)
+
+val is_serial : t -> bool
+(** True when callbacks run inline on the calling domain (single-domain
+    event order — safe for observing probes and logging). *)
+
+val round :
+  t ->
+  ?label:(unit -> unit) ->
+  write:(shard:int -> Netsim.Network.Active.t -> unit) ->
+  read:(shard:int -> Netsim.Network.Active.t -> unit) ->
+  unit ->
+  unit
+(** Issue one global round.  [write ~shard buf] must submit the round's
+    transmissions for exactly the parties of [shard] into [buf]
+    (out-directions only — each directed link has a unique sending
+    party, so shards never collide); [read ~shard master] consumes the
+    delivered round.  [label], when given, runs exactly once before the
+    network transforms the round (committer-serialized) — used for
+    [Network.set_phase].  On the parallel engine this returns
+    immediately (the round is enqueued); callbacks must touch only
+    shard-local state.  Raises a worker's pending exception, if any. *)
+
+val slice : t -> (int -> unit) -> unit
+(** Issue a no-network job: the callback runs once per shard (argument
+    = shard id) and must touch only that shard's party range. *)
+
+val join : t -> unit
+(** Barrier: returns once every issued job has fully executed on every
+    shard.  After [join] the leader may read and mutate any party
+    state until the next [round]/[slice].  Also folds the ragged drop
+    tally into [Network.stats] and garbage-collects the job log.
+    Raises a worker's pending exception, if any. *)
+
+val rounds_run : t -> int
+(** Total rounds issued. *)
+
+val jitter_dropped : t -> int
+(** Symbols deleted from their intended round by ragged synchrony
+    (owner-retired late seals + stale-surfaced; serial engine: delayed
+    symbols). *)
+
+val jitter_surfaced : t -> int
+(** Stale symbols delivered into a later round (each is also counted
+    by {!jitter_dropped}). *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains (idempotent; never raises on
+    the cleanup path).  Books tail-round buffers that never committed
+    as deletions.  A no-op on the serial engine. *)

@@ -1,0 +1,31 @@
+(** Contiguous, degree-weighted assignment of parties to worker
+    domains.  Shard [k] owns the half-open id range [range t k];
+    ranges are in id order, non-empty, and balanced by [1 + degree]
+    prefix weight so hub-heavy topologies don't pile onto one domain. *)
+
+type t
+
+val partition : weights:int array -> shards:int -> t
+(** [partition ~weights ~shards] cuts [Array.length weights] parties
+    into [min shards n] non-empty contiguous ranges of near-equal
+    [1 + weight] prefix sums.  Raises [Invalid_argument] when there
+    are no parties. *)
+
+val of_degrees : graph:Topology.Graph.t -> shards:int -> t
+(** Partition weighted by vertex degree. *)
+
+val shards : t -> int
+(** Effective shard count (≤ requested, ≤ parties). *)
+
+val range : t -> int -> int * int
+(** [range t k] is the half-open party-id interval [(lo, hi)] owned by
+    shard [k]. *)
+
+val owner : t -> int -> int
+(** [owner t p] is the shard owning party [p]. *)
+
+val iter_range : t -> int -> (int -> unit) -> unit
+(** [iter_range t k f] applies [f] to each party of shard [k] in
+    ascending id order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -90,11 +90,29 @@ module Active = struct
     else if c = Slots.silent then t.spoken <- t.spoken - 1;
     t.word.(dir) <- (t.epoch lsl 2) lor c
 
+  (* Epoch stamps share their word with the 2-bit symbol lane, so they
+     wrap long before the native int does on 32-bit hosts and, more to
+     the point, long-running live sessions must not rely on "63 bits is
+     forever".  When the stamp space is exhausted the words are cleared
+     once and the epoch restarts at 1 — an O(2m) event every 2^30
+     rounds, amortised to nothing. *)
+  let max_epoch = (1 lsl 30) - 1
+
   let begin_round t =
+    if t.epoch >= max_epoch then begin
+      Array.fill t.word 0 (Array.length t.word) 0;
+      t.epoch <- 0
+    end;
     t.epoch <- t.epoch + 1;
     t.n_active <- 0;
     t.spoken <- 0;
     t.sorted <- true
+
+  (* Test hook: jump the epoch close to [max_epoch] to exercise the
+     wraparound without running 2^30 rounds. *)
+  let debug_set_epoch t e =
+    if e < 1 || e > max_epoch then invalid_arg "Active.debug_set_epoch";
+    t.epoch <- e
 
   (* The hot path — every speaking link goes through here every round,
      so it must stay competitive with a dense slot store: one word load
@@ -454,6 +472,24 @@ let silence t ~rounds =
     Active.begin_round t.scratch;
     commit t t.scratch
   done
+
+(* Jitter noise booked by the live backend (lib/live): a symbol whose
+   round the receiver had already committed is a deletion (stalled); a
+   stale symbol surfacing in a later-committed slot is an insertion.
+   Routed through the same counters and trace ids as the fault engine so
+   postmortems and Φ gauges attribute ragged-synchrony noise exactly
+   like environment faults. *)
+let note_stalled t ~dir =
+  t.stalled <- t.stalled + 1;
+  Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:dir 1
+
+let note_injected t ~dir =
+  t.injected <- t.injected + 1;
+  Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:dir 1
+
+(* Bulk, untraced variant: folds drop counts accumulated off the trace
+   path (e.g. worker-side drops tallied in an Atomic) into the stats. *)
+let note_stalled_count t k = if k > 0 then t.stalled <- t.stalled + k
 
 let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc
 

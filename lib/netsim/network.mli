@@ -114,6 +114,22 @@ module Active : sig
   val iter : t -> (dir:int -> bool -> unit) -> unit
   (** Visit every non-silent direction in ascending dir order.
       O(active), independent of 2m. *)
+
+  val sort : t -> unit
+  (** Force the lazily-sorted active set into ascending dir order now,
+      so that subsequent {!iter} / {!get} calls are read-only.  The live
+      backend calls this before publishing a committed buffer to other
+      domains; single-domain users never need it ({!iter} sorts on
+      demand). *)
+
+  (**/**)
+
+  val debug_set_epoch : t -> int -> unit
+  (** Test hook: jump the internal epoch stamp near its wraparound point
+      (2^30 - 1) to exercise the wrap path without running 2^30 rounds.
+      Raises [Invalid_argument] out of range. *)
+
+  (**/**)
 end
 
 type stats = {
@@ -191,6 +207,23 @@ val round_buf : t -> Slots.t -> unit
     contract, same observable behaviour (identical corruption order,
     accounting and trace events), always O(2m).  Kept for differential
     tests and dense-baseline benchmarks. *)
+
+val note_stalled : t -> dir:int -> unit
+(** Book one deletion event on a directed link outside {!commit} — used
+    by the live backend (lib/live) when ragged synchrony drops a symbol
+    whose round the receiver had already committed.  Increments
+    [stats.stalled] and emits the same [net.stalled] trace event as a
+    fault-engine stall, so postmortems attribute jitter noise
+    uniformly. *)
+
+val note_injected : t -> dir:int -> unit
+(** Book one insertion/substitution event on a directed link outside
+    {!commit} — a stale symbol surfacing in a later-committed round.
+    Increments [stats.injected] and emits [net.injected]. *)
+
+val note_stalled_count : t -> int -> unit
+(** Bulk, untraced variant of {!note_stalled}: fold [k] deletion events
+    (e.g. drops tallied in a worker-side Atomic) into [stats.stalled]. *)
 
 val silence : t -> rounds:int -> unit
 (** Let [rounds] rounds pass with no party speaking (insertions may still

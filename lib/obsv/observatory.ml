@@ -17,10 +17,14 @@ let lowercase_contains ~needle hay =
   go 0
 
 (* Names are matched on the full flattened path, lowercased.  "jobs" is
-   a knob, not a measurement; anything wall-clock-, rate- or
-   allocation-flavoured is an execution artifact. *)
+   a knob, not a measurement; "jitter" metrics come from genuinely
+   racy ragged-synchrony runs (scheduling-dependent, not reproducible —
+   the deterministic serial sweep reports "ragged_*" instead, which
+   stays exact); anything wall-clock-, rate- or allocation-flavoured is
+   an execution artifact. *)
 let classify name =
-  if lowercase_contains ~needle:"jobs" name then `Ignored
+  if List.exists (fun needle -> lowercase_contains ~needle name) [ "jobs"; "jitter" ] then
+    `Ignored
   else if
     List.exists
       (fun needle -> lowercase_contains ~needle name)

@@ -48,7 +48,10 @@ let attempt_trial ~attempts ~timeout_s f t =
    the caller. *)
 let run_slice ~jobs ~lo ~hi ~slots body =
   let width = hi - lo in
-  let jobs = max 1 (min jobs width) in
+  (* Clamp to the hardware: spawning more domains than cores only adds
+     scheduler churn (OCaml domains are not green threads), and the
+     trial counter already balances any jobs ≫ domains workload. *)
+  let jobs = max 1 (min (min jobs width) (Domain.recommended_domain_count ())) in
   if jobs = 1 then
     for t = lo to hi - 1 do
       slots.(t - lo) <- Some (body t)

@@ -4,9 +4,10 @@ let heap_top_kb () = (Gc.stat ()).Gc.top_heap_words * word_bytes / 1024
 
 (* "VmHWM:    123456 kB" somewhere in /proc/self/status.  Parsed by hand
    to stay dependency-free; any read or parse failure falls back to the
-   GC high-water mark. *)
-let proc_vmhwm_kb () =
-  match open_in "/proc/self/status" with
+   GC high-water mark.  [status_path] is overridable so the fallback
+   ladder is testable off-Linux and against malformed files. *)
+let proc_vmhwm_kb ?(status_path = "/proc/self/status") () =
+  match open_in status_path with
   | exception Sys_error _ -> None
   | ic ->
       let rec scan () =
@@ -25,5 +26,5 @@ let proc_vmhwm_kb () =
       close_in_noerr ic;
       r
 
-let peak_rss_kb () =
-  match proc_vmhwm_kb () with Some kb -> kb | None -> heap_top_kb ()
+let peak_rss_kb ?status_path () =
+  match proc_vmhwm_kb ?status_path () with Some kb -> kb | None -> heap_top_kb ()

@@ -8,8 +8,10 @@
     exactly how the observatory consumes it (classified as a timed
     metric: compared within tolerance, never exactly). *)
 
-val peak_rss_kb : unit -> int
-(** Peak resident set size of the current process, in KiB. *)
+val peak_rss_kb : ?status_path:string -> unit -> int
+(** Peak resident set size of the current process, in KiB.
+    [status_path] (default ["/proc/self/status"]) exists for tests: an
+    unreadable or VmHWM-less file exercises the GC fallback. *)
 
 val heap_top_kb : unit -> int
 (** The GC's high-water mark ([Gc.stat ()].top_heap_words), in KiB —

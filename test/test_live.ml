@@ -1,0 +1,362 @@
+(* Tests for lib/live: the shard partitioner, the sense-reversing
+   barrier under real parallelism, the execution engine's round
+   semantics, and — the backbone — the backend differential: the scheme
+   on [Live] with d = 0 must be byte-identical to [Lockstep] across
+   topologies, adversaries and fault plans. *)
+
+module Network = Netsim.Network
+
+(* ---------- Shard ---------- *)
+
+let test_shard_partition_properties () =
+  List.iter
+    (fun (n, shards) ->
+      let weights = Array.init n (fun i -> (i * 7) mod 5) in
+      let sh = Live.Shard.partition ~weights ~shards in
+      let s = Live.Shard.shards sh in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d shards=%d: effective count in range" n shards)
+        true
+        (s >= 1 && s <= min shards n);
+      (* Ranges are contiguous, non-empty, cover [0, n), and agree with
+         [owner]. *)
+      let expected_lo = ref 0 in
+      for k = 0 to s - 1 do
+        let lo, hi = Live.Shard.range sh k in
+        Alcotest.(check int) "contiguous" !expected_lo lo;
+        Alcotest.(check bool) "non-empty" true (hi > lo);
+        for p = lo to hi - 1 do
+          Alcotest.(check int) (Printf.sprintf "owner of %d" p) k (Live.Shard.owner sh p)
+        done;
+        expected_lo := hi
+      done;
+      Alcotest.(check int) "covers all parties" n !expected_lo)
+    [ (1, 1); (1, 8); (5, 2); (16, 4); (16, 16); (17, 4); (100, 7); (10, 64) ]
+
+let test_shard_balance () =
+  (* A hub-heavy star: degree weighting must not leave the hub's shard
+     with everything else too.  With 1+degree weights on star(64),
+     the hub weighs 64 and each leaf 2: the hub's shard should get few
+     leaves. *)
+  let g = Topology.Graph.star 64 in
+  let sh = Live.Shard.of_degrees ~graph:g ~shards:4 in
+  Alcotest.(check int) "4 shards" 4 (Live.Shard.shards sh);
+  let _, hub_hi = Live.Shard.range sh (Live.Shard.owner sh 0) in
+  Alcotest.(check bool) "hub shard is lean" true (hub_hi <= 32)
+
+(* ---------- Barrier ---------- *)
+
+let test_barrier_two_domains () =
+  (* Two domains cross the same barrier 500 times; a shared counter is
+     incremented before each await, so after the k-th crossing both
+     sides must read exactly 2k — a missed or double release would show
+     up as a torn count. *)
+  let b = Live.Barrier.create 2 in
+  let count = Atomic.make 0 in
+  let bad = Atomic.make 0 in
+  let episodes = 500 in
+  let body () =
+    for k = 1 to episodes do
+      Atomic.incr count;
+      ignore (Live.Barrier.await b : bool);
+      if Atomic.get count < 2 * k then Atomic.incr bad;
+      (* Second barrier keeps a fast domain from racing into the next
+         episode's increment before the slow one checked. *)
+      ignore (Live.Barrier.await b : bool)
+    done
+  in
+  let d = Domain.spawn body in
+  body ();
+  Domain.join d;
+  Alcotest.(check int) "no torn episode" 0 (Atomic.get bad);
+  Alcotest.(check int) "final count" (2 * episodes) (Atomic.get count)
+
+let test_barrier_giveup () =
+  let b = Live.Barrier.create 2 in
+  (* Nobody else ever arrives: the giveup must fire and await report
+     failure rather than hanging. *)
+  let tries = ref 0 in
+  let ok =
+    Live.Barrier.await
+      ~giveup:(fun () ->
+        incr tries;
+        !tries > 3)
+      b
+  in
+  Alcotest.(check bool) "aborted wait returns false" false ok
+
+(* ---------- Exec: raw round semantics ---------- *)
+
+let line4 = Topology.Graph.line 4
+
+let test_exec_round_delivery () =
+  (* A 4-party line driven for 24 rounds on 2 real domains, d = 0:
+     every round's rightward bit must be delivered in that round, and
+     the lockstep window must book zero jitter. *)
+  let net = Network.create line4 Netsim.Adversary.Silent in
+  let ex =
+    Live.Exec.create ~net
+      ~config:(Live.Config.make ~shards:2 ())
+      ~weights:(Array.init 4 (fun i -> Topology.Graph.degree line4 i))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Live.Exec.shutdown ex)
+    (fun () ->
+      let missed = Atomic.make 0 in
+      for r = 0 to 23 do
+        Live.Exec.round ex
+          ~write:(fun ~shard buf ->
+            let lo, hi = Live.Exec.bounds ex ~shard in
+            for v = lo to hi - 1 do
+              if v < 3 then
+                Network.Active.send buf
+                  ~dir:(Topology.Graph.dir_id line4 ~src:v ~dst:(v + 1))
+                  (r land 1 = 1)
+            done)
+          ~read:(fun ~shard master ->
+            let lo, hi = Live.Exec.bounds ex ~shard in
+            for v = lo to hi - 1 do
+              if v > 0 then
+                match
+                  Network.Active.get master
+                    ~dir:(Topology.Graph.dir_id line4 ~src:(v - 1) ~dst:v)
+                with
+                | Some b -> if b <> (r land 1 = 1) then Atomic.incr missed
+                | None -> Atomic.incr missed
+            done)
+          ()
+      done;
+      Live.Exec.join ex;
+      Alcotest.(check int) "all deliveries intact" 0 (Atomic.get missed);
+      Alcotest.(check int) "rounds_run" 24 (Live.Exec.rounds_run ex);
+      Alcotest.(check int) "cc" (24 * 3) (Network.stats net).Network.cc;
+      Alcotest.(check int) "d=0 books no drops" 0 (Live.Exec.jitter_dropped ex);
+      Alcotest.(check int) "d=0 books no stale" 0 (Live.Exec.jitter_surfaced ex))
+
+let test_exec_worker_exception () =
+  (* A worker raising inside a job poisons the engine: the exception
+     surfaces at the next issue/join on the leader, and shutdown still
+     returns cleanly afterwards. *)
+  let net = Network.create line4 Netsim.Adversary.Silent in
+  let ex =
+    Live.Exec.create ~net
+      ~config:(Live.Config.make ~shards:2 ())
+      ~weights:(Array.make 4 1) ()
+  in
+  let raised =
+    try
+      Live.Exec.slice ex (fun w -> if w = 1 then failwith "boom");
+      Live.Exec.join ex;
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "worker exception propagates to leader" true raised;
+  Live.Exec.shutdown ex;
+  Live.Exec.shutdown ex (* idempotent *)
+
+(* ---------- Backend differential ---------- *)
+
+let graphs =
+  [
+    ("K5", fun () -> Topology.Graph.clique 5);
+    ("line6", fun () -> Topology.Graph.line 6);
+    ("random8", fun () -> Topology.Graph.random_connected (Util.Rng.create 7) ~n:8 ~extra_edges:4);
+  ]
+
+let run_backend ?(faults = Faults.Plan.empty) ~backend ~adv ~seed graph =
+  let pi = Protocol.Protocols.random_chatter graph ~rounds:100 ~density:0.5 ~seed:3 in
+  let params = Coding.Params.algorithm_1 graph in
+  Coding.Scheme.run_outcome
+    ~config:(Coding.Scheme.Config.make ~trace:true ~faults ~backend ())
+    ~rng:(Util.Rng.create seed) params pi (adv ())
+
+(* Everything in [result] is plain data, so polymorphic equality is the
+   byte-identity check; the diagnosis is compared field-wise minus the
+   wall clock. *)
+let check_identical name a b =
+  Alcotest.(check string) (name ^ ": outcome label") (Faults.Outcome.label a)
+    (Faults.Outcome.label b);
+  Alcotest.(check bool)
+    (name ^ ": result identical")
+    true
+    (Faults.Outcome.result a = Faults.Outcome.result b);
+  let strip (d : Faults.Outcome.diagnosis) =
+    Faults.Outcome.
+      ( d.crashed_iterations,
+        d.rejoins,
+        d.transcript_rot,
+        d.seed_rot,
+        d.stalled_slots,
+        d.injected,
+        d.iterations_run,
+        d.iterations_planned,
+        d.notes )
+  in
+  Alcotest.(check bool)
+    (name ^ ": diagnosis identical")
+    true
+    (Option.map strip (Faults.Outcome.diagnosis a)
+    = Option.map strip (Faults.Outcome.diagnosis b))
+
+let adversaries =
+  [
+    ("silent", fun () -> Netsim.Adversary.Silent);
+    ("iid", fun () -> Netsim.Adversary.iid (Util.Rng.create 99) ~rate:0.002);
+  ]
+
+let test_differential_d0 () =
+  List.iter
+    (fun (gname, mk) ->
+      List.iter
+        (fun (aname, adv) ->
+          let g = mk () in
+          let reference = run_backend ~backend:Coding.Scheme.Lockstep ~adv ~seed:11 g in
+          List.iter
+            (fun shards ->
+              let live =
+                run_backend
+                  ~backend:(Coding.Scheme.Live (Live.Config.make ~shards ()))
+                  ~adv ~seed:11 g
+              in
+              check_identical
+                (Printf.sprintf "%s/%s/shards=%d" gname aname shards)
+                reference live)
+            [ 1; 2; 4 ])
+        adversaries)
+    graphs
+
+let fault_plan g =
+  let n = Topology.Graph.n g in
+  Faults.Plan.make ~key:"live-diff"
+    [
+      Faults.Plan.Crash { party = 0; at_iteration = 2; recover_at = Some 5 };
+      Faults.Plan.Crash { party = n - 1; at_iteration = 4; recover_at = None };
+      Faults.Plan.Seed_rot { party = 1; from_iteration = 3 };
+      Faults.Plan.Transcript_rot { party = n / 2; at_iteration = 6 };
+      Faults.Plan.Link_stall { edge = 0; from_round = 40; rounds = 25 };
+    ]
+
+let test_differential_faults () =
+  List.iter
+    (fun (gname, mk) ->
+      List.iter
+        (fun (aname, adv) ->
+          let g = mk () in
+          let faults = fault_plan g in
+          let reference =
+            run_backend ~faults ~backend:Coding.Scheme.Lockstep ~adv ~seed:13 g
+          in
+          let live =
+            run_backend ~faults
+              ~backend:(Coding.Scheme.Live (Live.Config.make ~shards:2 ()))
+              ~adv ~seed:13 g
+          in
+          check_identical (Printf.sprintf "faults/%s/%s" gname aname) reference live)
+        adversaries)
+    [ List.nth graphs 0; List.nth graphs 2 ]
+
+let test_differential_trace_stream () =
+  (* With an enabled sink the live backend pins itself serial, so the
+     normalized (timing-free) trace streams must match the reference
+     backend character for character — same probes, same order, same
+     arguments. *)
+  let g = Topology.Graph.clique 5 in
+  let go backend =
+    let sink = Trace.Sink.create () in
+    let pi = Protocol.Protocols.random_chatter g ~rounds:80 ~density:0.5 ~seed:3 in
+    let outcome =
+      Coding.Scheme.run_outcome
+        ~config:(Coding.Scheme.Config.make ~sink ~faults:(fault_plan g) ~backend ())
+        ~rng:(Util.Rng.create 17) (Coding.Params.algorithm_1 g) pi
+        (Netsim.Adversary.iid (Util.Rng.create 99) ~rate:0.002)
+    in
+    (Trace.Export.chrome ~timing:false sink, outcome)
+  in
+  let ref_stream, ref_outcome = go Coding.Scheme.Lockstep in
+  let live_stream, live_outcome =
+    go (Coding.Scheme.Live (Live.Config.make ~shards:4 ()))
+  in
+  Alcotest.(check string) "trace streams identical" ref_stream live_stream;
+  check_identical "traced run" ref_outcome live_outcome
+
+(* ---------- Ragged synchrony ---------- *)
+
+let test_serial_ragged_deterministic () =
+  (* The keyed-jitter serial engine: same config twice gives the same
+     degraded run, and the jitter really is booked — the diagnosis
+     carries stalled/injected symbols and the outcome degrades. *)
+  let g = Topology.Graph.line 6 in
+  let backend =
+    Coding.Scheme.Live
+      (Live.Config.make ~shards:4 ~ragged_d:2 ~jitter_rate:0.2 ~force_serial:true ())
+  in
+  let adv () = Netsim.Adversary.Silent in
+  let a = run_backend ~backend ~adv ~seed:21 g in
+  let b = run_backend ~backend ~adv ~seed:21 g in
+  check_identical "ragged repeat" a b;
+  Alcotest.(check string) "jitter degrades the run" "degraded" (Faults.Outcome.label a);
+  (match Faults.Outcome.diagnosis a with
+  | Some d ->
+      Alcotest.(check bool)
+        "jitter booked as stalls" true
+        (d.Faults.Outcome.stalled_slots > 0)
+  | None -> Alcotest.fail "expected a diagnosis");
+  (* d = 0 with the same jitter rate books nothing: the rate only
+     matters once there is slack to lag into. *)
+  let d0 =
+    run_backend
+      ~backend:
+        (Coding.Scheme.Live
+           (Live.Config.make ~shards:4 ~ragged_d:0 ~jitter_rate:0.2 ~force_serial:true ()))
+      ~adv ~seed:21 g
+  in
+  Alcotest.(check string) "d=0 stays clean" "completed" (Faults.Outcome.label d0)
+
+let test_parallel_ragged_smoke () =
+  (* Real domains racing under a d=1 window: the run must terminate in
+     a completed or degraded state (never abort), with any jitter the
+     race produced booked through the network stats. *)
+  let g = Topology.Graph.clique 4 in
+  let outcome =
+    run_backend
+      ~backend:(Coding.Scheme.Live (Live.Config.make ~shards:2 ~ragged_d:1 ()))
+      ~adv:(fun () -> Netsim.Adversary.Silent)
+      ~seed:23 g
+  in
+  match outcome with
+  | Faults.Outcome.Completed _ | Faults.Outcome.Degraded _ -> ()
+  | Faults.Outcome.Aborted (reason, _) ->
+      Alcotest.fail ("ragged run aborted: " ^ Faults.Outcome.abort_to_string reason)
+
+let () =
+  Alcotest.run "live"
+    [
+      ( "shard",
+        [
+          Alcotest.test_case "partition properties" `Quick test_shard_partition_properties;
+          Alcotest.test_case "degree balance" `Quick test_shard_balance;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "two domains, 500 episodes" `Quick test_barrier_two_domains;
+          Alcotest.test_case "giveup" `Quick test_barrier_giveup;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "round delivery, 2 domains" `Quick test_exec_round_delivery;
+          Alcotest.test_case "worker exception" `Quick test_exec_worker_exception;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "live d=0 ≡ lockstep" `Quick test_differential_d0;
+          Alcotest.test_case "under fault plans" `Quick test_differential_faults;
+          Alcotest.test_case "trace streams" `Quick test_differential_trace_stream;
+        ] );
+      ( "ragged",
+        [
+          Alcotest.test_case "serial jitter deterministic" `Quick
+            test_serial_ragged_deterministic;
+          Alcotest.test_case "parallel d=1 smoke" `Quick test_parallel_ragged_smoke;
+        ] );
+    ]

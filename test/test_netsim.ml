@@ -415,6 +415,50 @@ let test_active_epoch_reuse () =
     Alcotest.(check int) (Printf.sprintf "round %d: count" r) 1 (Network.Active.count a)
   done
 
+let test_active_epoch_wraparound () =
+  (* The epoch stamp shares its word with the symbol lane and wraps at
+     2^30 − 1: the wrap clears the lane space once and restarts at 1,
+     so a stamp from the previous cycle can never validate a stale
+     word.  [debug_set_epoch] jumps next to the edge. *)
+  let max_epoch = (1 lsl 30) - 1 in
+  let a = Network.Active.create g4 in
+  Network.Active.begin_round a;
+  Network.Active.send a ~dir:0 true;
+  Network.Active.debug_set_epoch a (max_epoch - 1);
+  Alcotest.(check (option bool)) "epoch jump invalidates" None (Network.Active.get a ~dir:0);
+  Network.Active.begin_round a;
+  (* epoch = max_epoch: the last round before the wrap behaves normally. *)
+  Network.Active.send a ~dir:1 false;
+  Alcotest.(check (option bool))
+    "write at max epoch" (Some false) (Network.Active.get a ~dir:1);
+  Alcotest.(check int) "count at max epoch" 1 (Network.Active.count a);
+  Network.Active.begin_round a;
+  (* Wrapped: epoch restarted at 1 over cleared words. *)
+  Alcotest.(check int) "wrapped round starts empty" 0 (Network.Active.count a);
+  Alcotest.(check (option bool))
+    "max-epoch write does not survive the wrap" None (Network.Active.get a ~dir:1);
+  Network.Active.send a ~dir:2 true;
+  Alcotest.(check (option bool))
+    "fresh-cycle write visible" (Some true) (Network.Active.get a ~dir:2);
+  Network.Active.begin_round a;
+  Alcotest.(check (option bool))
+    "fresh-cycle rounds invalidate as usual" None (Network.Active.get a ~dir:2);
+  (* Full round path across the wrap: deliveries through [commit] are
+     unaffected. *)
+  let net = Network.create g4 Adversary.Silent in
+  let buf = Network.active net in
+  Network.Active.begin_round buf;
+  Network.Active.debug_set_epoch buf max_epoch;
+  for r = 0 to 3 do
+    Network.Active.begin_round buf;
+    Network.Active.send buf ~dir:0 (r land 1 = 0);
+    Network.commit net buf;
+    Alcotest.(check (option bool))
+      (Printf.sprintf "delivery across wrap, round %d" r)
+      (Some (r land 1 = 0))
+      (Network.Active.get buf ~dir:0)
+  done
+
 let test_sparse_empty_round () =
   (* Committing an empty round still runs the adversary: an insertion
      lands on a buffer nobody wrote to. *)
@@ -663,6 +707,7 @@ let () =
           Alcotest.test_case "slots basics" `Quick test_slots_basics;
           Alcotest.test_case "active basics" `Quick test_active_basics;
           Alcotest.test_case "active epoch reuse" `Quick test_active_epoch_reuse;
+          Alcotest.test_case "active epoch wraparound" `Quick test_active_epoch_wraparound;
           Alcotest.test_case "sparse empty round" `Quick test_sparse_empty_round;
           Alcotest.test_case "differential: substitution" `Quick test_differential_substitution;
           Alcotest.test_case "differential: deletion" `Quick test_differential_deletion;

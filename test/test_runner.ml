@@ -204,6 +204,17 @@ let test_report_json_job_invariant () =
   in
   Alcotest.(check bool) "timing fields differ" true (t1 <> t4)
 
+let test_pool_oversubscription () =
+  (* jobs ≫ cores: run_slice clamps worker domains to the hardware's
+     recommended count, and the trial-keyed RNG keeps the report
+     byte-identical to the single-domain run regardless. *)
+  let j jobs wall =
+    Runner.Report.to_json ~timing:false
+      (report_of (Runner.Pool.run ~jobs ~trials:96 trial_body) ~jobs ~wall)
+  in
+  Alcotest.(check string) "jobs=64 ≡ jobs=1" (j 1 1.0) (j 64 0.05);
+  Alcotest.(check string) "jobs=7 ≡ jobs=1" (j 1 1.0) (j 7 0.2)
+
 let test_report_json_shape () =
   let r = report_of (Runner.Pool.run ~jobs:1 ~trials:5 trial_body) ~jobs:1 ~wall:0.1 in
   let s = Runner.Report.to_json r in
@@ -248,6 +259,8 @@ let () =
         ] );
       ( "report",
         [
+          Alcotest.test_case "oversubscribed jobs clamped + invariant" `Quick
+            test_pool_oversubscription;
           Alcotest.test_case "timing-free JSON job-invariant" `Quick
             test_report_json_job_invariant;
           Alcotest.test_case "document shape" `Quick test_report_json_shape;

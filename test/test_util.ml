@@ -222,6 +222,47 @@ let test_stats_histogram () =
   Alcotest.(check int) "bins" 2 (Array.length h);
   Alcotest.(check int) "total count" 4 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
 
+(* ---------- Mem ---------- *)
+
+let write_tmp_status contents =
+  let path = Filename.temp_file "mic_mem" ".status" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_mem_parses_vmhwm () =
+  let path = write_tmp_status "Name:\tmic\nVmPeak:\t  9999 kB\nVmHWM:\t  1234 kB\nThreads:\t1\n" in
+  let kb = Util.Mem.peak_rss_kb ~status_path:path () in
+  Sys.remove path;
+  Alcotest.(check int) "VmHWM parsed" 1234 kb
+
+let check_gc_fallback name status_path =
+  (* top_heap_words is monotone, so the fallback value must land between
+     two surrounding reads of it. *)
+  let before = Util.Mem.heap_top_kb () in
+  let kb = Util.Mem.peak_rss_kb ?status_path () in
+  let after = Util.Mem.heap_top_kb () in
+  Alcotest.(check bool) name true (kb >= before && kb <= after && kb > 0)
+
+let test_mem_fallback_missing_file () =
+  check_gc_fallback "missing status file -> GC high-water mark"
+    (Some "/nonexistent/no/such/status")
+
+let test_mem_fallback_no_vmhwm () =
+  let path = write_tmp_status "Name:\tmic\nVmPeak:\t 9999 kB\n" in
+  check_gc_fallback "VmHWM-less status -> GC high-water mark" (Some path);
+  Sys.remove path
+
+let test_mem_fallback_malformed () =
+  let path = write_tmp_status "VmHWM: not-a-number kB\n" in
+  check_gc_fallback "digit-free VmHWM -> GC high-water mark" (Some path);
+  Sys.remove path
+
+let test_mem_default_positive () =
+  (* Whatever the platform provides, the probe must report something. *)
+  Alcotest.(check bool) "peak_rss_kb > 0" true (Util.Mem.peak_rss_kb () > 0)
+
 let () =
   Alcotest.run "util"
     [
@@ -261,5 +302,13 @@ let () =
           Alcotest.test_case "wilson" `Quick test_stats_wilson;
           Alcotest.test_case "edge cases" `Quick test_stats_edge_cases;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "mem",
+        [
+          Alcotest.test_case "parses VmHWM" `Quick test_mem_parses_vmhwm;
+          Alcotest.test_case "fallback: missing file" `Quick test_mem_fallback_missing_file;
+          Alcotest.test_case "fallback: no VmHWM line" `Quick test_mem_fallback_no_vmhwm;
+          Alcotest.test_case "fallback: malformed VmHWM" `Quick test_mem_fallback_malformed;
+          Alcotest.test_case "default probe positive" `Quick test_mem_default_positive;
         ] );
     ]
