@@ -1,0 +1,43 @@
+(* Regenerates the checked-in attack regression scenarios under
+   test/scenarios/: for each algorithm it re-runs the same keyed search
+   as the adv bench cell (identical config and master key, so the
+   discovered winner and its trial streams are the bench's own,
+   byte-for-byte), packages the best eval as a scenario and pins its
+   expected outcome classes.
+
+   Usage: dune exec bench/adv_scenarios.exe [-- DIR]   (default
+   test/scenarios).  Only needed when the search space, fitness or
+   scheme behaviour changes — the written files are committed. *)
+
+let cells = [ ("1", "clique:5"); ("a", "clique:5"); ("b", "grid:3:3") ]
+
+let () =
+  let dir = match Sys.argv with [| _; d |] -> d | _ -> "test/scenarios" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (alg, topo) ->
+      let env = Advsearch.Search.env ~algorithm:alg ~topology:topo ~rounds:60 in
+      let cfg =
+        {
+          (Advsearch.Search.default_config
+             ~key:(Printf.sprintf "advsearch:adv:%s:%s" alg topo))
+          with
+          Advsearch.Search.generations = 2;
+          population = 5;
+          trials = 2;
+          jobs = Runner.Pool.default_jobs ();
+        }
+      in
+      let t = Advsearch.Search.run cfg env in
+      let sc =
+        Advsearch.Scenario.pin_expected
+          (Advsearch.Search.scenario_of_eval
+             ~name:(Printf.sprintf "adv:best:alg%s:%s" alg topo)
+             env t.Advsearch.Search.best)
+      in
+      let path = Filename.concat dir (Printf.sprintf "adv_alg%s.json" alg) in
+      Advsearch.Scenario.save ~path sc;
+      Printf.printf "wrote %s: %s expected=[%s]\n%!" path
+        (Coding.Attacks.candidate_to_string sc.Advsearch.Scenario.candidate)
+        (Option.value sc.Advsearch.Scenario.expected ~default:"?"))
+    cells

@@ -1,0 +1,8 @@
+(* Smoke-test entry point for the attack-space search, wired into
+   `dune runtest` through the adv-smoke alias: one search cell at jobs=1
+   vs jobs=4 asserting byte-identical timing-free JSON and a Pareto
+   frontier. *)
+
+let () =
+  Exp_adv.smoke ();
+  exit (Exp_common.exit_code ())

@@ -78,9 +78,131 @@ let trace_path f ~trial ~trials =
     let base = if Filename.extension f = "" then f else Filename.remove_extension f in
     Printf.sprintf "%s.%d%s" base trial ext
 
+(* --attack FILE: replay a saved attack scenario (see lib/advsearch) and
+   print each trial's outcome class; when the scenario pins expected
+   classes, a replay mismatch exits non-zero. *)
+let replay_attack ~postmortem path =
+  match Advsearch.Scenario.load ~path with
+  | Error e ->
+      Format.eprintf "mic: cannot load attack scenario %s: %s@." path e;
+      2
+  | Ok sc ->
+      Format.printf "scenario %s: algorithm %s on %s, %d rounds, %d trial(s)@."
+        sc.Advsearch.Scenario.name sc.Advsearch.Scenario.algorithm
+        sc.Advsearch.Scenario.topology sc.Advsearch.Scenario.rounds
+        sc.Advsearch.Scenario.trials;
+      Format.printf "attack: %s@."
+        (Coding.Attacks.candidate_to_string sc.Advsearch.Scenario.candidate);
+      let print_trials rs =
+        List.iter
+          (fun (r : Advsearch.Scenario.trial_replay) ->
+            Format.printf "trial %d [%s]: cc=%d corruptions=%d noise=%.5f%s@."
+              r.Advsearch.Scenario.trial r.Advsearch.Scenario.outcome_class
+              r.Advsearch.Scenario.cc r.Advsearch.Scenario.corruptions
+              r.Advsearch.Scenario.noise_fraction
+              (if r.Advsearch.Scenario.hunter_hits > 0 then
+                 Printf.sprintf " hunter_hits=%d" r.Advsearch.Scenario.hunter_hits
+               else ""))
+          rs
+      in
+      if postmortem then begin
+        (* Re-run trial 0 with an enabled sink for the diagnosis. *)
+        let graph = Advsearch.Scenario.graph_of_topology sc.Advsearch.Scenario.topology in
+        let params =
+          Advsearch.Scenario.params_of_algorithm sc.Advsearch.Scenario.algorithm graph
+        in
+        let pi = Advsearch.Scenario.workload ~rounds:sc.Advsearch.Scenario.rounds graph in
+        let inst = Coding.Attacks.instantiate ~graph sc.Advsearch.Scenario.candidate in
+        let sink = Trace.Sink.create () in
+        ignore
+          (Coding.Scheme.run_outcome
+             ~config:(Coding.Scheme.Config.make ~sink ?spy_hook:inst.Coding.Attacks.spy_hook ())
+             ~rng:(Runner.Pool.trial_rng ~key:sc.Advsearch.Scenario.key 0)
+             params pi inst.Coding.Attacks.adversary);
+        Format.printf "%a" Obsv.Postmortem.pp (Obsv.Postmortem.analyze (Obsv.Timeline.of_sink sink))
+      end;
+      (match Advsearch.Scenario.check ~jobs:1 sc with
+       | Ok rs ->
+           print_trials rs;
+           (match sc.Advsearch.Scenario.expected with
+            | Some _ -> Format.printf "=> replay matches the pinned outcome classes@."
+            | None -> Format.printf "=> no pinned outcome classes (scenario is unpinned)@.");
+           0
+       | Error msg ->
+           print_trials (Advsearch.Scenario.replay ~jobs:1 sc);
+           Format.eprintf "mic: %s@." msg;
+           1)
+
+(* Map mic's (topology enum, parties) to lib/advsearch's spec grammar. *)
+let topology_spec kind n =
+  match kind with
+  | Line -> Printf.sprintf "line:%d" n
+  | Cycle -> Printf.sprintf "cycle:%d" n
+  | Star -> Printf.sprintf "star:%d" n
+  | Clique -> Printf.sprintf "clique:%d" n
+  | Tree -> Printf.sprintf "tree:%d" n
+  | Grid ->
+      let cols = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Printf.sprintf "grid:%d:%d" (max 2 ((n + cols - 1) / cols)) cols
+  | Random -> failwith "--attack-search does not support --topology random"
+
+(* --attack-search: a small-budget inline search over the attack space
+   for the selected scheme/topology/rounds; --attack-out saves the best
+   discovered attack as a replayable scenario with pinned outcomes. *)
+let search_attack ~topology ~parties ~scheme_name ~rounds ~seed ~out =
+  let topo = topology_spec topology parties in
+  let senv = Advsearch.Search.env ~algorithm:scheme_name ~topology:topo ~rounds in
+  let cfg =
+    {
+      (Advsearch.Search.default_config ~key:(Printf.sprintf "mic:attack:%d" seed)) with
+      Advsearch.Search.generations = 2;
+      population = 4;
+      trials = 2;
+      jobs = Runner.Pool.default_jobs ();
+    }
+  in
+  Format.printf "searching: algorithm %s on %s, %d rounds (%d gen x %d pop x %d trials)@."
+    scheme_name topo rounds cfg.Advsearch.Search.generations
+    cfg.Advsearch.Search.population cfg.Advsearch.Search.trials;
+  let t = Advsearch.Search.run cfg senv in
+  let open Advsearch.Search in
+  List.iter
+    (fun (e : eval) ->
+      Format.printf "  gen %d: %-40s score %7.1f fail %d/%d [%s]@." e.generation
+        (Coding.Attacks.candidate_to_string e.candidate)
+        e.score e.failures e.trials e.classes)
+    t.evals;
+  Format.printf "frontier (budget 1/rate_denom vs failure probability):@.";
+  List.iter
+    (fun (e : eval) ->
+      Format.printf "  rd=%-5d fail_p=%.2f %s@." e.candidate.Coding.Attacks.rate_denom
+        (failure_prob e)
+        (Coding.Attacks.candidate_to_string e.candidate))
+    t.frontier;
+  Format.printf "best: %s (score %.1f)@."
+    (Coding.Attacks.candidate_to_string t.best.candidate)
+    t.best.score;
+  (match out with
+   | None -> ()
+   | Some path ->
+       let sc =
+         Advsearch.Scenario.pin_expected
+           (scenario_of_eval ~name:(Filename.remove_extension (Filename.basename path)) senv t.best)
+       in
+       Advsearch.Scenario.save ~path sc;
+       Format.printf "wrote %s (expected classes pinned; replay with mic run --attack %s)@." path
+         path);
+  0
+
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
-    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose =
+    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose attack
+    attack_search attack_out =
   setup_logs verbose;
+  if attack <> None || attack_search then
+    match attack with
+    | Some path -> replay_attack ~postmortem path
+    | None -> search_attack ~topology ~parties ~scheme_name ~rounds ~seed ~out:attack_out
+  else begin
   let graph = make_topology topology parties seed in
   let pi = make_protocol protocol graph rounds seed in
   let params = scheme_of_string graph scheme_name in
@@ -163,6 +285,7 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     Format.printf "traces written: %s@." (String.concat " " (List.rev !traces_written));
   Format.printf "=> %d/%d successes@." !successes trials;
   if !successes < trials then 1 else 0
+  end
 
 let info_cmd topology parties seed =
   let graph = make_topology topology parties seed in
@@ -275,11 +398,43 @@ let ragged_t =
            ahead; the induced scheduling jitter surfaces as insertion/deletion noise booked \
            through the fault accounting.  0 (default) keeps rounds lockstep-equivalent.")
 
+let attack_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attack" ] ~docv:"FILE"
+        ~doc:
+          "Replay a saved attack scenario (JSON, see lib/advsearch) instead of running a \
+           simulation: the file fixes algorithm, topology, workload, attack candidate and \
+           trial keys, so the replay is byte-deterministic.  Prints each trial's outcome \
+           class; exits non-zero when the scenario pins expected classes and the replay \
+           deviates.  Combine with --postmortem for a trace diagnosis of trial 0.")
+
+let attack_search_t =
+  Arg.(
+    value & flag
+    & info [ "attack-search" ]
+        ~doc:
+          "Run a small-budget attack-space search (2 generations x 4 candidates x 2 trials) \
+           against the selected --scheme/--topology/--parties/--rounds, print every \
+           evaluated candidate and the (budget, failure probability) frontier, and report \
+           the best discovered attack.  Deterministic in --seed.")
+
+let attack_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attack-out" ] ~docv:"FILE"
+        ~doc:
+          "With --attack-search: save the best discovered attack to $(docv) as a replayable \
+           scenario with its expected outcome classes pinned.")
+
 let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
     $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
-    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t)
+    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t $ attack_t $ attack_search_t
+    $ attack_out_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

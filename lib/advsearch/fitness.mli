@@ -1,0 +1,51 @@
+(** Attack fitness, extracted from a run's trace and outcome.
+
+    The search engine scores a candidate by how much verified damage it
+    does per unit of budget.  The signals come from the forensic layer,
+    not ad-hoc counters: the run executes with an enabled
+    {!Trace.Sink}, the sink is re-read through {!Obsv.Timeline}, and the
+    fitness is
+
+    - the terminal outcome class (Completed/Degraded/Aborted × protocol
+      success) — a failed simulation dominates everything else;
+    - [phi.stall] count: iterations where the potential Φ rose by less
+      than K despite booked noise (Lemma 4.2's amortized bound is the
+      defender's contract; every stall is a round of stolen progress);
+    - the Φ-rise deficit: Σ max(0, K − ΔΦ) over the gauged trajectory,
+      in units of K — how far below the amortized line the attack held
+      the run;
+    - wasted communication per corruption spent: chunks simulated then
+      truncated (rework) per adversary corruption — the paper's
+      wasted-communication currency. *)
+
+type t = {
+  outcome_class : string;
+  failed : bool;  (** the simulation did not reproduce Π's outputs *)
+  phi_stalls : int;  (** drop-proof [phi.stall] total *)
+  phi_deficit : float;  (** Σ max(0, K − ΔΦ) / K over the Φ trajectory *)
+  waste : float;  (** chunks_rewound / max(1, corruptions) *)
+  noise_fraction : float;
+  corruptions : int;
+  cc : int;
+  hunter_hits : int;
+  hunter_attempts : int;
+}
+
+val outcome_class : Coding.Scheme.result Faults.Outcome.t -> string
+(** ["completed:ok"], ["completed:fail"], ["degraded:ok"],
+    ["degraded:fail"] or ["aborted"] — the stable class label pinned by
+    regression scenarios. *)
+
+val extract :
+  k:int ->
+  stats:Coding.Attacks.stats ->
+  outcome:Coding.Scheme.result Faults.Outcome.t ->
+  timeline:Obsv.Timeline.t ->
+  t
+(** [k] is the scheme's chunk parameter (the expected per-iteration Φ
+    rise). *)
+
+val score : t -> float
+(** Scalarization for ranking: failure dominates (+1000), then stalls
+    (×2), the Φ deficit, capped waste, and a small efficiency bonus for
+    doing it with less noise.  A pure function of {!t}. *)

@@ -1,5 +1,7 @@
 type stats = { mutable attempts : int; mutable hits : int; mutable corruptions_spent : int }
 
+let fresh_stats () = { attempts = 0; hits = 0; corruptions_spent = 0 }
+
 (* Per-simulation-phase working state of the hunter. *)
 type phase_state = {
   slots : (int * int * int * bool) array; (* (roff, src, dst, is_pad) events of the chunk on the link *)
@@ -19,9 +21,13 @@ let trailing_pads slots depth =
   let start = first_pad n in
   max start (n - depth)
 
-let collision_hunter ~graph ~edge ~depth ~rate_denom () =
+(* The raw hunter machinery on one link: returns the spy hook and the
+   bare strategy function, leaving budget wrapping (and therefore
+   composition with other strategies under one shared budget) to the
+   caller.  [stats] is caller-supplied so composed hunters over a link
+   set can share one per-trial record. *)
+let hunter_strategy ~graph ~edge ~depth ~stats =
   if depth < 1 || depth > 8 then invalid_arg "Attacks.collision_hunter: depth in 1..8";
-  let stats = { attempts = 0; hits = 0; corruptions_spent = 0 } in
   let spy_ref : Scheme.spy option ref = ref None in
   let hook spy = spy_ref := Some spy in
   let prev_phase = ref Netsim.Adversary.Idle in
@@ -164,81 +170,253 @@ let collision_hunter ~graph ~edge ~depth ~rate_denom () =
     prev_phase := ctx.phase;
     !requests
   in
+  (hook, strategy)
+
+let collision_hunter ~graph ~edge ~depth ~rate_denom () =
+  let stats = fresh_stats () in
+  let hook, strategy = hunter_strategy ~graph ~edge ~depth ~stats in
   ( Netsim.Adversary.Adaptive { budget = (fun cc -> cc / rate_denom); strategy },
     hook,
     stats )
 
-let flag_forger ~rate_denom =
-  Netsim.Adversary.Adaptive
-    {
-      budget = (fun cc -> cc / rate_denom);
-      strategy =
-        (fun ctx ->
-          let open Netsim.Adversary in
-          if ctx.phase <> Flag then []
-          else begin
-            (* Flipping a flag bit is addend 1 on 0 (stop→continue is the
-               damaging direction) and addend 2 on 1 (continue→stop). *)
-            let left = ref ctx.budget_left and requests = ref [] in
-            List.iter
-              (fun (src, dst, bit) ->
-                if !left > 0 then begin
-                  requests :=
-                    (Topology.Graph.dir_id ctx.graph ~src ~dst, if bit then 2 else 1)
-                    :: !requests;
-                  decr left
-                end)
-              ctx.sends;
-            !requests
-          end);
-    }
+(* Directed-link admission predicate for a target edge set; [[]] means
+   every link (the historical behaviour of the broad attacks). *)
+let dir_filter graph edges =
+  match edges with
+  | [] -> fun _ -> true
+  | es ->
+      let set = Hashtbl.create 8 in
+      let pairs = Topology.Graph.edges graph in
+      List.iter
+        (fun e ->
+          let u, v = pairs.(e) in
+          Hashtbl.replace set (Topology.Graph.dir_id graph ~src:u ~dst:v) ();
+          Hashtbl.replace set (Topology.Graph.dir_id graph ~src:v ~dst:u) ())
+        es;
+      fun d -> Hashtbl.mem set d
 
-let rewind_spoofer ~rate_denom =
-  Netsim.Adversary.Adaptive
-    {
-      budget = (fun cc -> cc / rate_denom);
-      strategy =
-        (fun ctx ->
-          let open Netsim.Adversary in
-          if ctx.phase <> Rewind then []
-          else begin
-            let busy = Hashtbl.create 8 in
-            List.iter
-              (fun (src, dst, _) ->
-                Hashtbl.replace busy (Topology.Graph.dir_id ctx.graph ~src ~dst) ())
-              ctx.sends;
-            let left = ref ctx.budget_left and requests = ref [] in
-            let two_m = 2 * Topology.Graph.m ctx.graph in
-            for d = 0 to two_m - 1 do
-              (* Insert a spoofed rewind on every silent directed link
-                 (addend 1 on silence inserts a 0-bit — any bit received
-                 in the rewind phase is a rewind request). *)
-              if (not (Hashtbl.mem busy d)) && !left > 0 then begin
-                requests := (d, 1) :: !requests;
-                decr left
-              end
-            done;
-            !requests
-          end);
-    }
+let flag_forger_strategy ~admit ctx =
+  let open Netsim.Adversary in
+  if ctx.phase <> Flag then []
+  else begin
+    (* Flipping a flag bit is addend 1 on 0 (stop→continue is the
+       damaging direction) and addend 2 on 1 (continue→stop). *)
+    let left = ref ctx.budget_left and requests = ref [] in
+    List.iter
+      (fun (src, dst, bit) ->
+        if !left > 0 then begin
+          let d = Topology.Graph.dir_id ctx.graph ~src ~dst in
+          if admit d then begin
+            requests := (d, if bit then 2 else 1) :: !requests;
+            decr left
+          end
+        end)
+      ctx.sends;
+    !requests
+  end
 
-let mp_blind ~rate_denom =
-  Netsim.Adversary.Adaptive
-    {
-      budget = (fun cc -> cc / rate_denom);
-      strategy =
-        (fun ctx ->
-          let open Netsim.Adversary in
-          if ctx.phase <> Meeting_points then []
-          else begin
-            let left = ref ctx.budget_left and requests = ref [] in
-            List.iter
-              (fun (src, dst, _) ->
-                if !left > 0 then begin
-                  requests := (Topology.Graph.dir_id ctx.graph ~src ~dst, 1) :: !requests;
-                  decr left
-                end)
-              ctx.sends;
-            !requests
-          end);
-    }
+let rewind_spoofer_strategy ~admit ctx =
+  let open Netsim.Adversary in
+  if ctx.phase <> Rewind then []
+  else begin
+    let busy = Hashtbl.create 8 in
+    List.iter
+      (fun (src, dst, _) ->
+        Hashtbl.replace busy (Topology.Graph.dir_id ctx.graph ~src ~dst) ())
+      ctx.sends;
+    let left = ref ctx.budget_left and requests = ref [] in
+    let two_m = 2 * Topology.Graph.m ctx.graph in
+    for d = 0 to two_m - 1 do
+      (* Insert a spoofed rewind on every silent directed link
+         (addend 1 on silence inserts a 0-bit — any bit received
+         in the rewind phase is a rewind request). *)
+      if admit d && (not (Hashtbl.mem busy d)) && !left > 0 then begin
+        requests := (d, 1) :: !requests;
+        decr left
+      end
+    done;
+    !requests
+  end
+
+let mp_blind_strategy ~admit ctx =
+  let open Netsim.Adversary in
+  if ctx.phase <> Meeting_points then []
+  else begin
+    let left = ref ctx.budget_left and requests = ref [] in
+    List.iter
+      (fun (src, dst, _) ->
+        if !left > 0 then begin
+          let d = Topology.Graph.dir_id ctx.graph ~src ~dst in
+          if admit d then begin
+            requests := (d, 1) :: !requests;
+            decr left
+          end
+        end)
+      ctx.sends;
+    !requests
+  end
+
+(* A budgeted burst: for [len] rounds from [start] hit every admitted
+   directed link each round — a sent bit is substituted/silenced, a
+   silent slot becomes an insertion.  Unlike {!Netsim.Adversary.burst}
+   this is an adaptive strategy paying per corruption, so it is
+   budget-comparable with the other families. *)
+let burst_strategy ~graph ~admit ~start ~len ctx =
+  let open Netsim.Adversary in
+  if len <= 0 || ctx.round < start || ctx.round >= start + len then []
+  else begin
+    let left = ref ctx.budget_left and requests = ref [] in
+    let two_m = 2 * Topology.Graph.m graph in
+    for d = 0 to two_m - 1 do
+      if admit d && !left > 0 then begin
+        requests := (d, 1) :: !requests;
+        decr left
+      end
+    done;
+    !requests
+  end
+
+let wrap ~rate_denom strategy =
+  Netsim.Adversary.Adaptive { budget = (fun cc -> cc / rate_denom); strategy }
+
+let mp_blind ~rate_denom = wrap ~rate_denom (mp_blind_strategy ~admit:(fun _ -> true))
+let flag_forger ~rate_denom = wrap ~rate_denom (flag_forger_strategy ~admit:(fun _ -> true))
+let rewind_spoofer ~rate_denom = wrap ~rate_denom (rewind_spoofer_strategy ~admit:(fun _ -> true))
+
+(* ---------- the uniform candidate constructor ---------- *)
+
+type family = Hunter | Mp_blind | Flag_forge | Rewind_spoof | Burst
+
+let all_families = [ Hunter; Mp_blind; Flag_forge; Rewind_spoof; Burst ]
+
+let family_to_string = function
+  | Hunter -> "hunter"
+  | Mp_blind -> "mp_blind"
+  | Flag_forge -> "flag_forge"
+  | Rewind_spoof -> "rewind_spoof"
+  | Burst -> "burst"
+
+let family_of_string = function
+  | "hunter" -> Some Hunter
+  | "mp_blind" -> Some Mp_blind
+  | "flag_forge" -> Some Flag_forge
+  | "rewind_spoof" -> Some Rewind_spoof
+  | "burst" -> Some Burst
+  | _ -> None
+
+type candidate = {
+  family : family;
+  partner : family option;
+  edges : int list;
+  window : (int * int) option;
+  burst_start : int;
+  burst_len : int;
+  rate_denom : int;
+  depth : int;
+}
+
+let default_candidate =
+  {
+    family = Mp_blind;
+    partner = None;
+    edges = [];
+    window = None;
+    burst_start = 0;
+    burst_len = 0;
+    rate_denom = 1000;
+    depth = 4;
+  }
+
+let candidate_to_string c =
+  let fam =
+    family_to_string c.family
+    ^ match c.partner with None -> "" | Some p -> "+" ^ family_to_string p
+  in
+  let edges =
+    match c.edges with
+    | [] -> "all"
+    | es -> String.concat "," (List.map string_of_int es)
+  in
+  let win =
+    match c.window with None -> "" | Some (lo, hi) -> Printf.sprintf " w%d-%d" lo hi
+  in
+  let burst =
+    if c.family = Burst || c.partner = Some Burst then
+      Printf.sprintf " b%d+%d" c.burst_start c.burst_len
+    else ""
+  in
+  let depth =
+    if c.family = Hunter || c.partner = Some Hunter then Printf.sprintf " d%d" c.depth else ""
+  in
+  Printf.sprintf "%s@e%s rd%d%s%s%s" fam edges c.rate_denom win burst depth
+
+let validate ~graph c =
+  let m = Topology.Graph.m graph in
+  let fail fmt = Printf.ksprintf invalid_arg ("Attacks.instantiate: " ^^ fmt) in
+  if c.rate_denom < 1 then fail "rate_denom must be >= 1 (got %d)" c.rate_denom;
+  if c.depth < 1 || c.depth > 8 then fail "depth in 1..8 (got %d)" c.depth;
+  List.iter (fun e -> if e < 0 || e >= m then fail "edge %d out of range (m = %d)" e m) c.edges;
+  (match c.window with
+  | Some (lo, hi) when lo < 0 || hi <= lo -> fail "window [%d,%d) is empty or negative" lo hi
+  | _ -> ());
+  if c.burst_start < 0 || c.burst_len < 0 then
+    fail "burst shape must be non-negative (start %d, len %d)" c.burst_start c.burst_len
+
+type instance = {
+  adversary : Netsim.Adversary.t;
+  spy_hook : (Scheme.spy -> unit) option;
+  stats : stats;
+}
+
+let instantiate ~graph c =
+  validate ~graph c;
+  (* One stats record per instance: the multicore contract is that an
+     instance is constructed inside the trial thunk, so the record is
+     only ever mutated by the domain running that trial. *)
+  let stats = fresh_stats () in
+  let hooks = ref [] in
+  let strategy_of = function
+    | Hunter ->
+        let edges =
+          match c.edges with
+          | [] -> List.init (Topology.Graph.m graph) Fun.id
+          | es -> es
+        in
+        let strategies =
+          List.map
+            (fun edge ->
+              let hook, s = hunter_strategy ~graph ~edge ~depth:c.depth ~stats in
+              hooks := hook :: !hooks;
+              s)
+            edges
+        in
+        fun ctx -> List.concat_map (fun s -> s ctx) strategies
+    | Mp_blind -> mp_blind_strategy ~admit:(dir_filter graph c.edges)
+    | Flag_forge -> flag_forger_strategy ~admit:(dir_filter graph c.edges)
+    | Rewind_spoof -> rewind_spoofer_strategy ~admit:(dir_filter graph c.edges)
+    | Burst ->
+        burst_strategy ~graph
+          ~admit:(dir_filter graph c.edges)
+          ~start:c.burst_start ~len:c.burst_len
+  in
+  let primary = strategy_of c.family in
+  let secondary = match c.partner with None -> (fun _ -> []) | Some f -> strategy_of f in
+  let in_window =
+    match c.window with
+    | None -> fun _ -> true
+    | Some (lo, hi) -> fun it -> it >= lo && it < hi
+  in
+  let strategy ctx =
+    (* Both strategies are stepped every round — the hunter's state
+       machine tracks phase transitions — but their requests are only
+       released inside the candidate's iteration window. *)
+    let a = primary ctx in
+    let b = secondary ctx in
+    if in_window ctx.Netsim.Adversary.iteration then a @ b else []
+  in
+  let spy_hook =
+    match !hooks with
+    | [] -> None
+    | hs -> Some (fun spy -> List.iter (fun h -> h spy) hs)
+  in
+  { adversary = wrap ~rate_denom:c.rate_denom strategy; spy_hook; stats }

@@ -25,6 +25,12 @@ type stats = {
   mutable hits : int;  (** hidden corruptions committed *)
   mutable corruptions_spent : int;
 }
+(** Live attack statistics.  {e Multicore contract}: the record is
+    mutable, unsynchronized state of one attack instance — construct the
+    instance (and hence the record) {e inside} the trial thunk when
+    running on {!Runner.Pool}, never once outside it, and aggregate the
+    per-trial values in trial order (e.g. through [Runner.Accum]).
+    Every constructor below returns a fresh record per call. *)
 
 val collision_hunter :
   graph:Topology.Graph.t ->
@@ -55,3 +61,66 @@ val rewind_spoofer : rate_denom:int -> Netsim.Adversary.t
 (** Inject rewind requests into silent rewind-phase slots: every
     accepted spoof makes the victim truncate a correct chunk (Line
     33-38's attack surface).  Insertion noise in its purest form. *)
+
+(** {2 The uniform attack-candidate constructor}
+
+    The adversary-synthesis engine ({!Advsearch}) explores attack
+    parameter space; this is the space.  A {!candidate} is a plain
+    serializable record naming an attack family (optionally composed
+    with a partner family under one shared budget), a target edge set,
+    an activity window in scheme iterations, a burst shape, the budget
+    denominator and the hunter's search depth.  {!instantiate} turns it
+    into a runnable adversary — deterministically: the same candidate
+    always produces the same strategy, and all constructed state
+    (including {!stats}) is fresh per call, so calling it inside a
+    {!Runner.Pool} trial thunk is multicore-safe by construction. *)
+
+type family =
+  | Hunter  (** the §6.1 collision hunter, one instance per target edge *)
+  | Mp_blind  (** corrupt consistency-check traffic *)
+  | Flag_forge  (** flip continue↔stop flag bits *)
+  | Rewind_spoof  (** insert rewind requests into silent slots *)
+  | Burst
+      (** budgeted burst: hit every admitted directed link each round of
+          a [burst_start, burst_start + burst_len) round window *)
+
+val all_families : family list
+val family_to_string : family -> string
+val family_of_string : string -> family option
+
+type candidate = {
+  family : family;
+  partner : family option;
+      (** composed pair: a second strategy sharing the same budget *)
+  edges : int list;  (** target edge ids; [[]] = every edge *)
+  window : (int * int) option;
+      (** active scheme-iteration window [lo, hi); [None] = always.
+          Strategies are stepped outside the window (the hunter's state
+          machine needs the phase transitions) but their corruption
+          requests are suppressed. *)
+  burst_start : int;  (** burst shape (Burst family only): start round *)
+  burst_len : int;  (** burst length in rounds *)
+  rate_denom : int;  (** the shared budget is 1/[rate_denom] of traffic *)
+  depth : int;  (** hunter search depth (1..8) *)
+}
+
+val default_candidate : candidate
+(** [Mp_blind] on every edge, no partner/window/burst, budget 1/1000,
+    depth 4 — a neutral base for functional record updates. *)
+
+val candidate_to_string : candidate -> string
+(** Compact deterministic label, e.g.
+    ["hunter+rewind_spoof@e0,3 rd600 w2-9 d4"]. *)
+
+type instance = {
+  adversary : Netsim.Adversary.t;  (** always [Adaptive] *)
+  spy_hook : (Scheme.spy -> unit) option;
+      (** present iff a hunter is involved; pass to {!Scheme.Config} *)
+  stats : stats;  (** fresh per instance; hunter hits land here *)
+}
+
+val instantiate : graph:Topology.Graph.t -> candidate -> instance
+(** Validate and build the candidate's adversary.  Raises
+    [Invalid_argument] on out-of-range fields (edge ids beyond the
+    graph, empty windows, non-positive budget denominators, depth
+    outside 1..8). *)

@@ -389,6 +389,38 @@ let test_threshold_r_exhaustion_is_clean () =
   Alcotest.(check bool) "budget exhaustion reported" true v.Coding.Calibrate.exhausted;
   Alcotest.(check bool) "run cap respected" true (v.Coding.Calibrate.scheme_runs <= 2)
 
+(* ---------- discovered-attack regression scenarios ---------- *)
+
+(* The checked-in worst cases from the adv bench search (one per
+   algorithm, see bench/adv_scenarios.ml): each must parse, carry pinned
+   outcome classes, and replay to exactly those classes at jobs=1 and
+   jobs=4.  A deviation means scheme behaviour shifted under a known
+   worst-case attack. *)
+let test_discovered_attack_scenarios () =
+  let dir = "scenarios" in
+  Alcotest.(check bool) "scenarios/ present" true
+    (Sys.file_exists dir && Sys.is_directory dir);
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.extension f = ".json")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "one scenario per algorithm" true (List.length files >= 3);
+  List.iter
+    (fun f ->
+      match Advsearch.Scenario.load ~path:(Filename.concat dir f) with
+      | Error e -> Alcotest.failf "%s does not parse: %s" f e
+      | Ok sc ->
+          Alcotest.(check bool) (f ^ " pins expected classes") true
+            (sc.Advsearch.Scenario.expected <> None);
+          (match Advsearch.Scenario.check ~jobs:1 sc with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s regressed (jobs=1): %s" f e);
+          (match Advsearch.Scenario.check ~jobs:4 sc with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s regressed (jobs=4): %s" f e))
+    files
+
 let () =
   Alcotest.run "faults"
     [
@@ -437,5 +469,10 @@ let () =
           Alcotest.test_case "threshold_r = threshold when clean" `Quick
             test_threshold_r_matches_threshold_when_clean;
           Alcotest.test_case "exhaustion verdict" `Quick test_threshold_r_exhaustion_is_clean;
+        ] );
+      ( "attack scenarios",
+        [
+          Alcotest.test_case "discovered worst cases replay to pinned classes" `Quick
+            test_discovered_attack_scenarios;
         ] );
     ]
