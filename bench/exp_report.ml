@@ -20,6 +20,14 @@
 let history_file = "BENCH_history.jsonl"
 let output_file = "OBSERVATORY.md"
 
+(* BENCH_history.jsonl grows by one line per report run, forever, on
+   long-lived CI checkouts.  Cap it: keep the newest entries only
+   (run numbers survive rotation), overridable via MIC_HISTORY_CAP. *)
+let history_cap () =
+  match Option.bind (Sys.getenv_opt "MIC_HISTORY_CAP") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 200
+
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 let write_file path s =
@@ -68,7 +76,7 @@ let run_in ?tolerance ~dir () =
       | None -> []
     in
     let regs = Obsv.Observatory.regressions deltas in
-    Obsv.Observatory.append_history ~path:history_path cur;
+    Obsv.Observatory.append_history ~max_entries:(history_cap ()) ~path:history_path cur;
     let md_path = Filename.concat dir output_file in
     write_file md_path (Obsv.Observatory.render_markdown ~prev ~cur deltas);
     Format.printf "report: run %d, %d bench file(s), %d exact + %d timed metric(s) -> %s@." run

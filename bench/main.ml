@@ -37,6 +37,7 @@ let experiments =
     ("trace", "observability probes: overhead + determinism (BENCH_trace.json)", Exp_trace.run);
     ("live", "live backend: shards, barrier overhead, ragged insdel sweep (BENCH_live.json)", Exp_live.run);
     ("adv", "attack-space search: discovered vs baseline adversaries (BENCH_adv.json)", Exp_adv.run);
+    ("metrics", "online telemetry: probe overhead + snapshot determinism (BENCH_metrics.json)", Exp_metrics.run);
   ]
 
 (* Pull -j N / -jN / --jobs N out of the argument list; the rest are

@@ -1,0 +1,1 @@
+let () = Exp_metrics.smoke ()

@@ -47,9 +47,49 @@ let scheme_of_string graph = function
   | "c" -> Coding.Params.algorithm_c graph
   | s -> failwith (Printf.sprintf "unknown scheme %S (expected 1|a|b|c)" s)
 
-let setup_logs verbose =
+(* Logging: a global default level (--verbose = debug) refined by
+   --log-level SPEC, where SPEC is a comma list of either a bare level
+   ("info") or a per-source override ("mic.live:debug").  Sources are
+   the per-subsystem Logs sources (mic.scheme, mic.live, mic.live.*,
+   mic.netsim, mic.runner); `--log-level list` prints them. *)
+let setup_logs verbose spec =
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning);
+  match spec with
+  | None -> `Ok
+  | Some spec when String.lowercase_ascii spec = "list" ->
+      List.iter
+        (fun src -> Format.printf "%-20s %s@." (Logs.Src.name src) (Logs.Src.doc src))
+        (List.sort
+           (fun a b -> String.compare (Logs.Src.name a) (Logs.Src.name b))
+           (Logs.Src.list ()));
+      `List
+  | Some spec -> (
+      let parse_level s =
+        match Logs.level_of_string (String.trim s) with
+        | Ok l -> l
+        | Error (`Msg m) -> failwith m
+      in
+      try
+        List.iter
+          (fun item ->
+            let item = String.trim item in
+            if item <> "" then
+              match String.index_opt item ':' with
+              | None -> Logs.set_level (parse_level item)
+              | Some i ->
+                  let name = String.sub item 0 i in
+                  let lvl = parse_level (String.sub item (i + 1) (String.length item - i - 1)) in
+                  (match
+                     List.find_opt (fun s -> Logs.Src.name s = name) (Logs.Src.list ())
+                   with
+                  | Some src -> Logs.Src.set_level src lvl
+                  | None -> failwith (Printf.sprintf "unknown log source %S (try --log-level list)" name)))
+          (String.split_on_char ',' spec);
+        `Ok
+      with Failure m ->
+        Format.eprintf "mic: bad --log-level: %s@." m;
+        `Error)
 
 (* The fault plan behind --crash/--stall/--overload: the first [crash]
    parties crash-stop early, edge 0 stalls for [stall] rounds, and
@@ -195,9 +235,12 @@ let search_attack ~topology ~parties ~scheme_name ~rounds ~seed ~out =
   0
 
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
-    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose attack
-    attack_search attack_out =
-  setup_logs verbose;
+    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose
+    log_level metrics_file attack attack_search attack_out =
+  match setup_logs verbose log_level with
+  | `List -> 0
+  | `Error -> 2
+  | `Ok ->
   if attack <> None || attack_search then
     match attack with
     | Some path -> replay_attack ~postmortem path
@@ -244,12 +287,29 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     let faults = fault_plan ~crash ~stall ~overload ~rate ~seed t in
     let observing = trace_file <> None || postmortem in
     let sink = if observing then Trace.Sink.create () else Trace.Sink.disabled in
+    let metrics =
+      if metrics_file <> None then Metrics.Registry.create () else Metrics.Registry.disabled
+    in
     let outcome =
       Coding.Scheme.run_outcome
         ~config:
-          (Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ~backend ())
+          (Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ~backend
+             ~metrics ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
+    (match metrics_file with
+    | None -> ()
+    | Some f ->
+        let snap = Metrics.Registry.snapshot metrics in
+        if Filename.extension f = ".jsonl" then begin
+          Metrics.Expo.append_jsonl ~path:f snap;
+          Format.printf "  [metrics: %d series appended -> %s]@." (List.length snap) f
+        end
+        else begin
+          let path = trace_path f ~trial:t ~trials in
+          Metrics.Expo.write_openmetrics ~path snap;
+          Format.printf "  [metrics: %d series -> %s]@." (List.length snap) path
+        end);
     (match trace_file with
     | None -> ()
     | Some f ->
@@ -278,7 +338,13 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
             Format.printf "trial %d [aborted]: %s@." t (Faults.Outcome.abort_to_string reason)
         | _ -> assert false));
     match Faults.Outcome.diagnosis outcome with
-    | Some d -> Format.printf "  diagnosis: %a@." Faults.Outcome.pp_diagnosis d
+    | Some d ->
+        Format.printf "  diagnosis: %a@." Faults.Outcome.pp_diagnosis d;
+        (* An aborted run carries the scheme's flight recorder — the
+           last phase events before death, available even without a
+           trace sink (live backends never have one). *)
+        if d.Faults.Outcome.flight <> [] then
+          Format.printf "%a" Obsv.Postmortem.pp_flight d.Faults.Outcome.flight
     | None -> ()
   done;
   if !traces_written <> [] then
@@ -357,6 +423,32 @@ let postmortem_t =
            with phase/iteration/party/link), and potential-invariant findings.")
 let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
+let log_level_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"SPEC"
+        ~doc:
+          "Log levels as a comma list of $(i,LEVEL) (global) or $(i,SOURCE:LEVEL) (one \
+           subsystem), e.g. $(b,--log-level warning,mic.live:debug).  Levels: quiet, app, \
+           error, warning, info, debug.  Sources: mic.scheme, mic.live, mic.live.shard, \
+           mic.live.barrier, mic.netsim, mic.runner ($(b,--log-level list) prints them).  \
+           Overrides --verbose.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect online telemetry for every trial (scheme iteration/rewind/Φ counters, \
+           network corruption counters and noise gauges, live-engine round latency and \
+           barrier spin histograms, flight recorder) and write one snapshot per trial.  A \
+           $(docv) ending in .jsonl gets one appended JSON line per trial; any other name \
+           is written as OpenMetrics text, numbered per trial like --trace (name.t.om).  \
+           Unlike --trace this does not force the live backend serial — metrics probes are \
+           domain-safe.")
+
 let crash_t =
   Arg.(value & opt int 0 & info [ "crash" ] ~doc:"Crash-stop the first $(docv) parties early.")
 
@@ -433,8 +525,8 @@ let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
     $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
-    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t $ attack_t $ attack_search_t
-    $ attack_out_t)
+    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t $ log_level_t $ metrics_t
+    $ attack_t $ attack_search_t $ attack_out_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

@@ -59,6 +59,7 @@ module Config = struct
   type t = {
     trace : bool;
     sink : Trace.Sink.t;
+    metrics : Metrics.Registry.t;
     inputs : int array option;
     spy_hook : (spy -> unit) option;
     faults : Faults.Plan.t;
@@ -71,6 +72,7 @@ module Config = struct
     {
       trace = false;
       sink = Trace.Sink.disabled;
+      metrics = Metrics.Registry.disabled;
       inputs = None;
       spy_hook = None;
       faults = Faults.Plan.empty;
@@ -79,9 +81,10 @@ module Config = struct
       backend = Lockstep;
     }
 
-  let make ?(trace = false) ?(sink = Trace.Sink.disabled) ?inputs ?spy_hook
-      ?(faults = Faults.Plan.empty) ?max_wall_s ?max_iterations ?(backend = Lockstep) () =
-    { trace; sink; inputs; spy_hook; faults; max_wall_s; max_iterations; backend }
+  let make ?(trace = false) ?(sink = Trace.Sink.disabled)
+      ?(metrics = Metrics.Registry.disabled) ?inputs ?spy_hook ?(faults = Faults.Plan.empty)
+      ?max_wall_s ?max_iterations ?(backend = Lockstep) () =
+    { trace; sink; metrics; inputs; spy_hook; faults; max_wall_s; max_iterations; backend }
 end
 
 (* Probe ids, interned once per execution.  With the disabled sink every
@@ -115,9 +118,22 @@ type probes = {
   g_phi : int;
   g_gstar : int;
   g_bstar : int;
+  (* Metrics handles and the flight recorder — unlike the trace sink
+     these are domain-safe (atomic cells), so the shard-callback sites
+     below may fire on worker domains in parallel live mode.  Count
+     metrics are Exact: at d = 0 the recorded event multiset is the
+     lockstep one for every shard count, and atomic adds commute. *)
+  m_on : bool;
+  m_iter_c : Metrics.Registry.counter;
+  m_trunc_c : Metrics.Registry.counter;
+  m_rewind_c : Metrics.Registry.counter;
+  m_phi_stall_c : Metrics.Registry.counter;
+  m_phi_g : Metrics.Registry.gauge;
+  flight : Metrics.Flight.t;
 }
 
-let make_probes sink =
+let make_probes ?(metrics = Metrics.Registry.disabled)
+    ?(flight = Metrics.Flight.disabled) sink =
   let i n = Trace.Sink.intern sink n in
   {
     sink;
@@ -148,6 +164,13 @@ let make_probes sink =
     g_phi = i "phi";
     g_gstar = i "progress.g_star";
     g_bstar = i "progress.b_star";
+    m_on = Metrics.Registry.is_enabled metrics;
+    m_iter_c = Metrics.Registry.counter metrics "scheme.iterations";
+    m_trunc_c = Metrics.Registry.counter metrics "scheme.mp_truncations";
+    m_rewind_c = Metrics.Registry.counter metrics "scheme.rewinds";
+    m_phi_stall_c = Metrics.Registry.counter metrics "scheme.phi_stalls";
+    m_phi_g = Metrics.Registry.gauge metrics ~klass:Metrics.Registry.Exact "scheme.phi";
+    flight;
   }
 
 type link_state = {
@@ -369,6 +392,7 @@ let meeting_points_phase ex net _tp parties fc pr ~iter ~tau =
                 | `Keep -> ()
                 | `Truncate_to x ->
                     Trace.Sink.count pr.sink ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
+                    Metrics.Registry.incr pr.m_trunc_c;
                     Transcript.truncate l.tr x)
               p.links))
 
@@ -589,6 +613,7 @@ let rewind_phase ex net tp parties fc pr ~iter =
                   Active.send buf ~dir:l.dir_out true;
                   Transcript.truncate l.tr (Transcript.length l.tr - 1);
                   l.already_rewound <- true;
+                  Metrics.Registry.incr pr.m_rewind_c;
                   reqs.(shard) <- reqs.(shard) + 1;
                   depth.(shard) <- round;
                   sent := true
@@ -610,6 +635,7 @@ let rewind_phase ex net tp parties fc pr ~iter =
                 if Transcript.length l.tr > 0 then
                   Transcript.truncate l.tr (Transcript.length l.tr - 1);
                 l.already_rewound <- true;
+                Metrics.Registry.incr pr.m_rewind_c;
                 reqs.(shard) <- reqs.(shard) + 1;
                 depth.(shard) <- round;
                 readmit shard id
@@ -694,6 +720,20 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
   in
   let plan = config.Config.faults in
   let diag = Faults.Outcome.fresh_diagnosis () in
+  let metrics = config.Config.metrics in
+  (* The flight recorder is always on: a bounded ring of the last phase
+     events, dumped into the diagnosis if the run aborts — live-mode
+     crashes stay debuggable without a trace sink. *)
+  let flight = Metrics.Flight.create () in
+  (* Outcome tallies are registered eagerly so all three names appear in
+     every snapshot (zero-valued included) — the registration set stays
+     invariant across runs that end differently. *)
+  let completed_c, degraded_c, aborted_c =
+    let open Metrics.Registry in
+    ( counter metrics "scheme.outcome.completed",
+      counter metrics "scheme.outcome.degraded",
+      counter metrics "scheme.outcome.aborted" )
+  in
   let t0 = Sys.time () in
   let net_ref = ref None in
   let iterations_run = ref 0 in
@@ -717,10 +757,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let net = Network.create graph adversary in
     net_ref := Some net;
     Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
-    let pr = make_probes config.Config.sink in
+    let pr = make_probes ~metrics ~flight config.Config.sink in
     let sink = pr.sink in
     let observing = Trace.Sink.is_enabled sink in
     Network.set_trace net sink;
+    Network.set_metrics net metrics;
     let flag_sched = Flag_passing.compile graph ~tree in
     let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
     let max_r = Chunking.max_rounds ch in
@@ -814,7 +855,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       || Option.is_some config.Config.spy_hook
     in
     let weights = Array.init n (fun id -> Topology.Graph.degree graph id) in
-    let ex = Live.Exec.create ~net ~config:live_cfg ~serial ~weights () in
+    let ex = Live.Exec.create ~net ~config:live_cfg ~serial ~metrics ~weights () in
     Fun.protect ~finally:(fun () -> Live.Exec.shutdown ex) @@ fun () ->
     (* ---- fault state ---- *)
     let alive = Array.make n true in
@@ -907,6 +948,10 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     while !continue_loop && !iter < effective_iterations do
       let it = !iter in
       Trace.Sink.span_begin sink ~id:pr.sp_iter ~iter:it;
+      (* The flight recorder books iteration entry before the watchdog
+         gets to kill it — a post-abort dump must name the iteration
+         the run died in. *)
+      Metrics.Flight.note pr.flight ~iter:it "scheme.iteration";
       (match config.Config.max_wall_s with
       | Some b when Sys.time () -. t0 > b ->
           Trace.Sink.count sink ~id:pr.c_abort ~iter:it 1;
@@ -914,6 +959,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       | _ -> ());
       iterations_run := it + 1;
       cur_iter := it;
+      Metrics.Registry.incr pr.m_iter_c;
       Log.debug (fun f ->
           let s = Network.stats net in
           f "iteration %d: cc=%d corruptions=%d" it s.Network.cc s.Network.corruptions);
@@ -929,6 +975,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             Array.iter (fun l -> Transcript.truncate l.tr (Transcript.length l.tr / 2)) p.links;
             diag.Faults.Outcome.rejoins <- diag.Faults.Outcome.rejoins + 1;
             Trace.Sink.count sink ~id:pr.c_fault_rejoin ~iter:it ~arg:id 1;
+            Metrics.Flight.note pr.flight ~iter:it ~arg:id "fault.rejoin";
             Faults.Outcome.note diag
               (Printf.sprintf "party %d rejoined at iteration %d with truncated transcripts" id
                  it)
@@ -936,6 +983,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
           let down = Faults.Plan.crashed plan ~party:id ~iteration:it in
           if down && alive.(id) then begin
             Trace.Sink.count sink ~id:pr.c_fault_crash ~iter:it ~arg:id 1;
+            Metrics.Flight.note pr.flight ~iter:it ~arg:id "fault.crash";
             Faults.Outcome.note diag (Printf.sprintf "party %d crashed at iteration %d" id it)
           end;
           alive.(id) <- not down;
@@ -969,11 +1017,13 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       end;
       Array.iter (fun p -> Array.iter (fun l -> l.already_rewound <- false) p.links) parties;
       if observing then record_mp_status ();
+      Metrics.Flight.note pr.flight ~iter:it "phase.meeting_points";
       Trace.Sink.span_begin sink ~id:pr.sp_mp ~iter:it;
       meeting_points_phase ex net tp parties fc pr ~iter:it ~tau:params.Params.tau;
       Trace.Sink.span_end sink ~id:pr.sp_mp ~iter:it;
       if observing then count_mp_transitions ~iter:it;
       compute_statuses ex parties ~alive ~statuses;
+      Metrics.Flight.note pr.flight ~iter:it "phase.flag_passing";
       Trace.Sink.span_begin sink ~id:pr.sp_flag ~iter:it;
       if params.Params.flag_passing then
         Flag_passing.run_exec ~alive ?probe:flag_probe
@@ -1002,10 +1052,12 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
                  (List.map (fun s -> if s then "1" else "0") (Array.to_list statuses)))
               (String.concat ""
                  (List.map (fun s -> if s then "1" else "0") (Array.to_list net_corrects))));
+      Metrics.Flight.note pr.flight ~iter:it "phase.simulation";
       Trace.Sink.span_begin sink ~id:pr.sp_sim ~iter:it;
       simulation_phase ex net tp parties fc ch ~iter:it ~n_real;
       Trace.Sink.span_end sink ~id:pr.sp_sim ~iter:it;
       if params.Params.rewind then begin
+        Metrics.Flight.note pr.flight ~iter:it "phase.rewind";
         Trace.Sink.span_begin sink ~id:pr.sp_rewind ~iter:it;
         rewind_phase ex net tp parties fc pr ~iter:it;
         Trace.Sink.span_end sink ~id:pr.sp_rewind ~iter:it
@@ -1014,10 +1066,13 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
          stop, next iteration's prepass) — also folds any ragged drop
          tally into the network stats so per-iteration snapshots see it. *)
       Live.Exec.join ex;
-      if config.Config.trace || observing then begin
+      if config.Config.trace || observing || pr.m_on then begin
+        (* Post-join: the leader reads party state quiesced, so this is
+           safe on the parallel engine too (metrics do not force the
+           serial engine the way an enabled trace sink does). *)
         let st = stats_of net parties graph ~iteration:it in
         if config.Config.trace then traces := st :: !traces;
-        if observing then begin
+        if observing || pr.m_on then begin
           (* The live Φ trajectory (proxy of §4.1; see potential.mli) and
              the per-iteration global progress gauges.  Lemma 4.2 says Φ
              must rise by K per iteration amortized — a [phi.stall] marks
@@ -1026,13 +1081,19 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             Phi.eval Phi.default_constants ~k:params.Params.k ~m ~sum_g:st.sum_g
               ~sum_b:st.sum_b ~b_star:st.b_star ~corruptions:st.corruptions
           in
-          Trace.Sink.gauge sink ~id:pr.g_phi ~iter:it phi;
-          Trace.Sink.gauge sink ~id:pr.g_gstar ~iter:it (float_of_int st.g_star);
-          Trace.Sink.gauge sink ~id:pr.g_bstar ~iter:it (float_of_int st.b_star);
+          if observing then begin
+            Trace.Sink.gauge sink ~id:pr.g_phi ~iter:it phi;
+            Trace.Sink.gauge sink ~id:pr.g_gstar ~iter:it (float_of_int st.g_star);
+            Trace.Sink.gauge sink ~id:pr.g_bstar ~iter:it (float_of_int st.b_star)
+          end;
+          if pr.m_on then Metrics.Registry.set pr.m_phi_g phi;
           if
             (not (Float.is_nan !prev_phi))
             && phi -. !prev_phi < float_of_int params.Params.k -. 1e-9
-          then Trace.Sink.count sink ~id:pr.c_phi_stall ~iter:it 1;
+          then begin
+            Trace.Sink.count sink ~id:pr.c_phi_stall ~iter:it 1;
+            Metrics.Registry.incr pr.m_phi_stall_c
+          end;
           prev_phi := phi
         end
       end;
@@ -1096,13 +1157,25 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
   match body () with
   | result ->
       fold_net ();
-      if Faults.Outcome.clean diag then Faults.Outcome.Completed result
-      else Faults.Outcome.Degraded (result, diag)
+      if Faults.Outcome.clean diag then begin
+        Metrics.Registry.incr completed_c;
+        Faults.Outcome.Completed result
+      end
+      else begin
+        Metrics.Registry.incr degraded_c;
+        Faults.Outcome.Degraded (result, diag)
+      end
   | exception Abort reason ->
       fold_net ();
+      Metrics.Registry.incr aborted_c;
+      Metrics.Flight.note flight "scheme.abort";
+      diag.Faults.Outcome.flight <- Metrics.Flight.dump flight;
       Faults.Outcome.Aborted (reason, diag)
   | exception e ->
       fold_net ();
+      Metrics.Registry.incr aborted_c;
+      Metrics.Flight.note flight "scheme.abort";
+      diag.Faults.Outcome.flight <- Metrics.Flight.dump flight;
       Faults.Outcome.Aborted (Faults.Outcome.Internal_error (Printexc.to_string e), diag)
 
 let run ?(config = Config.default) ~rng params pi adversary =

@@ -102,6 +102,16 @@ module Config : sig
             G* / B* gauges (with [phi.stall] marking iterations where Φ
             rose by less than K).  Independent of [trace]: the sink
             observes live, [trace] retains {!iter_stat}s in the result. *)
+    metrics : Metrics.Registry.t;
+        (** online telemetry registry.  {!Metrics.Registry.disabled} (the
+            default) keeps every probe at one branch; an enabled registry
+            books [scheme.*] counters (iterations, MP truncations,
+            rewinds, Φ stalls, outcome tallies) and the [scheme.phi]
+            gauge, and is threaded to the network ([net.*]) and the live
+            engine ([live.*]).  Unlike an enabled trace sink, metrics do
+            {e not} force the serial engine — probes are domain-safe
+            atomics — and count-valued ([Exact]) metrics stay
+            deterministic for a fixed configuration. *)
     inputs : int array option;
         (** party inputs; [None] draws a deterministic pseudorandom
             assignment from the run's [rng] *)
@@ -133,6 +143,7 @@ module Config : sig
   val make :
     ?trace:bool ->
     ?sink:Trace.Sink.t ->
+    ?metrics:Metrics.Registry.t ->
     ?inputs:int array ->
     ?spy_hook:(spy -> unit) ->
     ?faults:Faults.Plan.t ->

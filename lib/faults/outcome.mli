@@ -36,6 +36,10 @@ type diagnosis = {
   mutable iterations_planned : int;
   mutable wall_s : float;  (** processor time consumed (informational) *)
   mutable notes : string list;  (** human-readable events, newest first *)
+  mutable flight : string list;
+      (** flight-recorder dump: the last phase events before an abort,
+          oldest first (see [Metrics.Flight]).  Filled only on the
+          [Aborted] path; purely diagnostic, ignored by {!clean} *)
 }
 
 type 'a t =

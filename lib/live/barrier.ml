@@ -10,20 +10,43 @@
    last arriver has already refilled [count] for the next episode; the
    last arriver itself reads the post-flip sense when it next waits. *)
 
-type t = { parties : int; count : int Atomic.t; sense : bool Atomic.t }
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  mutable spins_h : Metrics.Registry.hist;
+  mutable sleeps_c : Metrics.Registry.counter;
+  mutable probe : bool;
+}
 
 let create parties =
   if parties < 1 then invalid_arg "Live.Barrier.create: parties must be >= 1";
-  { parties; count = Atomic.make parties; sense = Atomic.make false }
+  {
+    parties;
+    count = Atomic.make parties;
+    sense = Atomic.make false;
+    spins_h = Metrics.Registry.hist Metrics.Registry.disabled "live.barrier.spins";
+    sleeps_c = Metrics.Registry.counter Metrics.Registry.disabled "live.barrier.sleeps";
+    probe = false;
+  }
 
 let parties t = t.parties
+
+(* Wait-spin counts are pure scheduling artifacts, never functions of
+   the keyed execution — both metrics are Timed so the exact snapshot
+   section stays byte-identical across shard and job counts. *)
+let set_metrics t reg =
+  t.spins_h <- Metrics.Registry.hist reg ~klass:Metrics.Registry.Timed "live.barrier.spins";
+  t.sleeps_c <-
+    Metrics.Registry.counter reg ~klass:Metrics.Registry.Timed "live.barrier.sleeps";
+  t.probe <- Metrics.Registry.is_enabled reg
 
 (* Spin until [cond] holds or [giveup] fires; shared with the commit
    window waits in Exec.  [cpu_relax] bursts keep latency low when a
    core is available; the sleep ladder keeps oversubscribed runs (more
    domains than cores) from starving the domain that must make
    progress. *)
-let spin_until ?giveup cond =
+let spin_core ?giveup ~spins ~sleeps cond =
   let relax_burst = 4096 in
   let rec go sleep_s =
     if cond () then true
@@ -34,14 +57,20 @@ let spin_until ?giveup cond =
         Domain.cpu_relax ();
         incr i
       done;
+      spins := !spins + !i;
       if cond () then true
       else begin
         Unix.sleepf sleep_s;
+        incr sleeps;
         go (Float.min (sleep_s *. 2.) 1e-3)
       end
     end
   in
   go 2e-5
+
+let spin_until ?giveup cond =
+  let spins = ref 0 and sleeps = ref 0 in
+  spin_core ?giveup ~spins ~sleeps cond
 
 let await ?giveup t =
   let my_sense = not (Atomic.get t.sense) in
@@ -49,6 +78,15 @@ let await ?giveup t =
     (* Last arriver: refill for the next episode, then release. *)
     Atomic.set t.count t.parties;
     Atomic.set t.sense my_sense;
+    if t.probe then Metrics.Registry.observe t.spins_h 0;
     true
   end
-  else spin_until ?giveup (fun () -> Atomic.get t.sense = my_sense)
+  else begin
+    let spins = ref 0 and sleeps = ref 0 in
+    let released = spin_core ?giveup ~spins ~sleeps (fun () -> Atomic.get t.sense = my_sense) in
+    if t.probe then begin
+      Metrics.Registry.observe t.spins_h !spins;
+      if !sleeps > 0 then Metrics.Registry.add t.sleeps_c !sleeps
+    end;
+    released
+  end

@@ -10,6 +10,13 @@ val create : int -> t
 
 val parties : t -> int
 
+val set_metrics : t -> Metrics.Registry.t -> unit
+(** Attach a metrics registry: every subsequent {!await} records its
+    wait-spin count into the [live.barrier.spins] histogram and its
+    backoff sleeps into [live.barrier.sleeps] (both Timed — scheduling
+    artifacts, excluded from byte comparison).  Costs one branch per
+    await when the registry is {!Metrics.Registry.disabled}. *)
+
 val await : ?giveup:(unit -> bool) -> t -> bool
 (** Arrive and wait until all [parties] participants have arrived.
     Returns [true] on release ([true] also for the releasing last

@@ -82,6 +82,29 @@ let chunk_bits = 10
 let chunk_size = 1 lsl chunk_bits
 let max_chunks = 4096
 
+(* Engine probes.  Klass discipline: [live.rounds] and the keyed-jitter
+   lag distribution are pure functions of the keyed execution (Exact);
+   per-round wall latency and the parallel engine's commit-time shard
+   spread depend on real scheduling (Timed).  Both engines register
+   all four names so the exact snapshot section is shard-invariant. *)
+type probes = {
+  on : bool;
+  rounds_c : Metrics.Registry.counter;
+  lag_h : Metrics.Registry.hist; (* serial keyed lag draws (lag >= 1) *)
+  round_ns : Metrics.Registry.hist; (* per-shard round latency, ns *)
+  drift_h : Metrics.Registry.hist; (* wrote-spread seen by each commit *)
+}
+
+let make_probes reg =
+  let open Metrics.Registry in
+  {
+    on = is_enabled reg;
+    rounds_c = counter reg "live.rounds";
+    lag_h = hist reg "live.ragged.lag";
+    round_ns = hist reg ~klass:Timed "live.round_ns";
+    drift_h = hist reg ~klass:Timed "live.drift";
+  }
+
 type par = {
   net : Network.t;
   nshards : int;
@@ -107,6 +130,7 @@ type par = {
   mutable folded : int; (* drops already folded into stats.stalled *)
   mutable domains : unit Domain.t list;
   mutable shut : bool;
+  pr : probes;
 }
 
 type serial = {
@@ -121,6 +145,7 @@ type serial = {
   mutable q : int;
   mutable s_delayed : int;
   mutable s_surfaced : int;
+  s_pr : probes;
 }
 
 type engine = Serial of serial | Par of par
@@ -203,6 +228,17 @@ let rule_ok p c =
 let do_commit p c =
   let slot = c mod (p.d + 1) in
   let master = p.masters.(slot) in
+  if p.pr.on then begin
+    (* Ragged drift as this commit sees it: spread between the fastest
+       and slowest shard's last sealed round. *)
+    let mx = ref min_int and mn = ref max_int in
+    for w = 0 to p.nshards - 1 do
+      let v = Atomic.get p.wrote.(w) in
+      if v > !mx then mx := v;
+      if v < !mn then mn := v
+    done;
+    Metrics.Registry.observe p.pr.drift_h (!mx - !mn)
+  end;
   Active.begin_round master;
   (* The job's label (phase marking) must be visible to the network
      transform of this round; [n_rounds] was released before any shard
@@ -282,6 +318,7 @@ let wait_commit p q =
 (* Worker domains                                                      *)
 
 let process_round p w q =
+  let t0 = if p.pr.on then Unix.gettimeofday () else 0. in
   let slot = q mod (p.d + 1) in
   let st = p.state.(w).(slot) in
   let buf = p.bufs.(w).(slot) in
@@ -322,7 +359,10 @@ let process_round p w q =
   else wait_commit p q;
   (* The master for round q is intact: overwriting it (commit q+d+1)
      would need every shard's wrote >= q + 1, and ours is still q. *)
-  rj.read ~shard:w p.masters.(slot)
+  rj.read ~shard:w p.masters.(slot);
+  if p.pr.on then
+    Metrics.Registry.observe p.pr.round_ns
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
 
 let worker p w =
   let cursor = ref 0 in
@@ -367,6 +407,7 @@ let draw_lag sr w =
 
 let serial_round t sr ?label ~write ~read () =
   let nshards = Shard.shards t.sh in
+  let t0 = if sr.s_pr.on then Unix.gettimeofday () else 0. in
   Active.begin_round sr.master;
   if sr.s_d > 0 then begin
     (* Delayed symbols due this round surface before fresh traffic, so
@@ -384,6 +425,8 @@ let serial_round t sr ?label ~write ~read () =
     let lag = draw_lag sr w in
     if lag = 0 then write ~shard:w sr.master
     else begin
+      (* Keyed lag draw: deterministic, so the distribution is Exact. *)
+      if sr.s_pr.on then Metrics.Registry.observe sr.s_pr.lag_h lag;
       Active.begin_round sr.scratch;
       write ~shard:w sr.scratch;
       let tgt = (sr.q + lag) mod (sr.s_d + 1) in
@@ -398,15 +441,20 @@ let serial_round t sr ?label ~write ~read () =
   for w = 0 to nshards - 1 do
     read ~shard:w sr.master
   done;
-  sr.q <- sr.q + 1
+  sr.q <- sr.q + 1;
+  if sr.s_pr.on then
+    Metrics.Registry.observe sr.s_pr.round_ns
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
 
 (* ------------------------------------------------------------------ *)
 (* API                                                                 *)
 
-let create ~net ~(config : Config.t) ?(serial = false) ~weights () =
+let create ~net ~(config : Config.t) ?(serial = false)
+    ?(metrics = Metrics.Registry.disabled) ~weights () =
   let sh = Shard.partition ~weights ~shards:config.shards in
   let nshards = Shard.shards sh in
   let d = config.ragged_d in
+  let pr = make_probes metrics in
   if serial || config.force_serial || nshards = 1 then begin
     let sr =
       {
@@ -420,6 +468,7 @@ let create ~net ~(config : Config.t) ?(serial = false) ~weights () =
         q = 0;
         s_delayed = 0;
         s_surfaced = 0;
+        s_pr = pr;
       }
     in
     Logging.Live_log.debug (fun m ->
@@ -454,8 +503,10 @@ let create ~net ~(config : Config.t) ?(serial = false) ~weights () =
         folded = 0;
         domains = [];
         shut = false;
+        pr;
       }
     in
+    Barrier.set_metrics p.join_bar metrics;
     p.domains <- List.init nshards (fun w -> Domain.spawn (fun () -> worker p w));
     Logging.Live_log.debug (fun m ->
         m "parallel engine: %d worker domain(s), d=%d, partition %a" nshards d Shard.pp sh);
@@ -468,8 +519,12 @@ let owner t party = Shard.owner t.sh party
 let is_serial t = match t.engine with Serial _ -> true | Par _ -> false
 let rounds_run t = t.rounds_run
 
+let probes_of t = match t.engine with Serial sr -> sr.s_pr | Par p -> p.pr
+
 let round t ?label ~write ~read () =
   t.rounds_run <- t.rounds_run + 1;
+  let pr = probes_of t in
+  if pr.on then Metrics.Registry.incr pr.rounds_c;
   match t.engine with
   | Serial sr -> serial_round t sr ?label ~write ~read ()
   | Par p ->

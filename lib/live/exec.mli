@@ -10,6 +10,7 @@ val create :
   net:Netsim.Network.t ->
   config:Config.t ->
   ?serial:bool ->
+  ?metrics:Metrics.Registry.t ->
   weights:int array ->
   unit ->
   t
@@ -19,6 +20,15 @@ val create :
     single-domain event order, e.g. tracing), when
     [config.force_serial], or when the effective shard count is 1;
     otherwise one worker domain per shard is spawned immediately.
+
+    [metrics] (default {!Metrics.Registry.disabled}) attaches engine
+    telemetry: [live.rounds] (Exact counter), [live.ragged.lag] (Exact
+    histogram of keyed serial lag draws), [live.round_ns] (Timed
+    per-shard round latency) and [live.drift] (Timed commit-time shard
+    spread), plus the join barrier's wait-spin metrics.  Metrics do
+    {e not} force the serial engine — unlike a trace sink, the
+    registry is domain-safe.
+
     Every [t] must be released with {!shutdown}. *)
 
 val shards : t -> int

@@ -1,0 +1,96 @@
+(* Snapshot serializers.  See expo.mli. *)
+
+let sanitize name =
+  String.map (function '.' | '-' -> '_' | c -> c) name
+
+let fnum x =
+  match Float.classify_float x with
+  | FP_nan | FP_infinite -> "0"
+  | _ -> Printf.sprintf "%.6g" x
+
+let openmetrics snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, _klass, v) ->
+      let n = sanitize name in
+      match v with
+      | Registry.Counter c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s_total %d\n" n c)
+      | Registry.Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" n (fnum g))
+      | Registry.Histogram { count; sum; buckets } ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          List.iter
+            (fun (le, c) ->
+              cum := !cum + c;
+              Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+            buckets;
+          Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count))
+    snap;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let hist_percentile buckets count q =
+  if count = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int count)) in
+    let target = if target < 1 then 1 else target in
+    let rec go seen = function
+      | [] -> 0
+      | (le, c) :: rest -> if seen + c >= target then le else go (seen + c) rest
+    in
+    go 0 buckets
+  end
+
+let json_value = function
+  | Registry.Counter c -> string_of_int c
+  | Registry.Gauge g -> fnum g
+  | Registry.Histogram { count; sum; buckets } ->
+      Printf.sprintf "{\"count\": %d, \"sum\": %d, \"p50\": %d, \"p95\": %d, \"buckets\": [%s]}"
+        count sum
+        (hist_percentile buckets count 0.50)
+        (hist_percentile buckets count 0.95)
+        (String.concat ", "
+           (List.map (fun (le, c) -> Printf.sprintf "[%d, %d]" le c) buckets))
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let sub_object entries =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (name, _, v) -> jstr name ^ ": " ^ json_value v) entries)
+  ^ "}"
+
+let exact_json snap = sub_object (Registry.exact_only snap)
+
+let json snap =
+  Printf.sprintf "{\"exact\": %s, \"timed\": %s}" (exact_json snap)
+    (sub_object (Registry.timed_only snap))
+
+let write_openmetrics ~path snap =
+  let oc = open_out path in
+  output_string oc (openmetrics snap);
+  close_out oc
+
+let append_jsonl ~path snap =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (json snap);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,70 @@
+(* Bounded multi-domain event ring.  See flight.mli. *)
+
+type t = {
+  on : bool;
+  capacity : int;
+  labels : string array;
+  iters : int array;
+  args : int array;
+  stamps : int array; (* seq that wrote the slot, for tear detection *)
+  seq : int Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Metrics.Flight.create: capacity < 1";
+  {
+    on = true;
+    capacity;
+    labels = Array.make capacity "";
+    iters = Array.make capacity (-1);
+    args = Array.make capacity (-1);
+    stamps = Array.make capacity (-1);
+    seq = Atomic.make 0;
+  }
+
+let disabled =
+  {
+    on = false;
+    capacity = 1;
+    labels = [| "" |];
+    iters = [| -1 |];
+    args = [| -1 |];
+    stamps = [| -1 |];
+    seq = Atomic.make 0;
+  }
+
+let note t ?(iter = -1) ?(arg = -1) label =
+  if t.on then begin
+    let sq = Atomic.fetch_and_add t.seq 1 in
+    let s = sq mod t.capacity in
+    t.labels.(s) <- label;
+    t.iters.(s) <- iter;
+    t.args.(s) <- arg;
+    t.stamps.(s) <- sq
+  end
+
+let seq t = Atomic.get t.seq
+
+let dump t =
+  let hi = Atomic.get t.seq in
+  let lo = max 0 (hi - t.capacity) in
+  let acc = ref [] in
+  for sq = hi - 1 downto lo do
+    let s = sq mod t.capacity in
+    (* A slot whose stamp does not match was overtaken by a concurrent
+       writer mid-dump; skip it rather than show a torn record. *)
+    if t.stamps.(s) = sq then begin
+      let b = Buffer.create 32 in
+      Buffer.add_string b (Printf.sprintf "#%d" sq);
+      if t.iters.(s) >= 0 then Buffer.add_string b (Printf.sprintf " iter=%d" t.iters.(s));
+      Buffer.add_char b ' ';
+      Buffer.add_string b t.labels.(s);
+      if t.args.(s) >= 0 then Buffer.add_string b (Printf.sprintf " arg=%d" t.args.(s));
+      acc := Buffer.contents b :: !acc
+    end
+  done;
+  !acc
+
+let clear t =
+  Atomic.set t.seq 0;
+  Array.fill t.stamps 0 t.capacity (-1)

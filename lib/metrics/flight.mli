@@ -1,0 +1,31 @@
+(** Flight recorder: a bounded lock-free ring of the last N structured
+    events, kept always-on so a crash or watchdog abort in live mode is
+    debuggable without a trace sink.
+
+    Writers claim slots with one [Atomic.fetch_and_add], so any domain
+    may {!note} concurrently; only the last [capacity] events are
+    retained.  {!dump} is meant for the post-crash path (after the
+    domains are joined or the exception is caught) — concurrent notes
+    during a dump can tear the oldest entries, never the newest. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 64 events. *)
+
+val disabled : t
+(** A recorder that drops everything at the cost of one branch. *)
+
+val note : t -> ?iter:int -> ?arg:int -> string -> unit
+(** Record one event.  [label] should be a preallocated constant on hot
+    paths (the ring stores it by reference, no copying). *)
+
+val seq : t -> int
+(** Lifetime event count (dropped = seq - capacity when positive). *)
+
+val dump : t -> string list
+(** The retained window, oldest first, rendered one line per event:
+    ["#<seq> iter=<iter> <label> arg=<arg>"] (iter/arg omitted when
+    negative). *)
+
+val clear : t -> unit

@@ -1,0 +1,51 @@
+(** Lock-free log-bucketed (HDR-style) histogram over non-negative
+    integer values.
+
+    Values 0–15 get exact buckets; above that each power-of-two octave
+    is split into 8 sub-buckets, giving a relative resolution of ~12.5%
+    with a fixed table of {!bucket_count} cells covering the whole
+    63-bit range.  Every cell is an [Atomic.t], so any number of domains
+    may {!observe} concurrently without locks; because atomic adds
+    commute, the final cell counts (and {!sum}/{!count}) depend only on
+    the multiset of observed values, never on domain scheduling — a
+    histogram fed deterministic values is itself deterministic. *)
+
+type t
+
+val bucket_count : int
+(** Number of cells in the fixed bucket table. *)
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one value (negative values clamp to 0).  Lock-free; safe
+    from any domain. *)
+
+val observe_many : t -> n:int -> int -> unit
+(** Record the same value [n] times in one bucket update. *)
+
+val count : t -> int
+(** Number of observations so far. *)
+
+val sum : t -> int
+(** Sum of all observed values. *)
+
+val bucket_of : int -> int
+(** Index of the cell a value lands in (exposed for tests). *)
+
+val upper_of : int -> int
+(** Inclusive upper bound of cell [i] — the [le] label in exposition.
+    [upper_of (bucket_of v) >= v] and the bound is within ~12.5% of
+    [v] for large values. *)
+
+val nonzero : t -> (int * int) list
+(** [(upper_bound, count)] for every non-empty cell, ascending. *)
+
+val percentile : t -> float -> int
+(** Upper bound of the cell containing the q-th quantile (q in [0,1]);
+    0 on an empty histogram. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every cell of the source into [into] (and count/sum). *)
+
+val reset : t -> unit

@@ -210,6 +210,16 @@ type t = {
   mutable tr_corrupt : int;
   mutable tr_injected : int;
   mutable tr_stalled : int;
+  (* Metrics probes.  Handles default to the disabled registry, so the
+     counter sites cost one branch; [m_on] guards the histogram observe
+     and the periodic gauge so the clean path adds nothing else. *)
+  mutable m_on : bool;
+  mutable m_active_h : Metrics.Registry.hist;
+  mutable m_cc : Metrics.Registry.counter;
+  mutable m_corrupt : Metrics.Registry.counter;
+  mutable m_stalled : Metrics.Registry.counter;
+  mutable m_injected : Metrics.Registry.counter;
+  mutable m_noise_g : Metrics.Registry.gauge;
 }
 
 let dir_endpoints g =
@@ -225,6 +235,9 @@ let dir_endpoints g =
 
 let create graph adversary =
   let two_m = 2 * Topology.Graph.m graph in
+  Logging.Log.debug (fun m ->
+      m "create: n=%d m=%d (%d directed link slots)" (Topology.Graph.n graph)
+        (Topology.Graph.m graph) two_m);
   {
     graph;
     adversary;
@@ -245,6 +258,13 @@ let create graph adversary =
     tr_corrupt = 0;
     tr_injected = 0;
     tr_stalled = 0;
+    m_on = false;
+    m_active_h = Metrics.Registry.hist Metrics.Registry.disabled "net.active_links";
+    m_cc = Metrics.Registry.counter Metrics.Registry.disabled "net.cc";
+    m_corrupt = Metrics.Registry.counter Metrics.Registry.disabled "net.corruptions";
+    m_stalled = Metrics.Registry.counter Metrics.Registry.disabled "net.stalled";
+    m_injected = Metrics.Registry.counter Metrics.Registry.disabled "net.injected";
+    m_noise_g = Metrics.Registry.gauge Metrics.Registry.disabled "net.noise_rate";
   }
 
 let two_m t = Array.length t.dir_ends
@@ -252,13 +272,41 @@ let graph t = t.graph
 let slots t = Slots.of_length (two_m t)
 let active t = Active.of_length (two_m t)
 let link_ends t ~dir = t.dir_ends.(dir)
-let set_fault_hooks t hooks = t.faults <- hooks
+let set_fault_hooks t hooks =
+  Logging.Log.debug (fun m ->
+      m "fault hooks %s" (match hooks with None -> "cleared" | Some _ -> "installed"));
+  t.faults <- hooks
 
 let set_trace t sink =
   t.trace <- sink;
   t.tr_corrupt <- Trace.Sink.intern sink "net.corrupt";
   t.tr_injected <- Trace.Sink.intern sink "net.injected";
   t.tr_stalled <- Trace.Sink.intern sink "net.stalled"
+
+(* Count-valued network metrics are functions of the keyed execution
+   (Exact): cc, corruption/fault counts and the per-commit active-link
+   distribution replay byte-identically across jobs and shard counts at
+   d = 0.  The noise-rate gauge is sampled at deterministic rounds, so
+   it is Exact too.  (Parallel ragged runs, d > 0, are inherently
+   scheduling-dependent — there the whole execution is, not just its
+   metrics; benches at d > 0 already publish those counts as jitter
+   metrics, which the observatory ignores.) *)
+let set_metrics t reg =
+  let open Metrics.Registry in
+  t.m_on <- is_enabled reg;
+  t.m_active_h <- hist reg "net.active_links";
+  t.m_cc <- counter reg "net.cc";
+  t.m_corrupt <- counter reg "net.corruptions";
+  t.m_stalled <- counter reg "net.stalled";
+  t.m_injected <- counter reg "net.injected";
+  t.m_noise_g <- gauge reg ~klass:Exact "net.noise_rate"
+
+let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc
+
+(* Gauge refresh every 64 rounds: float boxing off the per-round path. *)
+let tick_gauges t =
+  if t.m_on && t.round_no land 63 = 0 then
+    Metrics.Registry.set t.m_noise_g (noise_fraction t)
 
 let set_phase t ~iteration ~phase =
   t.iteration <- iteration;
@@ -305,10 +353,15 @@ let round_buf t (slots : Slots.t) =
   let two_m = two_m t in
   if Array.length slots <> two_m then
     invalid_arg "Network.round_buf: buffer length mismatch";
+  let cc0 = t.cc in
   for d = 0 to two_m - 1 do
     if slots.(d) <> 2 then t.cc <- t.cc + 1;
     t.addends.(d) <- 0
   done;
+  if t.m_on then begin
+    Metrics.Registry.observe t.m_active_h (t.cc - cc0);
+    Metrics.Registry.add t.m_cc (t.cc - cc0)
+  end;
   (* Collect the adversary's addends for this round.  A fixing adversary
      is translated into the addend that forces its chosen output; forcing
      the honest symbol yields addend 0 and is free (Remark 1). *)
@@ -356,6 +409,7 @@ let round_buf t (slots : Slots.t) =
     let a = t.addends.(d) in
     if a <> 0 then begin
       t.corruptions <- t.corruptions + 1;
+      Metrics.Registry.incr t.m_corrupt;
       slots.(d) <- (slots.(d) + a) mod 3;
       Trace.Sink.count t.trace ~id:t.tr_corrupt ~iter:t.round_no ~arg:d 1
     end
@@ -370,16 +424,19 @@ let round_buf t (slots : Slots.t) =
         let a = h.extra_addend ~round:t.round_no ~dir:d in
         if a <> 0 then begin
           t.injected <- t.injected + 1;
+          Metrics.Registry.incr t.m_injected;
           slots.(d) <- (slots.(d) + a) mod 3;
           Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:d 1
         end;
         if slots.(d) <> 2 && h.stall ~round:t.round_no ~dir:d then begin
           t.stalled <- t.stalled + 1;
+          Metrics.Registry.incr t.m_stalled;
           slots.(d) <- 2;
           Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:d 1
         end
       done);
-  t.round_no <- t.round_no + 1
+  t.round_no <- t.round_no + 1;
+  tick_gauges t
 
 (* The sparse round.  Observationally identical to [round_buf] — same
    adversary query order (ascending dir), same corruption application
@@ -392,9 +449,15 @@ let round_buf t (slots : Slots.t) =
 let commit t (act : Active.t) =
   let two_m = two_m t in
   if Active.length act <> two_m then invalid_arg "Network.commit: buffer length mismatch";
-  t.cc <- t.cc + Active.count act;
+  let sent = Active.count act in
+  t.cc <- t.cc + sent;
+  if t.m_on then begin
+    Metrics.Registry.observe t.m_active_h sent;
+    Metrics.Registry.add t.m_cc sent
+  end;
   let corrupt ~dir a =
     t.corruptions <- t.corruptions + 1;
+    Metrics.Registry.incr t.m_corrupt;
     Active.write act ~dir ((Active.sym act ~dir + a) mod 3);
     Trace.Sink.count t.trace ~id:t.tr_corrupt ~iter:t.round_no ~arg:dir 1
   in
@@ -456,16 +519,19 @@ let commit t (act : Active.t) =
         let a = h.extra_addend ~round:t.round_no ~dir:d in
         if a <> 0 then begin
           t.injected <- t.injected + 1;
+          Metrics.Registry.incr t.m_injected;
           Active.write act ~dir:d ((Active.sym act ~dir:d + a) mod 3);
           Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:d 1
         end;
         if Active.sym act ~dir:d <> 2 && h.stall ~round:t.round_no ~dir:d then begin
           t.stalled <- t.stalled + 1;
+          Metrics.Registry.incr t.m_stalled;
           Active.write act ~dir:d 2;
           Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:d 1
         end
       done);
-  t.round_no <- t.round_no + 1
+  t.round_no <- t.round_no + 1;
+  tick_gauges t
 
 let silence t ~rounds =
   for _ = 1 to rounds do
@@ -481,17 +547,21 @@ let silence t ~rounds =
    like environment faults. *)
 let note_stalled t ~dir =
   t.stalled <- t.stalled + 1;
+  Metrics.Registry.incr t.m_stalled;
   Trace.Sink.count t.trace ~id:t.tr_stalled ~iter:t.round_no ~arg:dir 1
 
 let note_injected t ~dir =
   t.injected <- t.injected + 1;
+  Metrics.Registry.incr t.m_injected;
   Trace.Sink.count t.trace ~id:t.tr_injected ~iter:t.round_no ~arg:dir 1
 
 (* Bulk, untraced variant: folds drop counts accumulated off the trace
    path (e.g. worker-side drops tallied in an Atomic) into the stats. *)
-let note_stalled_count t k = if k > 0 then t.stalled <- t.stalled + k
-
-let noise_fraction t = if t.cc = 0 then 0. else float_of_int t.corruptions /. float_of_int t.cc
+let note_stalled_count t k =
+  if k > 0 then begin
+    t.stalled <- t.stalled + k;
+    Metrics.Registry.add t.m_stalled k
+  end
 
 let stats t =
   {

@@ -186,6 +186,16 @@ val set_trace : t -> Trace.Sink.t -> unit
     The default is {!Trace.Sink.disabled}, under which every probe is a
     single branch on an already-corrupted slot and free otherwise. *)
 
+val set_metrics : t -> Metrics.Registry.t -> unit
+(** Attach a metrics registry.  Rounds then feed [net.cc],
+    [net.corruptions], [net.stalled], [net.injected] (Exact counters),
+    the per-commit [net.active_links] histogram (Exact) and a
+    [net.noise_rate] gauge refreshed every 64 rounds.  Count-valued
+    metrics replay byte-identically across jobs/shards whenever the
+    execution itself does (everything but parallel ragged mode).  The
+    default is {!Metrics.Registry.disabled}: counter probes cost one
+    branch on already-rare slots, the clean path is unchanged. *)
+
 val set_phase : t -> iteration:int -> phase:Adversary.phase -> unit
 (** Label the upcoming rounds for adaptive adversaries and traces.  The
     label leaks no private state: the schedule of phases is public by

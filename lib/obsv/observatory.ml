@@ -186,13 +186,42 @@ let load_history ~path =
     List.rev !entries
   end
 
-let append_history ~path e =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+(* Rewrite the whole file from entries — used by rotation.  Writing to a
+   temp file and renaming keeps a crash from truncating the history. *)
+let write_history ~path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (entry_to_jsonl e);
-      output_char oc '\n')
+      List.iter
+        (fun e ->
+          output_string oc (entry_to_jsonl e);
+          output_char oc '\n')
+        entries);
+  Sys.rename tmp path
+
+let append_history ?max_entries ~path e =
+  (match max_entries with
+  | Some cap when cap < 1 -> invalid_arg "Observatory.append_history: max_entries < 1"
+  | _ -> ());
+  match max_entries with
+  | Some cap ->
+      (* Cap-and-rotate: keep the newest [cap] entries including the one
+         being appended.  The tail keeps its original [run] numbers, so
+         run identity survives rotation (the next run is numbered from
+         the last entry, not from the line count). *)
+      let hist = load_history ~path @ [ e ] in
+      let excess = List.length hist - cap in
+      let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+      write_history ~path (drop excess hist)
+  | None ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (entry_to_jsonl e);
+          output_char oc '\n')
 
 (* ---------- rendering ---------- *)
 

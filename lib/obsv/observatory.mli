@@ -67,7 +67,12 @@ val load_history : path:string -> entry list
 (** Entries in file order; [[]] if the file does not exist.  Unparseable
     lines are skipped. *)
 
-val append_history : path:string -> entry -> unit
+val append_history : ?max_entries:int -> path:string -> entry -> unit
+(** Append one entry.  With [max_entries] the history is capped: after
+    the append only the newest [max_entries] lines are kept (the file is
+    atomically rewritten via a temp-file rename).  Retained entries keep
+    their original [run] numbers, so run identity survives rotation.
+    Raises [Invalid_argument] if [max_entries < 1]. *)
 
 (** {2 Rendering} *)
 

@@ -1,0 +1,9 @@
+(* Per-subsystem log source for the trial pool, filterable with
+   `mic --log-level mic.runner:debug`.  Same discipline as lib/live:
+   the Logs reporter is not domain-safe, so only the calling domain
+   (pool entry/exit, batch boundaries) may log — helper domains never
+   do. *)
+
+let src = Logs.Src.create "mic.runner" ~doc:"Deterministic multicore trial pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)

@@ -164,6 +164,68 @@ let test_postmortem_stall_invariant () =
       Alcotest.(check int) "round" 57 b.Postmortem.round
   | None -> Alcotest.fail "booked noise left no blame"
 
+(* ---------- ragged live traces ---------- *)
+
+(* A live-backend run with keyed scheduling jitter (ragged_d > 0 on the
+   deterministic force-serial engine) and a silent adversary: every
+   booked deviation is insdel noise induced by raggedness, so the
+   analyzer must attribute it to the jitter source (Injected_fault via
+   net.stalled / net.injected), never to adversary noise. *)
+let ragged_traced_run ~d =
+  let g = Topology.Graph.line 8 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:60 ~density:0.5 ~seed:3 in
+  let params = Coding.Params.algorithm_1 g in
+  let sink = Sink.create () in
+  let backend =
+    Coding.Scheme.Live
+      (Live.Config.make ~shards:4 ~ragged_d:d ~jitter_rate:0.01 ~force_serial:true ())
+  in
+  let config = Coding.Scheme.Config.make ~sink ~backend () in
+  let outcome =
+    Coding.Scheme.run_outcome ~config ~rng:(Util.Rng.create 11) params pi
+      Netsim.Adversary.Silent
+  in
+  (outcome, sink)
+
+let test_postmortem_ragged_attribution () =
+  let outcome, sink = ragged_traced_run ~d:2 in
+  let diag =
+    match Faults.Outcome.diagnosis outcome with
+    | Some d -> d
+    | None -> Alcotest.fail "ragged run with jitter should be degraded"
+  in
+  Alcotest.(check bool) "jitter booked insdel noise" true
+    (diag.Faults.Outcome.stalled_slots + diag.Faults.Outcome.injected > 0);
+  let tl = Timeline.of_sink sink in
+  let total n = Option.value ~default:0 (List.assoc_opt n tl.Timeline.counter_totals) in
+  Alcotest.(check int) "no adversary corruption booked" 0 (total "net.corrupt");
+  Alcotest.(check bool) "stall/injection events traced" true
+    (total "net.stalled" + total "net.injected" > 0);
+  let pm = Postmortem.analyze tl in
+  (match pm.Postmortem.blame with
+  | Some b ->
+      Alcotest.(check bool) "jitter blamed as injected fault" true
+        (b.Postmortem.cause = Postmortem.Injected_fault);
+      Alcotest.(check bool) "blame names the insdel event" true
+        (b.Postmortem.event = "net.stalled" || b.Postmortem.event = "net.injected")
+  | None -> Alcotest.fail "booked jitter noise left no blame");
+  (* Every blame-class total the analyzer reports is an insdel event —
+     the jitter source never shows up as Adversary_noise. *)
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (name ^ " is not adversary-class") false (name = "net.corrupt"))
+    pm.Postmortem.blame_counts
+
+let test_postmortem_ragged_d0_clean () =
+  (* d = 0 disables jitter: the same live backend completes nominally
+     and the analyzer has nothing to report. *)
+  let outcome, sink = ragged_traced_run ~d:0 in
+  Alcotest.(check bool) "d=0 completes" true
+    (match outcome with Faults.Outcome.Completed _ -> true | _ -> false);
+  let pm = Postmortem.analyze (Timeline.of_sink sink) in
+  Alcotest.(check bool) "clean" true (Postmortem.clean pm);
+  Alcotest.(check bool) "no blame" true (pm.Postmortem.blame = None)
+
 (* ---------- profile ---------- *)
 
 let test_profile_rows () =
@@ -252,6 +314,24 @@ let test_observatory_roundtrip () =
   | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
   Sys.remove path
 
+let test_observatory_history_cap () =
+  let path = Filename.temp_file "obsv_history_cap" ".jsonl" in
+  Sys.remove path;
+  for run = 1 to 5 do
+    Obs.append_history ~max_entries:3 ~path (entry run [ ("e.a", float_of_int run) ] [])
+  done;
+  (* Only the newest 3 entries survive, with their run numbers intact. *)
+  Alcotest.(check (list int)) "rotated to newest 3" [ 3; 4; 5 ]
+    (List.map (fun e -> e.Obs.run) (Obs.load_history ~path));
+  (* Uncapped appends still accumulate past the previous cap. *)
+  Obs.append_history ~path (entry 6 [] []);
+  Alcotest.(check int) "uncapped append grows" 4 (List.length (Obs.load_history ~path));
+  Alcotest.(check bool) "cap < 1 rejected" true
+    (match Obs.append_history ~max_entries:0 ~path (entry 7 [] []) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Sys.remove path
+
 let test_observatory_render () =
   let prev = entry 1 [ ("e.a", 1.) ] [ ("w.t", 1.0) ] in
   let cur = entry 2 [ ("e.a", 2.) ] [ ("w.t", 1.1) ] in
@@ -282,6 +362,9 @@ let () =
           Alcotest.test_case "seeded fault attribution" `Quick test_postmortem_seeded_fault;
           Alcotest.test_case "clean run, zero findings" `Quick test_postmortem_clean_run;
           Alcotest.test_case "stall invariant" `Quick test_postmortem_stall_invariant;
+          Alcotest.test_case "ragged jitter attribution" `Quick
+            test_postmortem_ragged_attribution;
+          Alcotest.test_case "ragged d=0 clean" `Quick test_postmortem_ragged_d0_clean;
         ] );
       ("profile", [ Alcotest.test_case "rows + metrics" `Quick test_profile_rows ]);
       ( "observatory",
@@ -289,6 +372,7 @@ let () =
           Alcotest.test_case "classify + flatten" `Quick test_observatory_classify_flatten;
           Alcotest.test_case "diff" `Quick test_observatory_diff;
           Alcotest.test_case "history round-trip" `Quick test_observatory_roundtrip;
+          Alcotest.test_case "history cap/rotate" `Quick test_observatory_history_cap;
           Alcotest.test_case "render" `Quick test_observatory_render;
         ] );
     ]
