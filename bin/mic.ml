@@ -235,8 +235,8 @@ let search_attack ~topology ~parties ~scheme_name ~rounds ~seed ~out =
   0
 
 let run_cmd topology parties scheme_name protocol rounds adversary rate budget_denom seed
-    trace_file trials crash stall overload backend_kind shards ragged postmortem verbose
-    log_level metrics_file attack attack_search attack_out =
+    trace_file trace_sample trials crash stall overload backend_kind shards ragged postmortem
+    verbose log_level metrics_file attack attack_search attack_out =
   match setup_logs verbose log_level with
   | `List -> 0
   | `Error -> 2
@@ -293,8 +293,8 @@ let run_cmd topology parties scheme_name protocol rounds adversary rate budget_d
     let outcome =
       Coding.Scheme.run_outcome
         ~config:
-          (Coding.Scheme.Config.make ~trace:observing ~sink ?spy_hook:hook ~faults ~backend
-             ~metrics ())
+          (Coding.Scheme.Config.make ~trace:observing ~sink ~trace_sample_every:trace_sample
+             ?spy_hook:hook ~faults ~backend ~metrics ())
         ~rng:(Util.Rng.create (seed + t)) params pi adversary
     in
     (match metrics_file with
@@ -409,9 +409,22 @@ let trace_t =
           "Record a structured trace of every trial (phase spans, fault/corruption counters, \
            per-iteration potential) and write it as Chrome trace-event JSON.  A single trial \
            writes $(docv) itself; with --trials N each trial t writes its own numbered file \
-           (name.t.json for $(docv) of name.json).  Also prints the per-iteration global state \
-           table.")
+           (name.t.json for $(docv) of name.json).  Under --backend live each shard records \
+           into its own ring and the export is the deterministic merge.  Also prints the \
+           per-iteration global state table.  See --trace-sample to bound the cost on long \
+           runs.")
 let trials_t = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.")
+
+let trace_sample_t =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "With --trace / --postmortem: record only every $(docv)-th scheme iteration \
+           (phase spans and per-iteration probes; setup, output decoding and drop-proof \
+           counter totals are always kept).  1 (default) records everything.  Sampling is \
+           applied per shard ring, so a sampled sharded trace merges exactly like an \
+           unsampled one.")
 
 let postmortem_t =
   Arg.(
@@ -446,8 +459,8 @@ let metrics_t =
            barrier spin histograms, flight recorder) and write one snapshot per trial.  A \
            $(docv) ending in .jsonl gets one appended JSON line per trial; any other name \
            is written as OpenMetrics text, numbered per trial like --trace (name.t.om).  \
-           Unlike --trace this does not force the live backend serial — metrics probes are \
-           domain-safe.")
+           Like --trace, collection is domain-safe: neither forces the live backend onto \
+           its serial engine.")
 
 let crash_t =
   Arg.(value & opt int 0 & info [ "crash" ] ~doc:"Crash-stop the first $(docv) parties early.")
@@ -469,8 +482,10 @@ let backend_t =
     & info [ "backend" ]
         ~doc:
           "Execution backend: $(b,lockstep) (serial reference) or $(b,live) (parties sharded \
-           across domains; see --shards / --ragged).  Tracing (--trace / --postmortem) forces \
-           the live backend onto its serial engine so event order stays single-domain.")
+           across domains; see --shards / --ragged).  Tracing (--trace / --postmortem) runs \
+           the parallel engine with one trace ring per shard and merges the streams \
+           deterministically afterwards (byte-identical to the serial order at --ragged 0); \
+           only an adversary spy ($(b,--adversary hunter)) still forces the serial engine.")
 
 let shards_t =
   Arg.(
@@ -524,9 +539,9 @@ let attack_out_t =
 let run_term =
   Term.(
     const run_cmd $ topology_t $ parties_t $ scheme_t $ protocol_t $ rounds_t $ adversary_t
-    $ rate_t $ budget_t $ seed_t $ trace_t $ trials_t $ crash_t $ stall_t $ overload_t
-    $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t $ log_level_t $ metrics_t
-    $ attack_t $ attack_search_t $ attack_out_t)
+    $ rate_t $ budget_t $ seed_t $ trace_t $ trace_sample_t $ trials_t $ crash_t $ stall_t
+    $ overload_t $ backend_t $ shards_t $ ragged_t $ postmortem_t $ verbose_t $ log_level_t
+    $ metrics_t $ attack_t $ attack_search_t $ attack_out_t)
 
 let info_term = Term.(const info_cmd $ topology_t $ parties_t $ seed_t)
 

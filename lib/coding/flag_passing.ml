@@ -32,13 +32,13 @@ let compile graph ~(tree : Graph.tree) =
   in
   { tree; up_dir; down_dir; by_level }
 
-type probe = { on_missing : node:int -> unit }
+type probe = { on_missing : shard:int -> node:int -> unit }
 
 let run_active ?alive ?probe net sched ~active ~statuses =
   let tree = sched.tree in
   let d = tree.Graph.depth in
   let up v = match alive with None -> true | Some a -> a.(v) in
-  let missing v = match probe with None -> () | Some pr -> pr.on_missing ~node:v in
+  let missing v = match probe with None -> () | Some pr -> pr.on_missing ~shard:0 ~node:v in
   let agg = Array.copy statuses in
   (* Upward convergecast: nodes at level d - r speak in round r; a parent
      has heard all its children before its own sending round.  Each round
@@ -109,7 +109,9 @@ let run_exec ?alive ?probe ?label ex sched ~statuses ~agg ~net_correct =
   let d = tree.Graph.depth in
   let root = tree.Graph.root in
   let up v = match alive with None -> true | Some a -> a.(v) in
-  let missing v = match probe with None -> () | Some pr -> pr.on_missing ~node:v in
+  let missing ~shard v =
+    match probe with None -> () | Some pr -> pr.on_missing ~shard ~node:v
+  in
   Exec.slice ex (fun w ->
       let lo, hi = Exec.bounds ex ~shard:w in
       Array.blit statuses lo agg lo (hi - lo);
@@ -138,7 +140,7 @@ let run_exec ?alive ?probe ?label ex sched ~statuses ~agg ~net_correct =
                 match Netsim.Network.Active.get master ~dir:sched.up_dir.(c) with
                 | Some bit -> agg.(p) <- agg.(p) && bit
                 | None ->
-                    missing c;
+                    missing ~shard c;
                     agg.(p) <- false
             end)
           senders)
@@ -166,7 +168,7 @@ let run_exec ?alive ?probe ?label ex sched ~statuses ~agg ~net_correct =
                 match Netsim.Network.Active.get master ~dir:sched.down_dir.(v) with
                 | Some bit -> bit && statuses.(v)
                 | None ->
-                    missing v;
+                    missing ~shard v;
                     false)
           sched.by_level.(ell + 1))
       ()

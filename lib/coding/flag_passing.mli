@@ -24,11 +24,13 @@ type schedule
 
 val compile : Topology.Graph.t -> tree:Topology.Graph.tree -> schedule
 
-type probe = { on_missing : node:int -> unit }
-(** Observability hook: [on_missing ~node] fires once per flag that a
-    listener expected from [node] but read as silence — the
+type probe = { on_missing : shard:int -> node:int -> unit }
+(** Observability hook: [on_missing ~shard ~node] fires once per flag
+    that a listener expected from [node] but read as silence — the
     conservative-default path where a deletion (or a dead sender) forces
-    a stop verdict. *)
+    a stop verdict.  [shard] is the shard whose read observed the
+    silence ([0] under {!run_active}), so sharded callbacks can emit
+    into their own trace ring. *)
 
 val run_active :
   ?alive:bool array ->
@@ -66,8 +68,9 @@ val run_exec :
     engine this is byte-identical to {!run_active} — same sends, same
     reads, same order.  [label] runs once, committer-side, before the
     first round's network transform (callers pass the phase marking).
-    [probe] fires on worker shards — pass it only when
-    [Live.Exec.is_serial]. *)
+    [probe] fires on worker shards, carrying the observing shard id —
+    callbacks must touch only shard-local state (e.g. that shard's
+    trace ring). *)
 
 val run :
   Netsim.Network.t -> tree:Topology.Graph.tree -> statuses:bool array -> bool array

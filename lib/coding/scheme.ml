@@ -66,6 +66,7 @@ module Config = struct
     max_wall_s : float option;
     max_iterations : int option;
     backend : backend;
+    trace_sample_every : int;
   }
 
   let default =
@@ -79,18 +80,39 @@ module Config = struct
       max_wall_s = None;
       max_iterations = None;
       backend = Lockstep;
+      trace_sample_every = 1;
     }
 
   let make ?(trace = false) ?(sink = Trace.Sink.disabled)
       ?(metrics = Metrics.Registry.disabled) ?inputs ?spy_hook ?(faults = Faults.Plan.empty)
-      ?max_wall_s ?max_iterations ?(backend = Lockstep) () =
-    { trace; sink; metrics; inputs; spy_hook; faults; max_wall_s; max_iterations; backend }
+      ?max_wall_s ?max_iterations ?(backend = Lockstep) ?(trace_sample_every = 1) () =
+    if trace_sample_every < 1 then invalid_arg "Scheme.Config.make: trace_sample_every < 1";
+    {
+      trace;
+      sink;
+      metrics;
+      inputs;
+      spy_hook;
+      faults;
+      max_wall_s;
+      max_iterations;
+      backend;
+      trace_sample_every;
+    }
 end
 
 (* Probe ids, interned once per execution.  With the disabled sink every
-   id is 0 and each probe site below reduces to one branch. *)
+   id is 0 and each probe site below reduces to one branch.
+
+   [sink] is the leader/control-domain sink: leader-side sites (phase
+   spans, fault prepass, post-join gauges) emit into it.  [rings.(w)]
+   is the sink shard [w]'s callbacks emit into — on the serial engine
+   every entry aliases [sink], under sharded capture it is that worker
+   domain's private ring.  Ids are valid on every ring by construction
+   (all interning goes through one [intern]). *)
 type probes = {
   sink : Trace.Sink.t;
+  rings : Trace.Sink.t array;
   sp_iter : int;
   sp_prepass : int;
   sp_mp : int;
@@ -133,10 +155,11 @@ type probes = {
 }
 
 let make_probes ?(metrics = Metrics.Registry.disabled)
-    ?(flight = Metrics.Flight.disabled) sink =
-  let i n = Trace.Sink.intern sink n in
+    ?(flight = Metrics.Flight.disabled) ~rings ~intern sink =
+  let i n = (intern n : int) in
   {
     sink;
+    rings;
     sp_iter = i "scheme.iteration";
     sp_prepass = i "phase.fault_prepass";
     sp_mp = i "phase.meeting_points";
@@ -183,6 +206,7 @@ type link_state = {
   seeds : Seeds.t;
   mutable already_rewound : bool;
   mutable bot : bool;
+  mutable mp_cut : int; (* parked MP truncation target; -1 = keep *)
   out_msg : bool array; (* outgoing MP message bits, reused every iteration *)
   in_msg : bool option array; (* incoming MP message bits, reused *)
   sent_log : bool option array; (* per chunk-round offset, reused *)
@@ -304,7 +328,7 @@ let iter_shard ex parties shard f =
    transcript with the peer's copy of the same link.  [None] when either
    side is already shorter than the position (the peer may have truncated
    earlier in this very phase). *)
-let collision_probe graph parties pr l p ~iter =
+let collision_probe graph parties pr ring l p ~iter =
   let peer_tr = (link_to graph parties.(l.peer) p.id).tr in
   Meeting_points.
     {
@@ -313,7 +337,7 @@ let collision_probe graph parties pr l p ~iter =
           if pos <= Transcript.length l.tr && pos <= Transcript.length peer_tr then
             Some (Transcript.equal_prefix l.tr peer_tr >= pos)
           else None);
-      on_collision = (fun ~pos -> Trace.Sink.count pr.sink ~id:pr.c_collision ~iter ~arg:pos 1);
+      on_collision = (fun ~pos -> Trace.Sink.count ring ~id:pr.c_collision ~iter ~arg:pos 1);
     }
 
 let meeting_points_phase ex net _tp parties fc pr ~iter ~tau =
@@ -375,26 +399,65 @@ let meeting_points_phase ex net _tp parties fc pr ~iter ~tau =
       ()
   done;
   let observing = Trace.Sink.is_enabled pr.sink in
-  Live.Exec.slice ex (fun w ->
-      iter_shard ex parties w (fun p ->
-          if fc.alive.(p.id) then
-            Array.iter
-              (fun l ->
-                let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
-                let probe =
-                  (* Reads the peer's transcript — only the serial engine
-                     observes (tracing forces it), so this stays safe. *)
-                  if observing then Some (collision_probe graph parties pr l p ~iter) else None
-                in
-                match
-                  Meeting_points.process l.mp (Option.get l.mp_hasher) ?probe ~len:l.mp_len msg
-                with
-                | `Keep -> ()
-                | `Truncate_to x ->
-                    Trace.Sink.count pr.sink ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
+  if observing then begin
+    (* Decide/apply split: the collision probe's ground truth reads the
+       peer's transcript, which may live on another shard.  No barrier
+       is needed before the decide slice — every transcript write it
+       can read was either quiesced by the previous iteration's join
+       (worker-side sim/rewind writes) or published by the job-append
+       release store (leader-side prepass rot), and the MP rounds in
+       flight never touch transcripts.  The decide slice only computes
+       each link's verdict (parked in [mp_cut]) — nobody truncates, so
+       the cross-shard reads race nothing; one barrier, then
+       truncations apply shard-locally (a lagging decide may still be
+       reading the peer copy, so applies must not start before every
+       decide is done).  Both engines run this same traced job stream,
+       which is what keeps merged parallel traces byte-identical to the
+       serial oracle. *)
+    Live.Exec.slice ex (fun w ->
+        iter_shard ex parties w (fun p ->
+            if fc.alive.(p.id) then
+              Array.iter
+                (fun l ->
+                  let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
+                  let probe = collision_probe graph parties pr pr.rings.(w) l p ~iter in
+                  l.mp_cut <-
+                    (match
+                       Meeting_points.process l.mp (Option.get l.mp_hasher) ~probe
+                         ~len:l.mp_len msg
+                     with
+                    | `Keep -> -1
+                    | `Truncate_to x -> x))
+                p.links));
+    Live.Exec.join ex;
+    Live.Exec.slice ex (fun w ->
+        iter_shard ex parties w (fun p ->
+            if fc.alive.(p.id) then
+              Array.iter
+                (fun l ->
+                  if l.mp_cut >= 0 then begin
+                    Trace.Sink.count pr.rings.(w) ~id:pr.c_mp_trunc ~iter ~arg:p.id 1;
                     Metrics.Registry.incr pr.m_trunc_c;
-                    Transcript.truncate l.tr x)
-              p.links))
+                    Transcript.truncate l.tr l.mp_cut;
+                    l.mp_cut <- -1
+                  end)
+                p.links))
+  end
+  else
+    Live.Exec.slice ex (fun w ->
+        iter_shard ex parties w (fun p ->
+            if fc.alive.(p.id) then
+              Array.iter
+                (fun l ->
+                  let msg = Meeting_points.decode_message_arr ~tau l.in_msg in
+                  match
+                    Meeting_points.process l.mp (Option.get l.mp_hasher) ~len:l.mp_len msg
+                  with
+                  | `Keep -> ()
+                  | `Truncate_to x ->
+                      Metrics.Registry.incr pr.m_trunc_c;
+                      Transcript.truncate l.tr x)
+                p.links))
 
 let compute_statuses ex parties ~alive ~statuses =
   Live.Exec.slice ex (fun w ->
@@ -547,15 +610,17 @@ let simulation_phase ex net tp parties fc ch ~iter ~n_real =
           | _ -> ())
         participants.(w))
 
-let rewind_phase ex net tp parties fc pr ~iter =
+let rewind_phase ex net tp parties fc pr ~iter ~reqs ~depth =
   let n = Array.length parties in
   let nshards = Live.Exec.shards ex in
   (* Wave shape for the trace: [reqs] counts every chunk rewound (self-
      initiated or honored request); [depth] is the last round of the
-     phase in which any link still moved.  Per-shard cells, summed /
-     maxed at the end (the emit is observing-gated, and observing
-     forces the serial engine — the leader reads them quiesced). *)
-  let reqs = Array.make nshards 0 and depth = Array.make nshards 0 in
+     phase in which any link still moved.  Per-shard caller scratch,
+     written only by the owning shard's round callbacks; the caller
+     sums/maxes it behind the end-of-iteration join, so no join is
+     spent here. *)
+  Array.fill reqs 0 nshards 0;
+  Array.fill depth 0 nshards 0;
   (* Only parties whose per-link state changed since their last
      evaluation can newly satisfy the send predicate: meeting-points
      statuses are frozen for the phase, [already_rewound] is monotone,
@@ -643,15 +708,7 @@ let rewind_phase ex net tp parties fc pr ~iter =
             end);
         cur.(shard) <- nxt.(shard))
       ()
-  done;
-  if Trace.Sink.is_enabled pr.sink then begin
-    let total = Array.fold_left ( + ) 0 reqs in
-    if total > 0 then begin
-      Trace.Sink.count pr.sink ~id:pr.c_rewind_req ~iter total;
-      Trace.Sink.gauge pr.sink ~id:pr.g_rewind_depth ~iter
-        (float_of_int (Array.fold_left max 0 depth))
-    end
-  end
+  done
 
 (* ---------- global instrumentation (simulator-side only) ---------- *)
 
@@ -757,11 +814,65 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let net = Network.create graph adversary in
     net_ref := Some net;
     Network.set_fault_hooks net (Faults.Plan.network_hooks plan);
-    let pr = make_probes ~metrics ~flight config.Config.sink in
+    (* ---- execution engine ----
+       The lockstep backend is the live engine pinned serial with one
+       shard and d = 0 — exactly the historical round loop.  The
+       adversary spy still forces the serial engine (it reads party
+       state between rounds); an enabled trace sink no longer does —
+       parallel runs capture into per-domain rings and a deterministic
+       merge rebuilds the serial event order afterwards. *)
+    let live_cfg =
+      match config.Config.backend with
+      | Lockstep -> Live.Config.default
+      | Live c -> c
+    in
+    let serial =
+      (match config.Config.backend with Lockstep -> true | Live _ -> false)
+      || Option.is_some config.Config.spy_hook
+    in
+    let weights = Array.init n (fun id -> Topology.Graph.degree graph id) in
+    let ex = Live.Exec.create ~net ~config:live_cfg ~serial ~metrics ~weights () in
+    let observing = Trace.Sink.is_enabled config.Config.sink in
+    (* Sharded capture: one ring per worker domain plus a leader ring,
+       merged into the caller's sink after shutdown — every existing
+       consumer of [config.sink] works unchanged.  The serial engine
+       emits inline into the caller's sink; no merge needed. *)
+    let sharded =
+      if observing && not (Live.Exec.is_serial ex) then
+        Trace.Sharded.create ~shards:(Live.Exec.shards ex)
+          ~capacity:(Trace.Sink.capacity config.Config.sink)
+          ~profile:(Trace.Sink.profiled config.Config.sink) ()
+      else Trace.Sharded.disabled
+    in
+    let pr =
+      if Trace.Sharded.is_enabled sharded then begin
+        Live.Exec.set_trace ex sharded;
+        make_probes ~metrics ~flight
+          ~rings:(Array.init (Live.Exec.shards ex) (Trace.Sharded.ring sharded))
+          ~intern:(Trace.Sharded.intern sharded)
+          (Trace.Sharded.leader sharded)
+      end
+      else
+        make_probes ~metrics ~flight
+          ~rings:(Array.make (Live.Exec.shards ex) config.Config.sink)
+          ~intern:(Trace.Sink.intern config.Config.sink)
+          config.Config.sink
+    in
     let sink = pr.sink in
-    let observing = Trace.Sink.is_enabled sink in
+    (* net.* names must enter the shared id space before [set_trace]
+       interns them (leader-only interning would misalign the rings). *)
+    if Trace.Sharded.is_enabled sharded then
+      List.iter
+        (fun nm -> ignore (Trace.Sharded.intern sharded nm : int))
+        [ "net.corrupt"; "net.injected"; "net.stalled" ];
     Network.set_trace net sink;
     Network.set_metrics net metrics;
+    Fun.protect
+      ~finally:(fun () ->
+        Live.Exec.shutdown ex;
+        if Trace.Sharded.is_enabled sharded then
+          Trace.Merge.into_sink sharded ~dst:config.Config.sink)
+    @@ fun () ->
     let flag_sched = Flag_passing.compile graph ~tree in
     let mp_bits = Meeting_points.message_bits ~tau:params.Params.tau in
     let max_r = Chunking.max_rounds ch in
@@ -807,6 +918,7 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
                   seeds = seeds_for ~edge ~lower:(id < peer);
                   already_rewound = false;
                   bot = false;
+                  mp_cut = -1;
                   out_msg = Array.make mp_bits false;
                   in_msg = Array.make mp_bits None;
                   sent_log = Array.make max_r None;
@@ -837,26 +949,6 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       let recv_party = Array.init (2 * m) (fun dir -> snd (Network.link_ends net ~dir)) in
       { recv_link; recv_party }
     in
-    (* ---- execution engine ----
-       The lockstep backend is the live engine pinned serial with one
-       shard and d = 0 — exactly the historical round loop.  Observing
-       (an enabled trace sink) and the adversary spy force the serial
-       engine even on the live backend: both need a single-domain event
-       order (probes fire inside worker callbacks; the spy reads party
-       state between rounds). *)
-    let live_cfg =
-      match config.Config.backend with
-      | Lockstep -> Live.Config.default
-      | Live c -> c
-    in
-    let serial =
-      (match config.Config.backend with Lockstep -> true | Live _ -> false)
-      || observing
-      || Option.is_some config.Config.spy_hook
-    in
-    let weights = Array.init n (fun id -> Topology.Graph.degree graph id) in
-    let ex = Live.Exec.create ~net ~config:live_cfg ~serial ~metrics ~weights () in
-    Fun.protect ~finally:(fun () -> Live.Exec.shutdown ex) @@ fun () ->
     (* ---- fault state ---- *)
     let alive = Array.make n true in
     let rot_mask =
@@ -877,18 +969,24 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let total_links = Array.fold_left (fun acc p -> acc + Array.length p.links) 0 parties in
     (* Per-link meeting-points status snapshot taken before each MP phase,
        so the enter/exit transition counters come from a diff, not from
-       hooks inside the mechanism. *)
+       hooks inside the mechanism.  The snapshot runs as a slice (each
+       shard fills its own parties' cells — disjoint [link_base]
+       ranges); the diff runs on the leader, deferred to behind the
+       end-of-iteration join (MP statuses only mutate inside the MP
+       phase, so the deferred read sees exactly the post-phase values).
+       Neither spends a join of its own. *)
     let mp_before = Array.make (max 1 total_links) false in
+    let link_base = Array.make (n + 1) 0 in
+    Array.iteri (fun i p -> link_base.(i + 1) <- link_base.(i) + Array.length p.links) parties;
     let record_mp_status () =
-      let i = ref 0 in
-      Array.iter
-        (fun p ->
-          Array.iter
-            (fun l ->
-              mp_before.(!i) <- Meeting_points.status l.mp = Meeting_points.Meeting_points;
-              incr i)
-            p.links)
-        parties
+      Live.Exec.slice ex (fun w ->
+          iter_shard ex parties w (fun p ->
+              let i = ref link_base.(p.id) in
+              Array.iter
+                (fun l ->
+                  mp_before.(!i) <- Meeting_points.status l.mp = Meeting_points.Meeting_points;
+                  incr i)
+                p.links))
     in
     let count_mp_transitions ~iter =
       let enter = ref 0 and exit_ = ref 0 and i = ref 0 in
@@ -914,7 +1012,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
           Flag_passing.
             {
               on_missing =
-                (fun ~node -> Trace.Sink.count sink ~id:pr.c_flag_missing ~iter:!cur_iter ~arg:node 1);
+                (fun ~shard ~node ->
+                  (* Fires inside a shard's read callback — emit into
+                     that shard's own ring. *)
+                  Trace.Sink.count pr.rings.(shard) ~id:pr.c_flag_missing ~iter:!cur_iter
+                    ~arg:node 1);
             }
       else None
     in
@@ -945,8 +1047,23 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
     let statuses = Array.make n false in
     let flag_agg = Array.make n false in
     let net_corrects = Array.make n false in
+    let nshards_scratch = Live.Exec.shards ex in
+    let rewind_reqs = Array.make nshards_scratch 0 in
+    let rewind_depth = Array.make nshards_scratch 0 in
     while !continue_loop && !iter < effective_iterations do
       let it = !iter in
+      if observing && config.Config.trace_sample_every > 1 then begin
+        (* Per-shard sampling: keep 1-in-N iterations.  Mute flips ride
+           the job stream (each worker flips its own ring when it
+           reaches the slice), so every ring switches at the same
+           schedule position — exact at d = 0, ragged like everything
+           else at d > 0.  Counter totals cover sampled iterations. *)
+        let keep = it mod config.Config.trace_sample_every = 0 in
+        if Trace.Sink.muted sink <> not keep then begin
+          Live.Exec.slice ex (fun w -> Trace.Sink.set_muted pr.rings.(w) (not keep));
+          Trace.Sink.set_muted sink (not keep)
+        end
+      end;
       Trace.Sink.span_begin sink ~id:pr.sp_iter ~iter:it;
       (* The flight recorder books iteration entry before the watchdog
          gets to kill it — a post-abort dump must name the iteration
@@ -1021,7 +1138,6 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       Trace.Sink.span_begin sink ~id:pr.sp_mp ~iter:it;
       meeting_points_phase ex net tp parties fc pr ~iter:it ~tau:params.Params.tau;
       Trace.Sink.span_end sink ~id:pr.sp_mp ~iter:it;
-      if observing then count_mp_transitions ~iter:it;
       compute_statuses ex parties ~alive ~statuses;
       Metrics.Flight.note pr.flight ~iter:it "phase.flag_passing";
       Trace.Sink.span_begin sink ~id:pr.sp_flag ~iter:it;
@@ -1034,15 +1150,6 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
             let lo, hi = Live.Exec.bounds ex ~shard:w in
             Array.blit statuses lo net_corrects lo (hi - lo));
       Trace.Sink.span_end sink ~id:pr.sp_flag ~iter:it;
-      if observing then begin
-        (* Observing forces the serial engine, so the leader reads the
-           freshly-written scratch quiesced. *)
-        let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
-        let votes = count_true statuses and ok = count_true net_corrects in
-        Trace.Sink.count sink ~id:pr.c_flag_votes ~iter:it votes;
-        Trace.Sink.count sink ~id:pr.c_net_correct ~iter:it ok;
-        Trace.Sink.count sink ~id:pr.c_idle ~iter:it (n - ok)
-      end;
       Live.Exec.slice ex (fun w ->
           iter_shard ex parties w (fun p -> p.net_correct <- net_corrects.(p.id)));
       if Live.Exec.is_serial ex then
@@ -1059,13 +1166,36 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       if params.Params.rewind then begin
         Metrics.Flight.note pr.flight ~iter:it "phase.rewind";
         Trace.Sink.span_begin sink ~id:pr.sp_rewind ~iter:it;
-        rewind_phase ex net tp parties fc pr ~iter:it;
+        rewind_phase ex net tp parties fc pr ~iter:it ~reqs:rewind_reqs ~depth:rewind_depth;
         Trace.Sink.span_end sink ~id:pr.sp_rewind ~iter:it
       end;
       (* Quiesce before the leader-side reads below (global stats, early
          stop, next iteration's prepass) — also folds any ragged drop
          tally into the network stats so per-iteration snapshots see it. *)
       Live.Exec.join ex;
+      if observing then begin
+        (* Deferred per-iteration tallies, all behind the one join the
+           iteration already pays: everything read here went quiet when
+           its phase ended (MP statuses freeze after the MP phase, the
+           flag scratch after the flag phase, the rewind cells after the
+           wave), so one quiesce covers the lot.  Values are global
+           sums, not per-shard splits — the merged export stays
+           byte-identical whatever the shard count. *)
+        count_mp_transitions ~iter:it;
+        let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
+        let votes = count_true statuses and ok = count_true net_corrects in
+        Trace.Sink.count sink ~id:pr.c_flag_votes ~iter:it votes;
+        Trace.Sink.count sink ~id:pr.c_net_correct ~iter:it ok;
+        Trace.Sink.count sink ~id:pr.c_idle ~iter:it (n - ok);
+        if params.Params.rewind then begin
+          let total = Array.fold_left ( + ) 0 rewind_reqs in
+          if total > 0 then begin
+            Trace.Sink.count sink ~id:pr.c_rewind_req ~iter:it total;
+            Trace.Sink.gauge sink ~id:pr.g_rewind_depth ~iter:it
+              (float_of_int (Array.fold_left max 0 rewind_depth))
+          end
+        end
+      end;
       if config.Config.trace || observing || pr.m_on then begin
         (* Post-join: the leader reads party state quiesced, so this is
            safe on the parallel engine too (metrics do not force the
@@ -1103,6 +1233,11 @@ let run_outcome ?(config = Config.default) ~rng params pi adversary =
       if params.Params.early_stop && all_done parties graph ~n_real then continue_loop := false;
       incr iter
     done;
+    if observing && config.Config.trace_sample_every > 1 then begin
+      (* Leave every ring live for the output span (and the caller). *)
+      Live.Exec.slice ex (fun w -> Trace.Sink.set_muted pr.rings.(w) false);
+      Trace.Sink.set_muted sink false
+    end;
     if !continue_loop && effective_iterations < iterations then
       Faults.Outcome.note diag
         (Printf.sprintf "iterations capped at %d of %d planned" effective_iterations iterations);

@@ -85,9 +85,14 @@ type backend =
           domains, rounds committed through a per-round epoch barrier,
           optionally ragged ([ragged_d] > 0 books scheduling jitter as
           insertions/deletions through the network's fault accounting).
-          An enabled trace sink or a spy hook forces the serial engine
-          (single-domain event order); with d = 0 the two backends are
-          differentially tested byte-identical. *)
+          A spy hook forces the serial engine (it reads party state
+          between rounds).  An enabled trace sink does {e not}: the
+          parallel engine captures into one private ring per domain
+          ({!Trace.Sharded}) and a deterministic merge ({!Trace.Merge})
+          rebuilds the serial event order into the caller's sink after
+          the run — at d = 0 the timing-free export is byte-identical
+          to the serial one at any shard count.  With d = 0 the two
+          backends are differentially tested byte-identical. *)
 
 module Config : sig
   type t = {
@@ -134,6 +139,11 @@ module Config : sig
     backend : backend;
         (** execution backend; {!Lockstep} (the default) is the serial
             reference, [Live _] runs the concurrent engine *)
+    trace_sample_every : int;
+        (** per-shard trace sampling: keep every Nth iteration's events
+            (1 — the default — keeps all).  Muting rides the job
+            stream, so all rings switch at the same schedule position;
+            counter totals then cover the sampled iterations only. *)
   }
 
   val default : t
@@ -150,6 +160,7 @@ module Config : sig
     ?max_wall_s:float ->
     ?max_iterations:int ->
     ?backend:backend ->
+    ?trace_sample_every:int ->
     unit ->
     t
 end

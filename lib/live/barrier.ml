@@ -17,6 +17,7 @@ type t = {
   mutable spins_h : Metrics.Registry.hist;
   mutable sleeps_c : Metrics.Registry.counter;
   mutable probe : bool;
+  mutable yield : bool; (* oversubscribed: sleep early, spin barely *)
 }
 
 let create parties =
@@ -28,9 +29,11 @@ let create parties =
     spins_h = Metrics.Registry.hist Metrics.Registry.disabled "live.barrier.spins";
     sleeps_c = Metrics.Registry.counter Metrics.Registry.disabled "live.barrier.sleeps";
     probe = false;
+    yield = false;
   }
 
 let parties t = t.parties
+let set_yield t b = t.yield <- b
 
 (* Wait-spin counts are pure scheduling artifacts, never functions of
    the keyed execution — both metrics are Timed so the exact snapshot
@@ -45,9 +48,16 @@ let set_metrics t reg =
    window waits in Exec.  [cpu_relax] bursts keep latency low when a
    core is available; the sleep ladder keeps oversubscribed runs (more
    domains than cores) from starving the domain that must make
-   progress. *)
-let spin_core ?giveup ~spins ~sleeps cond =
-  let relax_burst = 4096 in
+   progress.  In [yield] mode — the caller knows it is oversubscribed —
+   spinning is counterproductive (the domain that must flip [cond]
+   cannot run while we burn our timeslice), so the burst shrinks to a
+   token probe and the ladder starts at the shortest sleep the kernel
+   will honour and caps low, keeping wake latency bounded by timer
+   slack rather than by the ladder's top rung. *)
+let spin_core ?giveup ?(yield = false) ~spins ~sleeps cond =
+  let relax_burst = if yield then 64 else 4096 in
+  let sleep0 = if yield then 1e-6 else 2e-5 in
+  let sleep_cap = if yield then 1e-4 else 1e-3 in
   let rec go sleep_s =
     if cond () then true
     else if (match giveup with Some g -> g () | None -> false) then false
@@ -62,15 +72,15 @@ let spin_core ?giveup ~spins ~sleeps cond =
       else begin
         Unix.sleepf sleep_s;
         incr sleeps;
-        go (Float.min (sleep_s *. 2.) 1e-3)
+        go (Float.min (sleep_s *. 2.) sleep_cap)
       end
     end
   in
-  go 2e-5
+  go sleep0
 
-let spin_until ?giveup cond =
+let spin_until ?giveup ?yield cond =
   let spins = ref 0 and sleeps = ref 0 in
-  spin_core ?giveup ~spins ~sleeps cond
+  spin_core ?giveup ?yield ~spins ~sleeps cond
 
 let await ?giveup t =
   let my_sense = not (Atomic.get t.sense) in
@@ -83,7 +93,9 @@ let await ?giveup t =
   end
   else begin
     let spins = ref 0 and sleeps = ref 0 in
-    let released = spin_core ?giveup ~spins ~sleeps (fun () -> Atomic.get t.sense = my_sense) in
+    let released =
+      spin_core ?giveup ~yield:t.yield ~spins ~sleeps (fun () -> Atomic.get t.sense = my_sense)
+    in
     if t.probe then begin
       Metrics.Registry.observe t.spins_h !spins;
       if !sleeps > 0 then Metrics.Registry.add t.sleeps_c !sleeps

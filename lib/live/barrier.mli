@@ -10,6 +10,13 @@ val create : int -> t
 
 val parties : t -> int
 
+val set_yield : t -> bool -> unit
+(** [set_yield t true] switches waiters to the oversubscribed wait
+    strategy: a token [cpu_relax] probe, then micro-sleeps capped low,
+    instead of long spin bursts.  Use when the participating domains
+    outnumber the hardware threads available to them — spinning there
+    only delays the peer that must make progress.  Default [false]. *)
+
 val set_metrics : t -> Metrics.Registry.t -> unit
 (** Attach a metrics registry: every subsequent {!await} records its
     wait-spin count into the [live.barrier.spins] histogram and its
@@ -25,8 +32,9 @@ val await : ?giveup:(unit -> bool) -> t -> bool
     the barrier when a peer domain has been poisoned by an exception.
     The barrier is reusable (sense-reversing). *)
 
-val spin_until : ?giveup:(unit -> bool) -> (unit -> bool) -> bool
+val spin_until : ?giveup:(unit -> bool) -> ?yield:bool -> (unit -> bool) -> bool
 (** [spin_until cond] busy-waits (bounded [cpu_relax] bursts, then a
     sleep ladder) until [cond ()] holds, returning [true]; or until
-    [giveup ()] fires, returning [false].  Shared by the commit-window
-    waits of {!Exec}. *)
+    [giveup ()] fires, returning [false].  [~yield:true] selects the
+    oversubscribed strategy of {!set_yield}.  Shared by the
+    commit-window waits of {!Exec}. *)

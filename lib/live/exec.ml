@@ -70,6 +70,7 @@ type round_job = {
   write : shard:int -> Active.t -> unit;
   read : shard:int -> Active.t -> unit;
   label : (unit -> unit) option;
+  job : int; (* index of the Round job in the job log, for trace ticks *)
 }
 
 type job =
@@ -130,6 +131,8 @@ type par = {
   mutable folded : int; (* drops already folded into stats.stalled *)
   mutable domains : unit Domain.t list;
   mutable shut : bool;
+  mutable tr : Trace.Sharded.t; (* per-domain rings; see [set_trace] *)
+  yield : bool; (* domains outnumber cores: wait by sleeping, not spinning *)
   pr : probes;
 }
 
@@ -164,10 +167,21 @@ let check_poison p = match Atomic.get p.poison with Some e -> raise e | None -> 
 
 (* Worker-side: spin until [cond], bail if any domain was poisoned. *)
 let spin_or_bail p cond =
-  if not (Barrier.spin_until ~giveup:(fun () -> poisoned p) cond) then raise Bail
+  if not (Barrier.spin_until ~giveup:(fun () -> poisoned p) ~yield:p.yield cond) then
+    raise Bail
 
 let get_job p i = p.jobs.(i lsr chunk_bits).(i land (chunk_size - 1))
 let get_rjob p i = p.rjobs.(i lsr chunk_bits).(i land (chunk_size - 1))
+
+(* Trace ticks: job index j (count of Round/Slice/Join/Quit appends —
+   identical across the serial and parallel engines for the same
+   driver) owns merge positions 4j (leader-side events while job j is
+   the next to issue), 4j+1 (shard writes and slice work), 4j+2
+   (network commit) and 4j+3 (shard reads).  Each domain stamps only
+   its own ring; [Trace.Merge] sorts by (tick, shard, seq). *)
+let[@inline] ring_of p w =
+  if Trace.Sharded.is_enabled p.tr then Trace.Sharded.ring p.tr w
+  else Trace.Sink.disabled
 
 let append_job p j =
   let i = p.jpos in
@@ -177,7 +191,8 @@ let append_job p j =
   if Array.length p.jobs.(c) = 0 then p.jobs.(c) <- Array.make chunk_size Quit;
   p.jobs.(c).(o) <- j;
   p.jpos <- i + 1;
-  Atomic.set p.n_jobs p.jpos
+  Atomic.set p.n_jobs p.jpos;
+  Trace.Sink.set_tick (Trace.Sharded.leader p.tr) (4 * p.jpos)
 
 let append_rjob p rj =
   let i = p.rpos in
@@ -185,7 +200,9 @@ let append_rjob p rj =
     failwith "Live.Exec: round log full (4M rounds without a join)";
   let c = i lsr chunk_bits and o = i land (chunk_size - 1) in
   if Array.length p.rjobs.(c) = 0 then
-    p.rjobs.(c) <- Array.make chunk_size { write = (fun ~shard:_ _ -> ()); read = (fun ~shard:_ _ -> ()); label = None };
+    p.rjobs.(c) <-
+      Array.make chunk_size
+        { write = (fun ~shard:_ _ -> ()); read = (fun ~shard:_ _ -> ()); label = None; job = 0 };
   p.rjobs.(c).(o) <- rj;
   p.rpos <- i + 1;
   Atomic.set p.n_rounds p.rpos
@@ -225,7 +242,7 @@ let rule_ok p c =
    publish.  The claim chain hands the network's plain mutable state
    from committer to committer; [Active.sort] before publication makes
    subsequent concurrent reader iteration mutation-free. *)
-let do_commit p c =
+let do_commit p ~w c =
   let slot = c mod (p.d + 1) in
   let master = p.masters.(slot) in
   if p.pr.on then begin
@@ -246,7 +263,18 @@ let do_commit p c =
   while Atomic.get p.n_rounds <= c do
     Domain.cpu_relax ()
   done;
-  (match (get_rjob p c).label with Some f -> f () | None -> ());
+  let rj = get_rjob p c in
+  if Trace.Sharded.is_enabled p.tr then begin
+    (* Route net.* emissions of this commit to the committer's own ring
+       (single writer: the claim chain serializes committers and hands
+       the network over release/acquire, carrying the sink swap with
+       it).  The whole commit is one contiguous block at tick 4j+2, so
+       which ring physically holds it cannot affect the merged order. *)
+    let r = Trace.Sharded.ring p.tr w in
+    Trace.Sink.set_tick r ((4 * rj.job) + 2);
+    Network.set_trace_sink p.net r
+  end;
+  (match rj.label with Some f -> f () | None -> ());
   for w = 0 to p.nshards - 1 do
     let st = p.state.(w).(slot) in
     let cur = Atomic.get st in
@@ -279,7 +307,7 @@ let do_commit p c =
   Atomic.set p.committed c
 
 (* One committer at a time; returns whether a round was committed. *)
-let try_advance p =
+let try_advance p ~w =
   let c = Atomic.get p.committed + 1 in
   if rule_ok p c && Atomic.compare_and_set p.claim false true then
     Fun.protect
@@ -287,7 +315,7 @@ let try_advance p =
       (fun () ->
         let c = Atomic.get p.committed + 1 in
         if rule_ok p c then begin
-          do_commit p c;
+          do_commit p ~w c;
           true
         end
         else false)
@@ -296,19 +324,25 @@ let try_advance p =
 (* Wait until round [q] is committed, actively participating in the
    committer election the whole time (the last sealer of a committable
    round is often the one that commits it). *)
-let wait_commit p q =
-  let laps = ref 0 and sleep = ref 2e-5 in
+let wait_commit p ~w q =
+  (* Oversubscribed: the committer we are waiting on shares our core, so
+     long electioneering spins only delay it — probe briefly, sleep
+     short (same rationale as [Barrier.set_yield]). *)
+  let mask = if p.yield then 63 else 4095 in
+  let sleep0 = if p.yield then 1e-6 else 2e-5 in
+  let cap = if p.yield then 1e-4 else 1e-3 in
+  let laps = ref 0 and sleep = ref sleep0 in
   while Atomic.get p.committed < q do
     if poisoned p then raise Bail;
-    if try_advance p then begin
+    if try_advance p ~w then begin
       laps := 0;
-      sleep := 2e-5
+      sleep := sleep0
     end
     else begin
       incr laps;
-      if !laps land 4095 = 0 then begin
+      if !laps land mask = 0 then begin
         Unix.sleepf !sleep;
-        sleep := Float.min (!sleep *. 2.) 1e-3
+        sleep := Float.min (!sleep *. 2.) cap
       end
       else Domain.cpu_relax ()
     end
@@ -317,8 +351,9 @@ let wait_commit p q =
 (* ------------------------------------------------------------------ *)
 (* Worker domains                                                      *)
 
-let process_round p w q =
+let process_round p w ~job q =
   let t0 = if p.pr.on then Unix.gettimeofday () else 0. in
+  let rng = ring_of p w in
   let slot = q mod (p.d + 1) in
   let st = p.state.(w).(slot) in
   let buf = p.bufs.(w).(slot) in
@@ -342,6 +377,7 @@ let process_round p w q =
   in
   claim ();
   let rj = get_rjob p q in
+  Trace.Sink.set_tick rng ((4 * job) + 1);
   Active.begin_round buf;
   rj.write ~shard:w buf;
   let sealed = pack q t_sealed in
@@ -356,9 +392,10 @@ let process_round p w q =
     if Atomic.compare_and_set st sealed (pack q t_consumed) then
       ignore (Atomic.fetch_and_add p.dropped (Active.count buf) : int)
   end
-  else wait_commit p q;
+  else wait_commit p ~w q;
   (* The master for round q is intact: overwriting it (commit q+d+1)
      would need every shard's wrote >= q + 1, and ours is still q. *)
+  Trace.Sink.set_tick rng ((4 * job) + 3);
   rj.read ~shard:w p.masters.(slot);
   if p.pr.on then
     Metrics.Registry.observe p.pr.round_ns
@@ -372,14 +409,17 @@ let worker p w =
     else begin
       (try spin_or_bail p (fun () -> Atomic.get p.n_jobs > !cursor) with Bail -> running := false);
       if !running then begin
-        let job = get_job p !cursor in
+        let j = !cursor in
+        let job = get_job p j in
         incr cursor;
         try
           match job with
           | Quit -> running := false
           | Join -> if not (Barrier.await ~giveup:(fun () -> poisoned p) p.join_bar) then running := false
-          | Slice f -> f w
-          | Round q -> process_round p w q
+          | Slice f ->
+              Trace.Sink.set_tick (ring_of p w) ((4 * j) + 1);
+              f w
+          | Round q -> process_round p w ~job:j q
         with
         | Bail -> running := false
         | e ->
@@ -503,10 +543,16 @@ let create ~net ~(config : Config.t) ?(serial = false)
         folded = 0;
         domains = [];
         shut = false;
+        tr = Trace.Sharded.disabled;
+        (* Leader + workers all burn CPU; when they outnumber the cores
+           the runtime sees, waiting must yield the core instead of
+           spinning on it (see Barrier.set_yield). *)
+        yield = nshards + 1 > Domain.recommended_domain_count ();
         pr;
       }
     in
     Barrier.set_metrics p.join_bar metrics;
+    Barrier.set_yield p.join_bar p.yield;
     p.domains <- List.init nshards (fun w -> Domain.spawn (fun () -> worker p w));
     Logging.Live_log.debug (fun m ->
         m "parallel engine: %d worker domain(s), d=%d, partition %a" nshards d Shard.pp sh);
@@ -521,6 +567,18 @@ let rounds_run t = t.rounds_run
 
 let probes_of t = match t.engine with Serial sr -> sr.s_pr | Par p -> p.pr
 
+let set_trace t tr =
+  match t.engine with
+  | Serial _ -> () (* inline execution: the caller's own sink already
+                      sees events in program order *)
+  | Par p ->
+      if Trace.Sharded.is_enabled tr && Trace.Sharded.shards tr <> p.nshards then
+        invalid_arg "Live.Exec.set_trace: shard count mismatch";
+      (* Published to the workers by the release store of [n_jobs] on
+         the next job append; workers only read [tr] while executing
+         jobs, so installation must precede the first traced job. *)
+      p.tr <- tr
+
 let round t ?label ~write ~read () =
   t.rounds_run <- t.rounds_run + 1;
   let pr = probes_of t in
@@ -529,7 +587,7 @@ let round t ?label ~write ~read () =
   | Serial sr -> serial_round t sr ?label ~write ~read ()
   | Par p ->
       check_poison p;
-      append_rjob p { write; read; label };
+      append_rjob p { write; read; label; job = p.jpos };
       append_job p (Round (p.rpos - 1))
 
 let slice t f =

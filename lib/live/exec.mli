@@ -26,8 +26,9 @@ val create :
     histogram of keyed serial lag draws), [live.round_ns] (Timed
     per-shard round latency) and [live.drift] (Timed commit-time shard
     spread), plus the join barrier's wait-spin metrics.  Metrics do
-    {e not} force the serial engine — unlike a trace sink, the
-    registry is domain-safe.
+    {e not} force the serial engine — the registry is domain-safe, and
+    neither does a trace sink: sharded capture (see {!set_trace})
+    gives each domain its own ring.
 
     Every [t] must be released with {!shutdown}. *)
 
@@ -43,6 +44,18 @@ val owner : t -> int -> int
 val is_serial : t -> bool
 (** True when callbacks run inline on the calling domain (single-domain
     event order — safe for observing probes and logging). *)
+
+val set_trace : t -> Trace.Sharded.t -> unit
+(** Install per-domain trace rings on the parallel engine (a no-op on
+    the serial engine, whose callers emit inline into their own sink).
+    Must be called before the first job is issued; the bundle's shard
+    count must equal {!shards}.  Thereafter the engine stamps every
+    ring with logical merge ticks — job index [j] owns ticks [4j]
+    (leader), [4j+1] (shard writes / slices), [4j+2] (network commit,
+    routed to the committer's ring via [Network.set_trace_sink]) and
+    [4j+3] (shard reads) — so {!Trace.Merge} can rebuild the serial
+    event order deterministically.  Callbacks must emit only into the
+    ring of the shard they were invoked for. *)
 
 val round :
   t ->

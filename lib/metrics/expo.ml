@@ -1,7 +1,26 @@
 (* Snapshot serializers.  See expo.mli. *)
 
+(* OpenMetrics metric names admit only [a-zA-Z0-9_:]; anything else
+   (dots, dashes, but also quotes or backslashes in a hostile key) maps
+   to '_' so the exposition stays parseable whatever was registered. *)
 let sanitize name =
-  String.map (function '.' | '-' -> '_' | c -> c) name
+  String.map
+    (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+(* OpenMetrics label values: backslash, double-quote and newline must
+   be escaped (spec section "Escaping"); emitted raw they terminate the
+   label early and corrupt the sample line. *)
+let escape_label s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 let fnum x =
   match Float.classify_float x with
@@ -26,37 +45,30 @@ let openmetrics snap =
           List.iter
             (fun (le, c) ->
               cum := !cum + c;
-              Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                   (escape_label (string_of_int le))
+                   !cum))
             buckets;
-          Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (escape_label "+Inf") count);
           Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n sum);
           Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count))
     snap;
   Buffer.add_string b "# EOF\n";
   Buffer.contents b
 
-let hist_percentile buckets count q =
-  if count = 0 then 0
-  else begin
-    let target = int_of_float (ceil (q *. float_of_int count)) in
-    let target = if target < 1 then 1 else target in
-    let rec go seen = function
-      | [] -> 0
-      | (le, c) :: rest -> if seen + c >= target then le else go (seen + c) rest
-    in
-    go 0 buckets
-  end
-
 let json_value = function
   | Registry.Counter c -> string_of_int c
   | Registry.Gauge g -> fnum g
   | Registry.Histogram { count; sum; buckets } ->
-      Printf.sprintf "{\"count\": %d, \"sum\": %d, \"p50\": %d, \"p95\": %d, \"buckets\": [%s]}"
-        count sum
-        (hist_percentile buckets count 0.50)
-        (hist_percentile buckets count 0.95)
-        (String.concat ", "
-           (List.map (fun (le, c) -> Printf.sprintf "[%d, %d]" le c) buckets))
+      (* Quantile summary, not a raw bucket dump: the interpolated
+         estimates (error bound: Hist.quantile, <= 12.5% relative) are
+         what dashboards read, and the full cumulative series is still
+         available from the OpenMetrics rendering. *)
+      Printf.sprintf "{\"count\": %d, \"sum\": %d, \"p50\": %s, \"p95\": %s}" count sum
+        (fnum (Hist.quantile_of_buckets buckets ~count 0.50))
+        (fnum (Hist.quantile_of_buckets buckets ~count 0.95))
 
 let jstr s =
   let b = Buffer.create (String.length s + 2) in

@@ -5,8 +5,10 @@
     whose count-valued metrics are deterministic serializes
     byte-identically — the property `metrics-smoke` and the `metrics`
     bench experiment assert across job and shard counts.  Metric names
-    are sanitized for OpenMetrics ([.] and [-] become [_]); JSON keeps
-    the dotted names. *)
+    are sanitized for OpenMetrics (any character outside [[a-zA-Z0-9_:]]
+    becomes [_]), label values escape backslash, double-quote and
+    newline per the OpenMetrics escaping rules, and JSON strings escape
+    per JSON; JSON keeps the dotted names. *)
 
 val openmetrics : Registry.snapshot -> string
 (** OpenMetrics text format: `# TYPE` lines, `_total` counters, gauge
@@ -15,8 +17,10 @@ val openmetrics : Registry.snapshot -> string
 
 val json : Registry.snapshot -> string
 (** One-line JSON object [{"exact": {...}, "timed": {...}}]; counters
-    are numbers, gauges floats, histograms
-    [{"count": n, "sum": s, "p50": ..., "p95": ..., "buckets": [[le, c], ...]}]. *)
+    are numbers, gauges floats, histograms quantile summaries
+    [{"count": n, "sum": s, "p50": q, "p95": q}] with [p50]/[p95]
+    estimated by {!Hist.quantile_of_buckets} (raw buckets stay in the
+    OpenMetrics rendering only). *)
 
 val exact_json : Registry.snapshot -> string
 (** The ["exact"] sub-object alone — the byte-comparable part. *)

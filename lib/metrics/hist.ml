@@ -65,6 +65,31 @@ let nonzero t =
   done;
   !acc
 
+let lower_of i = if i <= 0 then 0 else upper_of (i - 1) + 1
+
+(* Rank-walk with linear interpolation inside the winning cell.  Works
+   off any ascending (upper_bound, count) list so snapshot consumers
+   (Expo) can estimate quantiles without the live histogram. *)
+let quantile_of_buckets buckets ~count q =
+  if count <= 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = Float.max 1. (q *. float_of_int count) in
+    let rec go seen last = function
+      | [] -> last
+      | (up, c) :: rest ->
+          if c > 0 && float_of_int (seen + c) >= target then begin
+            let lo = float_of_int (lower_of (bucket_of up)) and hi = float_of_int up in
+            let frac = (target -. float_of_int seen) /. float_of_int c in
+            lo +. ((hi -. lo) *. frac)
+          end
+          else go (seen + c) (if c > 0 then float_of_int up else last) rest
+    in
+    go 0 0. buckets
+  end
+
+let quantile t q = quantile_of_buckets (nonzero t) ~count:(count t) q
+
 let percentile t q =
   let n = count t in
   if n = 0 then 0

@@ -45,6 +45,20 @@ val percentile : t -> float -> int
 (** Upper bound of the cell containing the q-th quantile (q in [0,1]);
     0 on an empty histogram. *)
 
+val quantile : t -> float -> float
+(** Interpolated q-th quantile estimate (q in [0,1], clamped).  The
+    rank walk finds the cell holding the q-th observation and
+    interpolates linearly inside it, so the estimate is {e exact} for
+    values below 16 (one cell per value) and otherwise off by at most
+    one sub-bucket width — a relative error bound of [2^-3] = 12.5%
+    (and at most half that in expectation under any within-cell
+    distribution).  Returns [0.] on an empty histogram. *)
+
+val quantile_of_buckets : (int * int) list -> count:int -> float -> float
+(** The same estimator over a snapshot's [(upper_bound, count)] list
+    (ascending, as produced by {!nonzero}) — lets exposition code
+    compute p50/p95 from serialized buckets.  Same error bound. *)
+
 val merge_into : into:t -> t -> unit
 (** Add every cell of the source into [into] (and count/sum). *)
 

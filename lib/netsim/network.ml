@@ -283,6 +283,12 @@ let set_trace t sink =
   t.tr_injected <- Trace.Sink.intern sink "net.injected";
   t.tr_stalled <- Trace.Sink.intern sink "net.stalled"
 
+(* Swap the sink without re-interning: for sharded tracing the committer
+   routes net.* events to its own shard ring, and all rings share one id
+   space ([Trace.Sharded.intern]), so the ids installed by [set_trace]
+   stay valid across swaps. *)
+let set_trace_sink t sink = t.trace <- sink
+
 (* Count-valued network metrics are functions of the keyed execution
    (Exact): cc, corruption/fault counts and the per-commit active-link
    distribution replay byte-identically across jobs and shard counts at

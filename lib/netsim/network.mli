@@ -186,6 +186,13 @@ val set_trace : t -> Trace.Sink.t -> unit
     The default is {!Trace.Sink.disabled}, under which every probe is a
     single branch on an already-corrupted slot and free otherwise. *)
 
+val set_trace_sink : t -> Trace.Sink.t -> unit
+(** Swap the destination sink {e without} re-interning event names.
+    Only valid between sinks sharing one interned-id space (rings of a
+    {!Trace.Sharded.t}): the parallel engine's committer points net.*
+    emissions at its own shard ring for the duration of a commit, so
+    the hot path never writes another domain's ring. *)
+
 val set_metrics : t -> Metrics.Registry.t -> unit
 (** Attach a metrics registry.  Rounds then feed [net.cc],
     [net.corruptions], [net.stalled], [net.injected] (Exact counters),

@@ -10,6 +10,7 @@ type ev = {
   arg : int;
   ival : int;
   fval : float;
+  shard : int; (* emitting shard under sharded capture; -1 = leader/unknown *)
 }
 
 type attributed = { phase : string; ev : ev }
@@ -68,7 +69,11 @@ let finalize_iteration b index =
           | "phi" -> phi := Some ev.fval
           | "progress.g_star" -> g_star := Some ev.fval
           | "progress.b_star" -> b_star := Some ev.fval
-          | "rewind.depth" -> depth := Some (int_of_float ev.fval)
+          | "rewind.depth" ->
+              (* Sharded captures emit one depth gauge per shard that
+                 rewound; the iteration's depth is their max (equals the
+                 single gauge of a single-sink stream). *)
+              depth := Some (max (Option.value ~default:0 !depth) (int_of_float ev.fval))
           | _ -> ())
       | Span_begin | Span_end -> ())
     events;
@@ -190,20 +195,35 @@ let fresh_builder () =
     sums = Hashtbl.create 32;
   }
 
-let ev_of_sink_event = function
+let ev_of_sink_event ?(shard = -1) = function
   | Trace.Sink.Span_begin { name; iter; seq; _ } ->
-      { seq; kind = Span_begin; name; iter; arg = -1; ival = 0; fval = 0. }
+      { seq; kind = Span_begin; name; iter; arg = -1; ival = 0; fval = 0.; shard }
   | Trace.Sink.Span_end { name; iter; seq; _ } ->
-      { seq; kind = Span_end; name; iter; arg = -1; ival = 0; fval = 0. }
+      { seq; kind = Span_end; name; iter; arg = -1; ival = 0; fval = 0.; shard }
   | Trace.Sink.Count { name; iter; arg; value; seq; _ } ->
-      { seq; kind = Count; name; iter; arg; ival = value; fval = 0. }
+      { seq; kind = Count; name; iter; arg; ival = value; fval = 0.; shard }
   | Trace.Sink.Gauge { name; iter; value; seq; _ } ->
-      { seq; kind = Gauge; name; iter; arg = -1; ival = 0; fval = value }
+      { seq; kind = Gauge; name; iter; arg = -1; ival = 0; fval = value; shard }
 
 let of_events events =
   let b = fresh_builder () in
   List.iter (fun e -> feed b (ev_of_sink_event e)) events;
   finish b ~counter_totals:None
+
+let of_entries entries =
+  let b = fresh_builder () in
+  List.iter
+    (fun e -> feed b (ev_of_sink_event ~shard:e.Trace.Merge.shard e.Trace.Merge.ev))
+    entries;
+  finish b ~counter_totals:None
+
+let of_sharded sh =
+  let b = fresh_builder () in
+  List.iter
+    (fun e -> feed b (ev_of_sink_event ~shard:e.Trace.Merge.shard e.Trace.Merge.ev))
+    (Trace.Merge.entries sh);
+  let tl = finish b ~counter_totals:(Some (Trace.Sharded.counter_totals sh)) in
+  { tl with truncated = Trace.Sharded.dropped sh > 0 }
 
 let of_sink sink =
   let b = fresh_builder () in
@@ -222,8 +242,10 @@ let ev_of_json j =
       let seq = int_of_float seq in
       let iter = int_of "iter" ~default:(-1) in
       match kind with
-      | "span_begin" -> Some { seq; kind = Span_begin; name; iter; arg = -1; ival = 0; fval = 0. }
-      | "span_end" -> Some { seq; kind = Span_end; name; iter; arg = -1; ival = 0; fval = 0. }
+      | "span_begin" ->
+          Some { seq; kind = Span_begin; name; iter; arg = -1; ival = 0; fval = 0.; shard = -1 }
+      | "span_end" ->
+          Some { seq; kind = Span_end; name; iter; arg = -1; ival = 0; fval = 0.; shard = -1 }
       | "count" ->
           Some
             {
@@ -234,6 +256,7 @@ let ev_of_json j =
               arg = int_of "arg" ~default:(-1);
               ival = int_of "value" ~default:0;
               fval = 0.;
+              shard = -1;
             }
       | "gauge" ->
           Some
@@ -245,6 +268,7 @@ let ev_of_json j =
               arg = -1;
               ival = 0;
               fval = Option.value ~default:Float.nan (num "value");
+              shard = -1;
             }
       | _ -> None)
   | _ -> None

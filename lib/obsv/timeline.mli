@@ -24,6 +24,10 @@ type ev = {
   arg : int;  (** secondary coordinate: party, directed link, position *)
   ival : int;  (** count value ([Count] only) *)
   fval : float;  (** gauge value ([Gauge] only) *)
+  shard : int;
+      (** emitting shard when built from a sharded capture
+          ({!of_entries} / {!of_sharded}); [-1] for leader-ring events
+          and for every event of a single-sink or re-parsed source *)
 }
 
 type attributed = { phase : string;  (** innermost [phase.*] span, [""] outside *) ev : ev }
@@ -63,6 +67,16 @@ val of_events : Trace.Sink.event list -> t
 val of_sink : Trace.Sink.t -> t
 (** Build from a live sink; [counter_totals] and [truncated] come from
     the sink's drop-proof bookkeeping. *)
+
+val of_entries : Trace.Merge.entry list -> t
+(** Build from merge-ordered sharded entries, preserving each event's
+    shard attribution in [ev.shard]. *)
+
+val of_sharded : Trace.Sharded.t -> t
+(** Build straight from a sharded capture: {!Trace.Merge.entries} for
+    the ordered stream, the rings' summed drop-proof side tables for
+    [counter_totals], and any per-ring drop marks the timeline
+    truncated. *)
 
 val of_jsonl : string -> t
 (** Re-parse a {!Trace.Export.jsonl} export (either flavour; wall-clock

@@ -14,6 +14,7 @@ let k_gauge = 3
 
 type t = {
   enabled : bool;
+  mutable on : bool; (* enabled && not muted — the hot-path branch *)
   profile : bool;
   capacity : int;
   kinds : int array;
@@ -23,9 +24,12 @@ type t = {
   args : int array;
   fvals : float array;
   tss : float array;
+  ticks : int array; (* merge position stamp, see [set_tick] *)
   mnr : float array; (* Gc minor words at emission; capacity-sized iff profile *)
   mjr : float array; (* Gc major words at emission *)
   mutable seq : int;
+  mutable tick : int;
+  mutable pre_dropped : int; (* upstream losses noted by a merge pass *)
   by_name : (string, int) Hashtbl.t;
   mutable names : string array;
   mutable n_names : int;
@@ -38,6 +42,7 @@ let create ?(capacity = 32768) ?(profile = false) () =
   if capacity < 1 then invalid_arg "Trace.Sink.create: capacity < 1";
   {
     enabled = true;
+    on = true;
     profile;
     capacity;
     kinds = Array.make capacity 0;
@@ -47,9 +52,12 @@ let create ?(capacity = 32768) ?(profile = false) () =
     args = Array.make capacity 0;
     fvals = Array.make capacity 0.;
     tss = Array.make capacity 0.;
+    ticks = Array.make capacity 0;
     mnr = (if profile then Array.make capacity 0. else [| 0. |]);
     mjr = (if profile then Array.make capacity 0. else [| 0. |]);
     seq = 0;
+    tick = 0;
+    pre_dropped = 0;
     by_name = Hashtbl.create 64;
     names = Array.make 16 "";
     n_names = 0;
@@ -62,6 +70,7 @@ let disabled =
   let empty = [| 0 |] in
   {
     enabled = false;
+    on = false;
     profile = false;
     capacity = 1;
     kinds = empty;
@@ -71,9 +80,12 @@ let disabled =
     args = empty;
     fvals = [| 0. |];
     tss = [| 0. |];
+    ticks = empty;
     mnr = [| 0. |];
     mjr = [| 0. |];
     seq = 0;
+    tick = 0;
+    pre_dropped = 0;
     by_name = Hashtbl.create 1;
     names = [| "" |];
     n_names = 0;
@@ -84,6 +96,11 @@ let disabled =
 
 let is_enabled t = t.enabled
 let profiled t = t.profile
+let capacity t = t.capacity
+let set_muted t m = t.on <- t.enabled && not m
+let muted t = t.enabled && not t.on
+let set_tick t k = if t.enabled then t.tick <- k
+let tick_at t sq = t.ticks.(sq mod t.capacity)
 
 let grow_side t =
   let cap = Array.length t.names in
@@ -127,6 +144,7 @@ let[@inline] push t kind id iter ival arg fval =
   t.args.(s) <- arg;
   t.fvals.(s) <- fval;
   t.tss.(s) <- Unix.gettimeofday ();
+  t.ticks.(s) <- t.tick;
   if t.profile then begin
     let mn, _, mj = Gc.counters () in
     t.mnr.(s) <- mn;
@@ -134,17 +152,17 @@ let[@inline] push t kind id iter ival arg fval =
   end;
   t.seq <- t.seq + 1
 
-let span_begin t ~id ~iter = if t.enabled then push t k_span_begin id iter 0 (-1) 0.
-let span_end t ~id ~iter = if t.enabled then push t k_span_end id iter 0 (-1) 0.
+let span_begin t ~id ~iter = if t.on then push t k_span_begin id iter 0 (-1) 0.
+let span_end t ~id ~iter = if t.on then push t k_span_end id iter 0 (-1) 0.
 
 let count t ~id ?(iter = -1) ?(arg = -1) v =
-  if t.enabled then begin
+  if t.on then begin
     t.totals.(id) <- t.totals.(id) + v;
     push t k_count id iter v arg 0.
   end
 
 let gauge t ~id ?(iter = -1) v =
-  if t.enabled then begin
+  if t.on then begin
     t.glast.(id) <- v;
     t.gset.(id) <- true;
     push t k_gauge id iter 0 (-1) v
@@ -157,7 +175,13 @@ type event =
   | Gauge of { name : string; iter : int; value : float; seq : int; ts : float }
 
 let seq t = t.seq
-let dropped t = max 0 (t.seq - t.capacity)
+
+(* First seq still retained in the ring (ring wrap-around only). *)
+let retained_from t = max 0 (t.seq - t.capacity)
+
+let dropped t = retained_from t + t.pre_dropped
+
+let note_dropped t k = if t.enabled && k > 0 then t.pre_dropped <- t.pre_dropped + k
 
 let event_at t sq =
   let s = sq mod t.capacity in
@@ -170,16 +194,55 @@ let event_at t sq =
   | _ -> Gauge { name = nm; iter; value = t.fvals.(s); seq = sq; ts }
 
 let iter t f =
-  for sq = dropped t to t.seq - 1 do
+  for sq = retained_from t to t.seq - 1 do
     f (event_at t sq)
   done
 
 let events t =
-  let lo = dropped t in
+  let lo = retained_from t in
   List.init (t.seq - lo) (fun i -> event_at t (lo + i))
 
+(* Re-emit an already-decoded event, preserving its wall timestamp (and
+   optionally its Gc words) instead of stamping fresh ones.  This is how
+   a merge pass rebuilds one ordered stream out of per-shard rings: the
+   destination assigns fresh consecutive seq numbers — merge order is
+   the new truth — while side tables (counter totals, last gauges) are
+   maintained exactly as if the event had been emitted here. *)
+let replay t ?alloc ev =
+  if t.on then begin
+    let id, kind, iter, ival, arg, fval, ts =
+      match ev with
+      | Span_begin { name; iter; ts; _ } -> (intern t name, k_span_begin, iter, 0, -1, 0., ts)
+      | Span_end { name; iter; ts; _ } -> (intern t name, k_span_end, iter, 0, -1, 0., ts)
+      | Count { name; iter; arg; value; ts; _ } ->
+          let id = intern t name in
+          t.totals.(id) <- t.totals.(id) + value;
+          (id, k_count, iter, value, arg, 0., ts)
+      | Gauge { name; iter; value; ts; _ } ->
+          let id = intern t name in
+          t.glast.(id) <- value;
+          t.gset.(id) <- true;
+          (id, k_gauge, iter, 0, -1, value, ts)
+    in
+    let s = t.seq mod t.capacity in
+    t.kinds.(s) <- kind;
+    t.ids.(s) <- id;
+    t.iters.(s) <- iter;
+    t.ivals.(s) <- ival;
+    t.args.(s) <- arg;
+    t.fvals.(s) <- fval;
+    t.tss.(s) <- ts;
+    t.ticks.(s) <- t.tick;
+    if t.profile then begin
+      let mn, mj = match alloc with Some a -> a | None -> (0., 0.) in
+      t.mnr.(s) <- mn;
+      t.mjr.(s) <- mj
+    end;
+    t.seq <- t.seq + 1
+  end
+
 let alloc_words t ~seq:sq =
-  if t.profile && sq >= dropped t && sq < t.seq then
+  if t.profile && sq >= retained_from t && sq < t.seq then
     let s = sq mod t.capacity in
     Some (t.mnr.(s), t.mjr.(s))
   else None
@@ -210,5 +273,8 @@ let gauge_lasts t =
 
 let reset t =
   t.seq <- 0;
+  t.tick <- 0;
+  t.pre_dropped <- 0;
+  t.on <- t.enabled;
   Array.fill t.totals 0 (Array.length t.totals) 0;
   Array.fill t.gset 0 (Array.length t.gset) false

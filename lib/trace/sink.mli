@@ -39,6 +39,29 @@ val is_enabled : t -> bool
 val profiled : t -> bool
 (** Whether the sink records Gc counters per event. *)
 
+val capacity : t -> int
+(** The ring size the sink was created with. *)
+
+val set_muted : t -> bool -> unit
+(** Sampling support: a muted sink drops every probe after the usual
+    single branch (side tables included — totals of a sampled trace
+    cover the sampled iterations only).  Muting a disabled sink is a
+    no-op; unmuting never enables a disabled sink. *)
+
+val muted : t -> bool
+
+val set_tick : t -> int -> unit
+(** Set the logical merge-position stamp recorded on every subsequent
+    event.  A single-writer concern: the domain that owns the ring sets
+    its tick at each engine sync point (job issue/execution), and
+    {!Merge} later orders events of different rings by
+    [(tick, shard, seq)].  Purely additive — single-ring consumers never
+    see ticks. *)
+
+val tick_at : t -> int -> int
+(** The tick stamped on retained event [seq] (meaningless for dropped
+    seqs; callers guard with {!dropped}). *)
+
 val intern : t -> string -> int
 (** The id of a name, allocating one on first sight.  Setup-time only;
     0 on a disabled sink. *)
@@ -74,7 +97,13 @@ val seq : t -> int
 (** Total events emitted over the sink's lifetime (≥ retained). *)
 
 val dropped : t -> int
-(** Events overwritten by ring wrap-around. *)
+(** Events overwritten by ring wrap-around, plus any upstream losses
+    recorded with {!note_dropped}. *)
+
+val note_dropped : t -> int -> unit
+(** Record [k] events lost before they reached this sink (e.g. per-shard
+    ring drops observed by {!Merge.into_sink}); added to {!dropped} so a
+    merged sink faithfully reports its sources' losses. *)
 
 val events : t -> event list
 (** The retained events, oldest first.  [seq] numbers are global, so a
@@ -84,6 +113,13 @@ val iter : t -> (event -> unit) -> unit
 (** Visit the retained events oldest first without materializing the
     list — same order and contents as {!events}.  Serializers
     ({!Export}) stream through this. *)
+
+val replay : t -> ?alloc:float * float -> event -> unit
+(** Re-emit a decoded event into this sink: the name is interned here,
+    counter/gauge side tables are updated, the event's own wall
+    timestamp is preserved (and [?alloc] Gc words, on a profiled sink),
+    and a fresh seq is assigned.  {!Merge.into_sink} streams per-shard
+    rings through this to rebuild one deterministic timeline. *)
 
 val alloc_words : t -> seq:int -> (float * float) option
 (** [(minor_words, major_words)] recorded when event [seq] was emitted;

@@ -155,6 +155,51 @@ let test_exec_worker_exception () =
   Live.Exec.shutdown ex;
   Live.Exec.shutdown ex (* idempotent *)
 
+let test_exec_sharded_trace () =
+  (* Workers emit into their own rings from real domains; the engine
+     stamps job ticks, so the merge must come out round-ordered with
+     shard 0 before shard 1 inside every round. *)
+  let net = Network.create line4 Netsim.Adversary.Silent in
+  let ex =
+    Live.Exec.create ~net
+      ~config:(Live.Config.make ~shards:2 ())
+      ~weights:(Array.make 4 1) ()
+  in
+  (match Live.Exec.set_trace ex (Trace.Sharded.create ~shards:3 ()) with
+  | () -> Alcotest.fail "shard-count mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  let sh = Trace.Sharded.create ~shards:2 () in
+  let mark = Trace.Sharded.intern sh "mark" in
+  Live.Exec.set_trace ex sh;
+  let rounds = 8 in
+  Fun.protect
+    ~finally:(fun () -> Live.Exec.shutdown ex)
+    (fun () ->
+      for r = 0 to rounds - 1 do
+        Live.Exec.round ex
+          ~write:(fun ~shard _buf ->
+            Trace.Sink.count (Trace.Sharded.ring sh shard) ~id:mark ~iter:r ~arg:shard 1)
+          ~read:(fun ~shard:_ _master -> ())
+          ()
+      done;
+      Live.Exec.join ex);
+  let es = Trace.Merge.entries sh in
+  Alcotest.(check int) "one event per shard per round" 16 (List.length es);
+  let coords =
+    List.map
+      (fun (e : Trace.Merge.entry) ->
+        match e.Trace.Merge.ev with
+        | Trace.Sink.Count { iter; arg; _ } -> (iter, arg)
+        | _ -> Alcotest.fail "unexpected event kind")
+      es
+  in
+  Alcotest.(check (list (pair int int))) "round-major, shard-minor order"
+    (List.concat_map (fun r -> [ (r, 0); (r, 1) ]) (List.init rounds Fun.id))
+    coords;
+  (* Ticks are monotone across the merge (the job schedule is total). *)
+  let ticks = List.map (fun (e : Trace.Merge.entry) -> e.Trace.Merge.tick) es in
+  Alcotest.(check bool) "ticks monotone" true (List.sort compare ticks = ticks)
+
 (* ---------- Backend differential ---------- *)
 
 let graphs =
@@ -346,6 +391,7 @@ let () =
         [
           Alcotest.test_case "round delivery, 2 domains" `Quick test_exec_round_delivery;
           Alcotest.test_case "worker exception" `Quick test_exec_worker_exception;
+          Alcotest.test_case "sharded trace rings" `Quick test_exec_sharded_trace;
         ] );
       ( "differential",
         [

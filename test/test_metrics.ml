@@ -233,6 +233,49 @@ let test_json_exposition () =
   Alcotest.(check bool) "exact_json drops timed" false (contains ej "sched.level");
   Alcotest.(check bool) "exact_json keeps exact" true (contains ej "net.cc")
 
+let test_hist_quantile () =
+  let h = Hist.create () in
+  (* Exact range: values below 16 have one cell each, so interpolation
+     is exact.  1..10: p50 lands on 5, p95 on 10 (rank ceil). *)
+  for v = 1 to 10 do
+    Hist.observe h v
+  done;
+  Alcotest.(check (float 1e-9)) "exact p50" 5. (Hist.quantile h 0.50);
+  Alcotest.(check (float 1e-9)) "exact max" 10. (Hist.quantile h 1.0);
+  Alcotest.(check (float 1e-9)) "clamped below" 1. (Hist.quantile h (-1.));
+  (* Log range: the documented bound — within 12.5% of the true value. *)
+  let h2 = Hist.create () in
+  List.iter (Hist.observe h2) [ 1000; 2000; 3000; 4000 ];
+  let q = Hist.quantile h2 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 within bucket bound (%.1f)" q)
+    true
+    (Float.abs (q -. 2000.) <= 0.125 *. 2000.);
+  (* The bucket-list estimator agrees with the live one. *)
+  Alcotest.(check (float 1e-9)) "bucket-list form agrees" q
+    (Hist.quantile_of_buckets (Hist.nonzero h2) ~count:(Hist.count h2) 0.5);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Hist.quantile (Hist.create ()) 0.5)
+
+let test_expo_escaping () =
+  (* Hostile registry keys must neither corrupt the OpenMetrics text
+     nor break the JSON line. *)
+  let r = Reg.create () in
+  Reg.add (Reg.counter r "evil\"quote\\back.slash") 3 |> ignore;
+  let snap = Reg.snapshot r in
+  let om = Expo.openmetrics snap in
+  Alcotest.(check bool) "openmetrics name sanitized" true
+    (contains om "evil_quote_back_slash_total 3");
+  Alcotest.(check bool) "no raw quote in openmetrics" false (contains om "evil\"");
+  let line = Expo.json snap in
+  match Obsv.Json.parse_opt line with
+  | Some j ->
+      Alcotest.(check (option (float 1e-9))) "json key round-trips" (Some 3.)
+        (Option.bind
+           (Option.bind (Obsv.Json.member "exact" j)
+              (Obsv.Json.member "evil\"quote\\back.slash"))
+           Obsv.Json.to_float)
+  | None -> Alcotest.fail "json line with hostile key does not parse"
+
 (* ---------- end-to-end: scheme runs ---------- *)
 
 let scheme_exact ?(shards = 0) ?max_iterations ?max_wall_s () =
@@ -330,6 +373,7 @@ let () =
         [
           Alcotest.test_case "bucket math" `Quick test_hist_buckets;
           Alcotest.test_case "observe/merge/percentile" `Quick test_hist_observe;
+          Alcotest.test_case "quantile estimator" `Quick test_hist_quantile;
         ] );
       ( "registry",
         [
@@ -343,6 +387,7 @@ let () =
         [
           Alcotest.test_case "openmetrics shape" `Quick test_openmetrics;
           Alcotest.test_case "json + exact_json" `Quick test_json_exposition;
+          Alcotest.test_case "hostile-key escaping" `Quick test_expo_escaping;
         ] );
       ( "integration",
         [

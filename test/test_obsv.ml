@@ -35,6 +35,31 @@ let test_json_parse () =
     (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (Json.parse_opt s = None))
     [ ""; "{"; "tru"; "{\"a\":}"; "[1,]" ]
 
+let test_json_edges () =
+  (* \uXXXX escapes decode as raw bytes; \\ stays one backslash *)
+  Alcotest.(check (option string)) "u-escape" (Some "A\tB")
+    (Json.to_string (Json.parse "\"A\\u0009B\""));
+  Alcotest.(check (option string)) "backslash" (Some {|a\b|}) (Json.to_string (Json.parse {|"a\\b"|}));
+  Alcotest.(check (option string)) "solidus" (Some "/") (Json.to_string (Json.parse {|"\/"|}));
+  (* scientific notation, both signs and bare exponents *)
+  Alcotest.(check (option (float 1e-12))) "1e-3" (Some 0.001) (Json.to_float (Json.parse "1e-3"));
+  Alcotest.(check (option (float 1e-9))) "1E+2" (Some 100.) (Json.to_float (Json.parse "1E+2"));
+  Alcotest.(check (option (float 1e-9))) "frac exp" (Some 12.5) (Json.to_float (Json.parse "0.125e2"));
+  (* deeply nested arrays survive and come back with the right depth *)
+  let depth = 200 in
+  let deep = String.make depth '[' ^ "7" ^ String.make depth ']' in
+  let rec unwrap d j =
+    match j with Json.Arr [ inner ] -> unwrap (d + 1) inner | leaf -> (d, leaf)
+  in
+  let d, leaf = unwrap 0 (Json.parse deep) in
+  Alcotest.(check int) "nesting depth" depth d;
+  Alcotest.(check (option (float 1e-9))) "nested leaf" (Some 7.) (Json.to_float leaf);
+  (* trailing garbage is rejected, whitespace is not *)
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (Json.parse_opt s = None))
+    [ "1 2"; "{} x"; "[1] ]"; "\"a\"b"; {|"\u00ZZ"|}; {|"\q"|} ];
+  Alcotest.(check bool) "trailing ws ok" true (Json.parse_opt "  [1, 2]  \n" <> None)
+
 (* ---------- a traced run with a known injected fault ---------- *)
 
 let traced_run ?(party = 2) ?(at_iteration = 3) ?(faulty = true) ?(rate = 0.) () =
@@ -95,6 +120,62 @@ let test_timeline_of_jsonl () =
       Alcotest.(check bool) "same counts" true (a.Timeline.counts = b.Timeline.counts);
       Alcotest.(check bool) "same stall flag" true (a.Timeline.stalled = b.Timeline.stalled))
     live.Timeline.iterations reparsed.Timeline.iterations
+
+(* ---------- sharded capture: shard attribution end-to-end ---------- *)
+
+let test_sharded_attribution () =
+  (* A hand-built two-shard capture with one noise event per shard:
+     the timeline must keep per-event shard attribution and the
+     postmortem must decompose the deviation by shard. *)
+  let sh = Trace.Sharded.create ~shards:2 () in
+  let sp = Trace.Sharded.intern sh "scheme.iteration" in
+  let corrupt = Trace.Sharded.intern sh "net.corrupt" in
+  let l = Trace.Sharded.leader sh in
+  let r0 = Trace.Sharded.ring sh 0 and r1 = Trace.Sharded.ring sh 1 in
+  Sink.set_tick l 0;
+  Sink.span_begin l ~id:sp ~iter:0;
+  Sink.set_tick r0 1;
+  Sink.count r0 ~id:corrupt ~iter:7 ~arg:3 1;
+  Sink.set_tick r1 1;
+  Sink.count r1 ~id:corrupt ~iter:9 ~arg:5 2;
+  Sink.set_tick l 4;
+  Sink.span_end l ~id:sp ~iter:0;
+  let tl = Timeline.of_sharded sh in
+  Alcotest.(check (list string)) "no nesting errors" [] tl.Timeline.errors;
+  (match tl.Timeline.iterations with
+  | [ it ] ->
+      Alcotest.(check (list int)) "events carry their shard" [ 0; 1 ]
+        (List.filter_map
+           (fun (a : Timeline.attributed) ->
+             if a.Timeline.ev.Timeline.name = "net.corrupt" then Some a.Timeline.ev.Timeline.shard
+             else None)
+           it.Timeline.events)
+  | its -> Alcotest.failf "expected 1 iteration, got %d" (List.length its));
+  Alcotest.(check int) "totals summed across rings" 3 (Timeline.total tl "net.corrupt");
+  let pm = Postmortem.analyze tl in
+  (match pm.Postmortem.blame with
+  | Some b ->
+      Alcotest.(check bool) "cause" true (b.Postmortem.cause = Postmortem.Adversary_noise);
+      Alcotest.(check int) "blamed shard" 0 b.Postmortem.shard;
+      Alcotest.(check int) "blamed link" 3 b.Postmortem.link
+  | None -> Alcotest.fail "no blame on a noisy capture");
+  Alcotest.(check (list (pair int int))) "noise decomposed by shard" [ (0, 1); (1, 2) ]
+    pm.Postmortem.shard_noise
+
+let test_single_sink_has_no_shards () =
+  (* Single-sink captures keep the pre-sharding shape: shard = -1
+     everywhere and no per-shard decomposition. *)
+  let _, sink = traced_run () in
+  let tl = Timeline.of_sink sink in
+  List.iter
+    (fun (a : Timeline.attributed) ->
+      Alcotest.(check int) "no shard attribution" (-1) a.Timeline.ev.Timeline.shard)
+    tl.Timeline.setup;
+  let pm = Postmortem.analyze tl in
+  Alcotest.(check (list (pair int int))) "no shard decomposition" [] pm.Postmortem.shard_noise;
+  match pm.Postmortem.blame with
+  | Some b -> Alcotest.(check int) "blame carries no shard" (-1) b.Postmortem.shard
+  | None -> Alcotest.fail "seeded fault must be blamed"
 
 (* ---------- postmortem ---------- *)
 
@@ -351,7 +432,11 @@ let test_observatory_render () =
 let () =
   Alcotest.run "obsv"
     [
-      ("json", [ Alcotest.test_case "parse" `Quick test_json_parse ]);
+      ( "json",
+        [
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "edge cases" `Quick test_json_edges;
+        ] );
       ( "timeline",
         [
           Alcotest.test_case "of_sink" `Quick test_timeline_of_sink;
@@ -365,6 +450,11 @@ let () =
           Alcotest.test_case "ragged jitter attribution" `Quick
             test_postmortem_ragged_attribution;
           Alcotest.test_case "ragged d=0 clean" `Quick test_postmortem_ragged_d0_clean;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "shard attribution" `Quick test_sharded_attribution;
+          Alcotest.test_case "single sink unchanged" `Quick test_single_sink_has_no_shards;
         ] );
       ("profile", [ Alcotest.test_case "rows + metrics" `Quick test_profile_rows ]);
       ( "observatory",

@@ -6,6 +6,8 @@
 
 module Sink = Trace.Sink
 module Export = Trace.Export
+module Sharded = Trace.Sharded
+module Merge = Trace.Merge
 
 let test_sink_basics () =
   let t = Sink.create () in
@@ -201,6 +203,146 @@ let test_mp_collision_probe () =
   ignore (MP.process b2 h ~probe:probe2 ~len:4 msg2);
   Alcotest.(check int) "no collision on agreement" 0 !false_alarms
 
+(* ---------- sharded capture + deterministic merge ---------- *)
+
+let iter_of = function
+  | Sink.Span_begin { iter; _ } | Sink.Span_end { iter; _ } | Sink.Count { iter; _ }
+  | Sink.Gauge { iter; _ } ->
+      iter
+
+let seq_of = function
+  | Sink.Span_begin { seq; _ } | Sink.Span_end { seq; _ } | Sink.Count { seq; _ }
+  | Sink.Gauge { seq; _ } ->
+      seq
+
+let test_sharded_intern_and_merge_order () =
+  let sh = Sharded.create ~shards:2 () in
+  let c = Sharded.intern sh "c" in
+  let l = Sharded.leader sh and r0 = Sharded.ring sh 0 and r1 = Sharded.ring sh 1 in
+  Alcotest.(check int) "shared id on leader" c (Sink.intern l "c");
+  Alcotest.(check int) "shared id on every ring" c (Sink.intern r1 "c");
+  (* Emit out of merge order: the sort key (tick, shard, seq) must
+     reconstruct leader-first, then shard 0 before shard 1 per tick. *)
+  Sink.set_tick l 0;
+  Sink.count l ~id:c ~iter:10 1;
+  Sink.set_tick r1 1;
+  Sink.count r1 ~id:c ~iter:13 1;
+  Sink.set_tick r0 1;
+  Sink.count r0 ~id:c ~iter:12 1;
+  Sink.set_tick l 4;
+  Sink.count l ~id:c ~iter:11 1;
+  Sink.set_tick r0 5;
+  Sink.count r0 ~id:c ~iter:14 1;
+  let es = Merge.entries sh in
+  Alcotest.(check (list int)) "merge order by (tick, shard, seq)" [ 10; 12; 13; 11; 14 ]
+    (List.map (fun (e : Merge.entry) -> iter_of e.Merge.ev) es);
+  Alcotest.(check (list int)) "seqs renumbered densely" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun (e : Merge.entry) -> seq_of e.Merge.ev) es);
+  Alcotest.(check (list int)) "shard attribution kept" [ -1; 0; 1; -1; 0 ]
+    (List.map (fun (e : Merge.entry) -> e.Merge.shard) es);
+  Alcotest.(check int) "summed counter totals" 5 (List.assoc "c" (Sharded.counter_totals sh))
+
+let test_merge_into_sink_residuals () =
+  (* A tiny worker ring wraps: merged replay must carry the lost count
+     values over as a residual so the destination totals stay
+     drop-proof, and the loss must surface through [dropped]. *)
+  let sh = Sharded.create ~shards:1 ~capacity:2 () in
+  let c = Sharded.intern sh "c" in
+  let r0 = Sharded.ring sh 0 in
+  for i = 1 to 5 do
+    Sink.set_tick r0 i;
+    Sink.count r0 ~id:c ~iter:i 1
+  done;
+  Alcotest.(check int) "ring dropped 3" 3 (Sharded.dropped sh);
+  let dst = Sink.create () in
+  Merge.into_sink sh ~dst;
+  Alcotest.(check int) "destination total is drop-proof" 5 (Sink.counter_total dst "c");
+  Alcotest.(check bool) "loss surfaced" true (Sink.dropped dst >= 3)
+
+(* The tentpole's differential proof: a traced run on the live parallel
+   engine — one trace ring per shard, merged afterwards — exports
+   byte-identically to the serial lockstep oracle at ragged depth 0,
+   for shards in {1, 2, 4}, with identical outcomes. *)
+let scheme_export ~backend ?(sample = 1) () =
+  let g = Topology.Graph.cycle 8 in
+  let pi = Protocol.Protocols.random_chatter g ~rounds:60 ~density:0.5 ~seed:3 in
+  let params = Coding.Params.algorithm_1 g in
+  let sink = Sink.create () in
+  let faults =
+    Faults.Plan.make ~key:"test-sharded"
+      [ Faults.Plan.Crash { party = 1; at_iteration = 2; recover_at = None } ]
+  in
+  let config =
+    Coding.Scheme.Config.make ~sink ~faults ~backend ~trace_sample_every:sample ()
+  in
+  let outcome =
+    Coding.Scheme.run_outcome ~config ~rng:(Util.Rng.create 5) params pi
+      (Netsim.Adversary.iid (Util.Rng.create 6) ~rate:0.002)
+  in
+  (outcome, Export.jsonl ~timing:false sink, sink)
+
+let outcome_fingerprint = function
+  | Faults.Outcome.Completed r | Faults.Outcome.Degraded (r, _) ->
+      Printf.sprintf "%b:%d:%d" r.Coding.Scheme.success r.Coding.Scheme.corruptions
+        r.Coding.Scheme.iterations_run
+  | Faults.Outcome.Aborted (reason, _) -> Faults.Outcome.abort_to_string reason
+
+let test_sharded_byte_identity () =
+  let o0, oracle, _ = scheme_export ~backend:Coding.Scheme.Lockstep () in
+  Alcotest.(check bool) "oracle trace nonempty" true (String.length oracle > 0);
+  List.iter
+    (fun shards ->
+      let o, live, _ =
+        scheme_export
+          ~backend:(Coding.Scheme.Live (Live.Config.make ~shards ~ragged_d:0 ()))
+          ()
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "outcome identical at shards=%d" shards)
+        (outcome_fingerprint o0) (outcome_fingerprint o);
+      Alcotest.(check string)
+        (Printf.sprintf "merged export byte-identical at shards=%d" shards)
+        oracle live)
+    [ 1; 2; 4 ]
+
+let test_sharded_sampling () =
+  (* Sampling mutes whole iterations identically on both engines, keeps
+     setup and the output phase, and strictly shrinks the stream. *)
+  let _, full, _ = scheme_export ~backend:Coding.Scheme.Lockstep () in
+  let _, oracle, _ = scheme_export ~backend:Coding.Scheme.Lockstep ~sample:2 () in
+  let _, live, _ =
+    scheme_export
+      ~backend:(Coding.Scheme.Live (Live.Config.make ~shards:2 ~ragged_d:0 ()))
+      ~sample:2 ()
+  in
+  Alcotest.(check string) "sampled export engine-independent" oracle live;
+  Alcotest.(check bool) "sampling shrinks the stream" true
+    (String.length oracle < String.length full);
+  Alcotest.(check bool) "sampled stream keeps spans" true
+    (String.length oracle > 0)
+
+let test_sharded_ragged_well_ordered () =
+  (* At ragged depth > 0 byte-identity is out of scope; the merged
+     stream must still nest correctly (all spans live on the leader
+     ring, whose order survives the merge) and keep drop-proof totals. *)
+  let o, live, sink =
+    scheme_export ~backend:(Coding.Scheme.Live (Live.Config.make ~shards:2 ~ragged_d:1 ())) ()
+  in
+  Alcotest.(check bool) "run finished" true
+    (match o with Faults.Outcome.Aborted _ -> false | _ -> true);
+  Alcotest.(check bool) "trace nonempty" true (String.length live > 0);
+  let stack = ref [] in
+  List.iter
+    (function
+      | Sink.Span_begin { name; _ } -> stack := name :: !stack
+      | Sink.Span_end { name; _ } -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | _ -> Alcotest.failf "span_end %s without matching begin" name)
+      | _ -> ())
+    (Sink.events sink);
+  Alcotest.(check (list string)) "merged spans nest" [] !stack
+
 (* One traced scheme execution under a crash fault: spans must nest,
    fault counters must fire, the potential gauge must be live, and the
    whole trace must replay byte-identically. *)
@@ -272,5 +414,13 @@ let () =
         [
           Alcotest.test_case "mp collision probe" `Quick test_mp_collision_probe;
           Alcotest.test_case "traced scheme run" `Quick test_traced_scheme_run;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "intern + merge order" `Quick test_sharded_intern_and_merge_order;
+          Alcotest.test_case "merge residuals" `Quick test_merge_into_sink_residuals;
+          Alcotest.test_case "byte-identity vs lockstep" `Quick test_sharded_byte_identity;
+          Alcotest.test_case "sampling" `Quick test_sharded_sampling;
+          Alcotest.test_case "ragged well-ordered" `Quick test_sharded_ragged_well_ordered;
         ] );
     ]
